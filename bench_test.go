@@ -1,0 +1,332 @@
+package seqtx_test
+
+// The benchmark harness regenerates every reproduction experiment
+// (DESIGN.md, T1–T8) under `go test -bench`, and adds micro-benchmarks
+// for the substrates and ablation sweeps for the design choices DESIGN.md
+// calls out (timeout pacing, fairness budget, exploration depth,
+// adversary pressure).
+
+import (
+	"fmt"
+	"testing"
+
+	"seqtx"
+	"seqtx/internal/alpha"
+	"seqtx/internal/channel"
+	"seqtx/internal/expt"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+// benchExperiment runs one T-experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := expt.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(expt.Options{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkT1AlphaTable(b *testing.B)        { benchExperiment(b, "T1") }
+func BenchmarkT2DupTightness(b *testing.B)      { benchExperiment(b, "T2") }
+func BenchmarkT3DupImpossibility(b *testing.B)  { benchExperiment(b, "T3") }
+func BenchmarkT4DelTightness(b *testing.B)      { benchExperiment(b, "T4") }
+func BenchmarkT5DelImpossibility(b *testing.B)  { benchExperiment(b, "T5") }
+func BenchmarkT6Unboundedness(b *testing.B)     { benchExperiment(b, "T6") }
+func BenchmarkT7ABP(b *testing.B)               { benchExperiment(b, "T7") }
+func BenchmarkT8BoundednessMatrix(b *testing.B) { benchExperiment(b, "T8") }
+func BenchmarkT9Probabilistic(b *testing.B)     { benchExperiment(b, "T9") }
+func BenchmarkT10Knowledge(b *testing.B)        { benchExperiment(b, "T10") }
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkChannelDupSendDeliver(b *testing.B) {
+	h := channel.NewDup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := seqtxMsg(i % 8)
+		h.Send(m)
+		if err := h.Deliver(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChannelDelSendDeliver(b *testing.B) {
+	h := channel.NewDel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := seqtxMsg(i % 8)
+		h.Send(m)
+		if err := h.Deliver(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChannelFIFOSendDeliver(b *testing.B) {
+	h := channel.NewFIFO(true, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := seqtxMsg(i % 8)
+		h.Send(m)
+		if err := h.Deliver(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func seqtxMsg(i int) seqtx.Msg { return seqtx.Msg(fmt.Sprintf("m%d", i)) }
+
+func BenchmarkAlphaRankUnrank(b *testing.B) {
+	const m = 10
+	total := alpha.MustAlpha(m)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := uint64(i) % total
+		s, err := alpha.Unrank(m, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		back, err := alpha.Rank(m, s)
+		if err != nil || back != r {
+			b.Fatalf("round trip failed at %d", r)
+		}
+	}
+}
+
+func BenchmarkAlphaEncodeSet(b *testing.B) {
+	x := seq.MustNewSet(
+		seq.FromInts(0, 0), seq.FromInts(1), seq.FromInts(1, 1, 1),
+		seq.FromInts(2), seq.FromInts(2, 0),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := alpha.Encode(x, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Protocol throughput: steps to move one sequence ----------------------
+
+func benchTransmit(b *testing.B, spec seqtx.Spec, input seqtx.Seq, kind seqtx.ChannelKind) {
+	b.Helper()
+	b.ReportAllocs()
+	totalSteps := 0
+	for i := 0; i < b.N; i++ {
+		res, err := seqtx.Transmit(spec, input, kind, seqtx.FairRoundRobin())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OutputComplete {
+			b.Fatalf("incomplete: %s", res.Output)
+		}
+		totalSteps += res.Steps
+	}
+	b.ReportMetric(float64(totalSteps)/float64(b.N)/float64(len(input)), "steps/item")
+}
+
+func BenchmarkProtocolTightDup(b *testing.B) {
+	benchTransmit(b, seqtx.TightProtocol(8), seqtx.Sequence(3, 1, 7, 0, 5, 2, 6, 4), seqtx.ChannelDup)
+}
+
+func BenchmarkProtocolTightDel(b *testing.B) {
+	benchTransmit(b, seqtx.TightProtocol(8), seqtx.Sequence(3, 1, 7, 0, 5, 2, 6, 4), seqtx.ChannelDel)
+}
+
+func BenchmarkProtocolAFWZDel(b *testing.B) {
+	benchTransmit(b, seqtx.AFWZProtocol(2), seqtx.Sequence(0, 1, 0, 1, 0, 1, 0, 1), seqtx.ChannelDel)
+}
+
+func BenchmarkProtocolHybridDel(b *testing.B) {
+	benchTransmit(b, seqtx.HybridProtocol(2, 8), seqtx.Sequence(0, 1, 0, 1, 0, 1, 0, 1), seqtx.ChannelDel)
+}
+
+func BenchmarkProtocolStenningDel(b *testing.B) {
+	benchTransmit(b, seqtx.StenningProtocol(), seqtx.Sequence(0, 1, 0, 1, 0, 1, 0, 1), seqtx.ChannelDel)
+}
+
+func BenchmarkProtocolABPFIFO(b *testing.B) {
+	benchTransmit(b, seqtx.ABProtocol(2), seqtx.Sequence(0, 1, 0, 1, 0, 1, 0, 1), seqtx.ChannelFIFO)
+}
+
+// --- Model-checker throughput ---------------------------------------------
+
+func BenchmarkExploreStates(b *testing.B) {
+	spec := seqtx.TightProtocol(2)
+	input := seqtx.Sequence(0, 1)
+	b.ReportAllocs()
+	states := 0
+	for i := 0; i < b.N; i++ {
+		res, err := seqtx.Explore(spec, input, seqtx.ChannelDup,
+			seqtx.ExploreConfig{MaxDepth: 10, MaxStates: 1 << 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states += res.States
+	}
+	b.ReportMetric(float64(states)/float64(b.N), "states/op")
+}
+
+func BenchmarkRefuteNaive(b *testing.B) {
+	naive, err := seqtx.NaiveProtocol(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, rerr := seqtx.RefuteSafety(naive, seqtx.Sequence(0, 1), seqtx.Sequence(0, 1, 0),
+			seqtx.ChannelDup, seqtx.ExploreConfig{MaxDepth: 12, MaxStates: 1 << 15})
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+		if res.Violation == nil {
+			b.Fatal("violation vanished")
+		}
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblationHybridTimeout sweeps the §5 timeout: shorter timeouts
+// switch to the suffix stream sooner, trading spurious detours for faster
+// loss detection.
+func BenchmarkAblationHybridTimeout(b *testing.B) {
+	input := seqtx.Sequence(0, 1, 0, 1, 0, 1, 0, 1)
+	for _, timeout := range []int{2, 4, 8, 16} {
+		timeout := timeout
+		b.Run(fmt.Sprintf("timeout=%d", timeout), func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				res, err := seqtx.Transmit(seqtx.HybridProtocol(2, timeout), input,
+					seqtx.ChannelDel, seqtx.Dropper(int64(i), 1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OutputComplete {
+					b.Fatal("incomplete")
+				}
+				steps += res.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+		})
+	}
+}
+
+// BenchmarkAblationFairnessBudget sweeps the finite-delay budget: larger
+// budgets admit nastier reorderings at the cost of longer runs.
+func BenchmarkAblationFairnessBudget(b *testing.B) {
+	spec := seqtx.TightProtocol(4)
+	input := seqtx.Sequence(2, 0, 3, 1)
+	for _, budget := range []int{4, 6, 12, 24} {
+		budget := budget
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				adv := sim.NewFinDelay(sim.NewRandom(int64(i)), budget)
+				res, err := sim.RunProtocol(spec, input, channel.KindDup, adv,
+					sim.Config{MaxSteps: 5000, StopWhenComplete: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OutputComplete {
+					b.Fatal("incomplete")
+				}
+				steps += res.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+		})
+	}
+}
+
+// BenchmarkAblationExploreDepth sweeps exploration depth: state growth of
+// the exhaustive checker on the tight protocol.
+func BenchmarkAblationExploreDepth(b *testing.B) {
+	spec := seqtx.TightProtocol(2)
+	input := seqtx.Sequence(0, 1)
+	for _, depth := range []int{6, 8, 10, 12} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res, err := seqtx.Explore(spec, input, seqtx.ChannelDel,
+					seqtx.ExploreConfig{MaxDepth: depth, MaxStates: 1 << 18})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += res.States
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
+// BenchmarkAblationSlidingWindow sweeps the window size of the two
+// pipelined data-link protocols under a lossy FIFO: pipelining cuts steps
+// per item; losses cost Go-Back-N a whole window but Selective Repeat only
+// the missing frame.
+func BenchmarkAblationSlidingWindow(b *testing.B) {
+	input := seqtx.Sequence(0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1)
+	for _, proto := range []string{"gobackn", "selrepeat"} {
+		for _, w := range []int{1, 2, 4, 8} {
+			proto, w := proto, w
+			b.Run(fmt.Sprintf("%s/window=%d", proto, w), func(b *testing.B) {
+				spec, err := registry.Protocol(proto, registry.Params{M: 2, Window: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps := 0
+				for i := 0; i < b.N; i++ {
+					res, err := seqtx.Transmit(spec, input, seqtx.ChannelFIFO, seqtx.Dropper(int64(i), 2))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.OutputComplete {
+						b.Fatal("incomplete")
+					}
+					steps += res.Steps
+				}
+				b.ReportMetric(float64(steps)/float64(b.N)/float64(len(input)), "steps/item")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationReplayPressure sweeps duplicate-replay pressure on the
+// tight protocol: more replays mean more wasted deliveries but never a
+// safety loss.
+func BenchmarkAblationReplayPressure(b *testing.B) {
+	spec := seqtx.TightProtocol(4)
+	input := seqtx.Sequence(2, 0, 3, 1)
+	for _, period := range []int{1, 2, 4, 8} {
+		period := period
+		b.Run(fmt.Sprintf("period=%d", period), func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				adv := sim.NewFinDelay(sim.NewReplayer(int64(i), period), 12)
+				res, err := sim.RunProtocol(spec, input, channel.KindDup, adv,
+					sim.Config{MaxSteps: 8000, StopWhenComplete: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OutputComplete || res.SafetyViolation != nil {
+					b.Fatalf("complete=%v violation=%v", res.OutputComplete, res.SafetyViolation)
+				}
+				steps += res.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+		})
+	}
+}

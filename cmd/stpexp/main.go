@@ -1,0 +1,74 @@
+// Command stpexp runs the reproduction experiments T1–T8 (see DESIGN.md)
+// and prints their tables. With -markdown it emits the GitHub-flavored
+// tables that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	stpexp               # run every experiment
+//	stpexp -t T3         # run one experiment
+//	stpexp -deep         # expensive variants (wider slices, longer series)
+//	stpexp -markdown     # markdown output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seqtx/internal/expt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id       = flag.String("t", "", "experiment id (T1..T10); empty = all")
+		list     = flag.Bool("list", false, "list the experiments and exit")
+		deep     = flag.Bool("deep", false, "run expensive variants")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		seed     = flag.Int64("seed", 1, "adversary seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	opts := expt.Options{Deep: *deep, Seed: *seed}
+	experiments := expt.All()
+	if *id != "" {
+		e, err := expt.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		experiments = []expt.Experiment{e}
+	}
+	for _, e := range experiments {
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		if *markdown {
+			fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+			for _, t := range tables {
+				fmt.Println(t.Markdown())
+			}
+			fmt.Printf("*(generated in %v)*\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		fmt.Printf("=== %s — %s (%v)\n\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+	return 0
+}

@@ -1,0 +1,150 @@
+// Command stpsim runs one STP protocol on one channel under one
+// adversary and prints the trace and verdicts.
+//
+// Usage:
+//
+//	stpsim -proto alpha -m 4 -input 2,0,3,1 -channel dup -adversary replayer
+//	stpsim -proto hybrid -input 0,1,0,1 -channel del -adversary dropper -trace
+//	stpsim -proto abp -input 0,1 -channel reorder -adversary random -seed 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		proto     = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m         = flag.Int("m", 4, "domain / sender-alphabet size parameter")
+		timeout   = flag.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout (ticks)")
+		window    = flag.Int("window", 4, "modseq sequence-number window")
+		input     = flag.String("input", "0,1", "comma-separated data items")
+		kindName  = flag.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
+		advName   = flag.String("adversary", "roundrobin", "adversary: "+strings.Join(registry.AdversaryNames(), "|"))
+		seed      = flag.Int64("seed", 1, "adversary seed")
+		budget    = flag.Int("budget", 2, "dropper budget / replayer period / withholder hold")
+		maxSteps  = flag.Int("max-steps", 5000, "step bound")
+		showTrace = flag.Bool("trace", false, "print the full trace")
+		replay    = flag.String("replay", "", "JSON witness file (from stpmc -o): replay its schedule, then round-robin")
+	)
+	flag.Parse()
+
+	x, err := parseSeq(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpsim:", err)
+		return 2
+	}
+	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed, Budget: *budget}
+	spec, err := registry.Protocol(*proto, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpsim:", err)
+		return 2
+	}
+	kind, err := registry.Kind(*kindName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpsim:", err)
+		return 2
+	}
+	adv, err := registry.Adversary(*advName, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpsim:", err)
+		return 2
+	}
+	replaySteps := 0
+	if *replay != "" {
+		data, rerr := os.ReadFile(*replay)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "stpsim:", rerr)
+			return 2
+		}
+		var tr trace.Trace
+		if jerr := json.Unmarshal(data, &tr); jerr != nil {
+			fmt.Fprintln(os.Stderr, "stpsim:", jerr)
+			return 2
+		}
+		if len(tr.Input) > 0 {
+			x = tr.Input
+		}
+		adv = sim.NewScripted(tr.Actions(), sim.NewRoundRobin())
+		replaySteps = tr.Len()
+	}
+
+	link, err := channel.NewLinkOfKind(kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpsim:", err)
+		return 1
+	}
+	w, err := sim.New(spec, x, link)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpsim:", err)
+		return 1
+	}
+	if *showTrace {
+		w.StartTrace()
+	}
+	cfg := sim.Config{MaxSteps: *maxSteps, StopWhenComplete: true}
+	if *replay != "" {
+		// Replay the whole witness schedule: the violating action is often
+		// the very last one, after the output already looks complete.
+		cfg.StopWhenComplete = false
+		if n := replaySteps; n > 0 && n < cfg.MaxSteps {
+			cfg.MaxSteps = n
+		}
+	}
+	res, err := sim.Run(w, adv, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpsim:", err)
+		return 1
+	}
+	if *showTrace {
+		fmt.Print(w.Trace)
+	}
+	fmt.Printf("protocol   %s\nchannel    %s\nadversary  %s\n", spec.Name, kind, adv.Name())
+	fmt.Printf("input X    %s\noutput Y   %s\n", x, res.Output)
+	fmt.Printf("steps      %d\ncomplete   %v\nquiescent  %v\n", res.Steps, res.OutputComplete, res.Quiescent)
+	if res.SafetyViolation != nil {
+		fmt.Printf("SAFETY VIOLATION: %v\n", res.SafetyViolation)
+		return 1
+	}
+	fmt.Println("safety     ok (Y is a prefix of X throughout)")
+	if len(res.LearnTimes) > 0 {
+		parts := make([]string, len(res.LearnTimes))
+		for i, t := range res.LearnTimes {
+			parts[i] = fmt.Sprint(t)
+		}
+		fmt.Printf("t_i        %s\n", strings.Join(parts, " "))
+	}
+	return 0
+}
+
+func parseSeq(arg string) (seq.Seq, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return seq.Seq{}, nil
+	}
+	var s seq.Seq
+	for _, f := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad item %q: %w", f, err)
+		}
+		s = append(s, seq.Item(v))
+	}
+	return s, nil
+}

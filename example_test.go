@@ -1,0 +1,113 @@
+package seqtx_test
+
+import (
+	"fmt"
+
+	"seqtx"
+)
+
+// ExampleTransmit moves a sequence with the paper's tight protocol over a
+// reordering, duplicating channel.
+func ExampleTransmit() {
+	spec := seqtx.TightProtocol(4)
+	res, err := seqtx.Transmit(spec, seqtx.Sequence(2, 0, 3, 1),
+		seqtx.ChannelDup, seqtx.FairRoundRobin())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("output:", res.Output)
+	fmt.Println("safe:", res.SafetyViolation == nil)
+	// Output:
+	// output: 2.0.3.1
+	// safe: true
+}
+
+// ExampleAlpha prints the paper's tight bound for small alphabets.
+func ExampleAlpha() {
+	for m := 0; m <= 4; m++ {
+		a, err := seqtx.Alpha(m)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("alpha(%d) = %d\n", m, a)
+	}
+	// Output:
+	// alpha(0) = 1
+	// alpha(1) = 2
+	// alpha(2) = 5
+	// alpha(3) = 16
+	// alpha(4) = 65
+}
+
+// ExampleTightProtocol shows the alpha(m) wall: inputs with repeated
+// items are outside the protocol's X.
+func ExampleTightProtocol() {
+	spec := seqtx.TightProtocol(3)
+	_, err := spec.NewSender(seqtx.Sequence(1, 2, 1))
+	fmt.Println("repeating input accepted:", err == nil)
+	// Output:
+	// repeating input accepted: false
+}
+
+// ExampleRefuteSafety replays Theorem 1 against a protocol that claims
+// more than alpha(m) sequences.
+func ExampleRefuteSafety() {
+	naive, err := seqtx.NaiveProtocol(2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := seqtx.RefuteSafety(naive, seqtx.Sequence(0, 1), seqtx.Sequence(0, 1, 0),
+		seqtx.ChannelDup, seqtx.ExploreConfig{MaxDepth: 12, MaxStates: 1 << 15})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("counterexample found:", res.Violation != nil)
+	fmt.Println("violated input:", res.Violation.ViolatedInput)
+	// Output:
+	// counterexample found: true
+	// violated input: 0.1
+}
+
+// ExampleCheckBounded evaluates the paper's Definition 2 on the tight
+// protocol: constant recovery using only fresh messages.
+func ExampleCheckBounded() {
+	rep, err := seqtx.CheckBounded(seqtx.TightProtocol(3), seqtx.Sequence(1, 2, 0),
+		seqtx.ChannelDel, seqtx.BoundedConfig{Budget: 12})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("bounded:", rep.Bounded())
+	// Output:
+	// bounded: true
+}
+
+// ExampleEncodedProtocol carries a repeating sequence by encoding the set
+// X into repetition-free message strings (the paper's mu).
+func ExampleEncodedProtocol() {
+	x, err := seqtx.NewSeqSet(
+		seqtx.Sequence(0, 0, 0),
+		seqtx.Sequence(1, 1),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	spec, err := seqtx.EncodedProtocol(x, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := seqtx.Transmit(spec, seqtx.Sequence(0, 0, 0), seqtx.ChannelDup, seqtx.FairRoundRobin())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("output:", res.Output)
+	// Output:
+	// output: 0.0.0
+}

@@ -1,0 +1,99 @@
+// Datalink: the protocol lineage the paper's introduction situates STP in
+// ([BSW69] alternating bit, sliding windows, [Ste76] Stenning), raced on
+// the same lossy FIFO link — and then pushed across the boundary that the
+// paper's theorems draw: the moment the channel may reorder, every
+// finite-numbered scheme breaks, and the model checker shows the run that
+// does it.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"seqtx"
+	"seqtx/internal/registry"
+	"seqtx/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datalink:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	input := make(seqtx.Seq, 16)
+	for i := range input {
+		input[i] = seqtx.Item(i % 2)
+	}
+	protos := []struct {
+		name   string
+		params registry.Params
+	}{
+		{"abp", registry.Params{M: 2}},
+		{"gobackn", registry.Params{M: 2, Window: 4}},
+		{"selrepeat", registry.Params{M: 2, Window: 4}},
+		{"stenning", registry.Params{M: 2}},
+	}
+
+	fmt.Printf("racing the data-link family: %d items over a lossy, duplicating FIFO\n\n", len(input))
+	fmt.Println("protocol          steps/item (mean over 20 seeds, 3 losses each)")
+	fmt.Println("---------------   ---------------------------------------------")
+	for _, p := range protos {
+		spec, err := registry.Protocol(p.name, p.params)
+		if err != nil {
+			return err
+		}
+		var perItem []float64
+		for seed := int64(0); seed < 20; seed++ {
+			res, err := seqtx.Transmit(spec, input, seqtx.ChannelFIFO, seqtx.Dropper(seed, 3))
+			if err != nil {
+				return err
+			}
+			if res.SafetyViolation != nil || !res.OutputComplete {
+				return fmt.Errorf("%s failed on FIFO: complete=%v violation=%v",
+					spec.Name, res.OutputComplete, res.SafetyViolation)
+			}
+			perItem = append(perItem, float64(res.Steps)/float64(len(input)))
+		}
+		s := stats.Summarize(perItem)
+		bar := ""
+		for i := 0.0; i < s.Mean*4; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%-17s %5.2f  %s\n", spec.Name, s.Mean, bar)
+	}
+
+	fmt.Println("\nnow let the channel reorder (the paper's setting). Frame-number collisions")
+	fmt.Println("need inputs longer than the number space, so the check uses the smallest")
+	fmt.Println("windows — but NO window survives inputs beyond its number space:")
+	boundary := []struct {
+		name   string
+		params registry.Params
+	}{
+		{"abp", registry.Params{M: 1}},
+		{"gobackn", registry.Params{M: 1, Window: 1}},
+		{"selrepeat", registry.Params{M: 1, Window: 1}},
+		{"stenning", registry.Params{M: 1}},
+	}
+	for _, p := range boundary {
+		spec, err := registry.Protocol(p.name, p.params)
+		if err != nil {
+			return err
+		}
+		res, err := seqtx.Explore(spec, seqtx.Sequence(0, 0, 0), seqtx.ChannelDel,
+			seqtx.ExploreConfig{MaxDepth: 22, MaxStates: 1 << 19})
+		if err != nil {
+			return err
+		}
+		verdict := "no violation found (safe within bounds)"
+		if res.Violation != nil {
+			verdict = fmt.Sprintf("BROKEN in %d steps: Y = %s", len(res.Violation.Actions), res.Violation.Output)
+		}
+		fmt.Printf("  %-18s %s\n", spec.Name, verdict)
+	}
+	fmt.Println("\nevery finite-numbered scheme breaks once the input outgrows its alphabet; only the")
+	fmt.Println("unbounded one survives — that is the alpha(m) bound at work (Theorems 1 and 2)")
+	return nil
+}

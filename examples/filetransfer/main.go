@@ -1,0 +1,73 @@
+// Filetransfer: move arbitrary bytes across a deleting, reordering
+// channel with the §5 hybrid protocol — the realistic face of the paper's
+// trade-off. Any fixed finite alphabet caps the number of distinguishable
+// sequences at alpha(m), so to carry arbitrary payloads the hybrid pays
+// with unbounded fault recovery instead: a single lost message mid-stream
+// sends the rest of the payload the long way (reverse order, then the
+// completeness message).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"seqtx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "filetransfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	payload := []byte("tight bounds for the sequence transmission problem")
+	input := make(seqtx.Seq, len(payload))
+	for i, b := range payload {
+		input[i] = seqtx.Item(b)
+	}
+	// Domain = bytes. The hybrid's alphabet is 4*256+2 messages — still
+	// finite and independent of the payload length.
+	spec := seqtx.HybridProtocol(256, 6)
+
+	fmt.Printf("payload: %d bytes over a del channel\n\n", len(payload))
+
+	// Clean link: the transfer stays in its alternating-bit phase and the
+	// bytes arrive one by one.
+	res, err := seqtx.Transmit(spec, input, seqtx.ChannelDel, seqtx.FairRoundRobin())
+	if err != nil {
+		return err
+	}
+	report("clean link", res, payload)
+
+	// One deleted message: the §5 story. The transfer detours through the
+	// reverse-order stream; everything still arrives, later and batched.
+	res, err = seqtx.Transmit(spec, input, seqtx.ChannelDel, seqtx.Dropper(3, 1))
+	if err != nil {
+		return err
+	}
+	report("one loss", res, payload)
+	gap := 0
+	prev := 0
+	for _, t := range res.LearnTimes {
+		if t-prev > gap {
+			gap = t - prev
+		}
+		prev = t
+	}
+	fmt.Printf("\nlargest silent gap after the loss: %d steps — proportional to the remaining payload\n", gap)
+	fmt.Println("(the tight protocol recovers in O(1), but could never carry arbitrary bytes: alpha-bound)")
+	return nil
+}
+
+func report(label string, res seqtx.RunResult, payload []byte) {
+	got := make([]byte, len(res.Output))
+	for i, it := range res.Output {
+		got[i] = byte(it)
+	}
+	fmt.Printf("%-12s steps %-6d delivered %q\n", label, res.Steps, string(got))
+	if string(got) != string(payload) {
+		fmt.Printf("%-12s MISMATCH!\n", label)
+	}
+}

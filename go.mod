@@ -1,0 +1,3 @@
+module seqtx
+
+go 1.22

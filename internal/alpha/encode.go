@@ -1,0 +1,388 @@
+package alpha
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/seq"
+)
+
+// Encoding is a prefix-monotone injection mu from a set X of data
+// sequences into the repetition-free strings over an alphabet of m
+// messages — the object the paper shows must exist for any solution to
+// X-STP(dup) (§3, end): mu(X1) is a prefix of mu(X2) exactly when X1 is a
+// prefix of X2.
+type Encoding struct {
+	m        int
+	alphabet msg.Alphabet
+	codes    map[string][]msg.Msg // seq.Key -> repetition-free message string
+}
+
+// Alphabet returns the message alphabet the encoding maps into.
+func (e *Encoding) Alphabet() msg.Alphabet { return e.alphabet }
+
+// Code returns mu(x) for a member sequence x.
+func (e *Encoding) Code(x seq.Seq) ([]msg.Msg, error) {
+	c, ok := e.codes[x.Key()]
+	if !ok {
+		return nil, fmt.Errorf("alpha: sequence %s not in encoded set", x)
+	}
+	return c, nil
+}
+
+// Members returns the canonical keys of all encoded sequences, sorted.
+func (e *Encoding) Members() []string {
+	keys := make([]string, 0, len(e.codes))
+	for k := range e.codes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Validate checks the defining properties on every pair of members:
+// prefix relations among codes hold exactly when they hold among the data
+// sequences (this subsumes injectivity for duplicate-free sets), and every
+// code is a repetition-free string over the alphabet.
+func (e *Encoding) Validate(x *seq.Set) error {
+	for _, s := range x.Seqs() {
+		c, err := e.Code(s)
+		if err != nil {
+			return err
+		}
+		seen := make(map[msg.Msg]struct{}, len(c))
+		for _, m := range c {
+			if !e.alphabet.Contains(m) {
+				return fmt.Errorf("alpha: code for %s uses %q outside alphabet %s", s, m, e.alphabet)
+			}
+			if _, dup := seen[m]; dup {
+				return fmt.Errorf("alpha: code for %s repeats message %q", s, m)
+			}
+			seen[m] = struct{}{}
+		}
+	}
+	for _, s1 := range x.Seqs() {
+		for _, s2 := range x.Seqs() {
+			c1, _ := e.Code(s1)
+			c2, _ := e.Code(s2)
+			wantPrefix := s1.IsPrefixOf(s2)
+			gotPrefix := msgIsPrefix(c1, c2)
+			if wantPrefix != gotPrefix {
+				return fmt.Errorf("alpha: prefix monotonicity violated: %s vs %s (data prefix=%v, code prefix=%v)",
+					s1, s2, wantPrefix, gotPrefix)
+			}
+		}
+	}
+	return nil
+}
+
+func msgIsPrefix(a, b []msg.Msg) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNotEncodable is returned (wrapped) by Encode when no prefix-monotone
+// injection into the repetition-free strings over m messages exists.
+var ErrNotEncodable = fmt.Errorf("alpha: set is not prefix-monotone encodable")
+
+// maxEncodeMembers bounds the exact search; beyond it the partition
+// enumeration could be too expensive.
+const maxEncodeMembers = 64
+
+// Encode searches for a prefix-monotone encoding of x into repetition-free
+// strings over an m-message alphabet ("c0".."c<m-1>"). The search is exact
+// (backtracking over arrangement-tree embeddings with memoized
+// infeasibility), so it either returns a valid Encoding or reports that
+// none exists by returning an error wrapping ErrNotEncodable.
+//
+// The structure of the problem: X's members, ordered by the prefix
+// relation, form a forest (the prefixes of a sequence are a chain). The
+// codomain — repetition-free strings ordered by prefix — is the
+// "arrangement tree", whose subtrees at equal depth are isomorphic, so
+// only depths matter during the search. A forest embeds strictly below a
+// depth-d node by splitting its trees among child subtrees; two trees may
+// share a child subtree only if neither root sits at the subtree's root
+// (they must remain incomparable). This is exactly the paper's remark that
+// antichains of size up to m! encode (the m! leaves), prefix chains need
+// one alphabet letter per link, and alpha(m) is the overall ceiling.
+func Encode(x *seq.Set, m int) (*Encoding, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("alpha: negative alphabet size %d", m)
+	}
+	if x.Size() > maxEncodeMembers {
+		return nil, fmt.Errorf("alpha: set of %d sequences exceeds exact-search limit %d", x.Size(), maxEncodeMembers)
+	}
+	if m <= MaxExact {
+		if a := MustAlpha(m); uint64(x.Size()) > a {
+			return nil, fmt.Errorf("%w: |X| = %d > alpha(%d) = %d", ErrNotEncodable, x.Size(), m, a)
+		}
+	}
+	msgs := make([]msg.Msg, m)
+	for i := range msgs {
+		msgs[i] = msg.Msg(fmt.Sprintf("c%d", i))
+	}
+	alphabet := msg.MustNewAlphabet(msgs...)
+	enc := &Encoding{m: m, alphabet: alphabet, codes: make(map[string][]msg.Msg, x.Size())}
+
+	forest := buildMemberForest(x)
+	emb := &embedder{m: m, alphabet: alphabet, infeasible: make(map[string]bool), codes: enc.codes}
+
+	// If the member forest has a single root, that root may map to the
+	// empty code (the arrangement-tree root): every other member is its
+	// descendant, so the "ε is a prefix of everything" comparabilities are
+	// exactly the required ones. Try that placement first — it saves a
+	// letter — and fall back to placing the whole forest strictly below ε.
+	ok := false
+	if len(forest) == 1 {
+		emb.codes[forest[0].s.Key()] = []msg.Msg{}
+		ok = emb.place(forest[0].children, nil)
+		if !ok {
+			delete(emb.codes, forest[0].s.Key())
+		}
+	}
+	if !ok {
+		ok = emb.place(forest, nil)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no arrangement-tree embedding over %d messages", ErrNotEncodable, m)
+	}
+	if err := enc.Validate(x); err != nil {
+		return nil, fmt.Errorf("alpha: internal error: produced encoding invalid: %w", err)
+	}
+	return enc, nil
+}
+
+// memberNode is a node in the member forest: a member sequence of X
+// together with the members that extend it minimally.
+type memberNode struct {
+	s        seq.Seq
+	children []*memberNode
+	height   int    // longest chain of members strictly below
+	size     int    // members in this subtree including itself
+	shape    string // canonical shape id (children shapes, sorted)
+}
+
+func buildMemberForest(x *seq.Set) []*memberNode {
+	members := append([]seq.Seq{}, x.Seqs()...)
+	sort.Slice(members, func(i, j int) bool {
+		if len(members[i]) != len(members[j]) {
+			return len(members[i]) < len(members[j])
+		}
+		return members[i].Key() < members[j].Key()
+	})
+	nodes := make([]*memberNode, 0, len(members))
+	var roots []*memberNode
+	for _, s := range members {
+		n := &memberNode{s: s}
+		var parent *memberNode
+		for _, cand := range nodes {
+			if len(cand.s) < len(s) && cand.s.IsPrefixOf(s) {
+				if parent == nil || len(cand.s) > len(parent.s) {
+					parent = cand
+				}
+			}
+		}
+		if parent != nil {
+			parent.children = append(parent.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+		nodes = append(nodes, n)
+	}
+	var fill func(n *memberNode)
+	fill = func(n *memberNode) {
+		n.size = 1
+		n.height = 0
+		shapes := make([]string, 0, len(n.children))
+		for _, c := range n.children {
+			fill(c)
+			n.size += c.size
+			if c.height+1 > n.height {
+				n.height = c.height + 1
+			}
+			shapes = append(shapes, c.shape)
+		}
+		sort.Strings(shapes)
+		n.shape = "(" + strings.Join(shapes, "") + ")"
+	}
+	for _, r := range roots {
+		fill(r)
+	}
+	return roots
+}
+
+// embedder performs the exact embedding search. Paths carry the concrete
+// letters consumed so far; feasibility is memoized purely on (multiset of
+// tree shapes, remaining letters), exploiting subtree isomorphism.
+type embedder struct {
+	m          int
+	alphabet   msg.Alphabet
+	infeasible map[string]bool // forest key at depth -> known infeasible
+	codes      map[string][]msg.Msg
+}
+
+func forestKey(trees []*memberNode, remaining int) string {
+	shapes := make([]string, len(trees))
+	for i, t := range trees {
+		shapes[i] = t.shape
+	}
+	sort.Strings(shapes)
+	return fmt.Sprintf("%d|%s", remaining, strings.Join(shapes, ""))
+}
+
+// place embeds the forest strictly below the node identified by path
+// (depth len(path)), assigning codes. It returns false iff no embedding
+// exists; on false, codes may contain leftovers from abandoned branches,
+// which are either overwritten on later attempts or discarded on failure.
+func (e *embedder) place(trees []*memberNode, path []msg.Msg) bool {
+	if len(trees) == 0 {
+		return true
+	}
+	remaining := e.m - len(path)
+	key := forestKey(trees, remaining)
+	if e.infeasible[key] {
+		return false
+	}
+	if remaining == 0 {
+		e.infeasible[key] = true
+		return false
+	}
+	// Prune: chains need letters; members need capacity.
+	total := 0
+	for _, t := range trees {
+		if t.height+1 > remaining {
+			e.infeasible[key] = true
+			return false
+		}
+		total += t.size
+	}
+	if remaining <= MaxExact && uint64(total) > MustAlpha(remaining)-1 {
+		e.infeasible[key] = true
+		return false
+	}
+
+	// Which concrete letters are free below this path.
+	used := make(map[msg.Msg]struct{}, len(path))
+	for _, m := range path {
+		used[m] = struct{}{}
+	}
+	var freeLetters []msg.Msg
+	for _, m := range e.alphabet.Msgs() {
+		if _, ok := used[m]; !ok {
+			freeLetters = append(freeLetters, m)
+		}
+	}
+
+	// Sort trees hardest-first for better pruning; identical shapes
+	// adjacent for symmetry breaking during partitioning.
+	order := append([]*memberNode{}, trees...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].shape != order[j].shape {
+			return order[i].shape > order[j].shape
+		}
+		return order[i].s.Key() < order[j].s.Key()
+	})
+
+	ok := e.partition(order, nil, freeLetters, path)
+	if !ok {
+		e.infeasible[key] = true
+	}
+	return ok
+}
+
+// partition distributes order[idx:] among groups (each group will occupy
+// one child subtree on its own letter), then recurses into each group.
+// groups is the partial partition built so far.
+func (e *embedder) partition(order []*memberNode, groups [][]*memberNode, freeLetters []msg.Msg, path []msg.Msg) bool {
+	// Fully partitioned: realize each group in its own child subtree.
+	if allAssigned(order, groups) {
+		return e.realize(groups, freeLetters, path)
+	}
+	idx := assignedCount(groups)
+	t := order[idx]
+	// Symmetry breaking: an item identical in shape to the previous one
+	// may only go into the group of its predecessor or a later group.
+	minGroup := 0
+	if idx > 0 && order[idx-1].shape == t.shape {
+		minGroup = groupOf(groups, order[idx-1])
+	}
+	for g := minGroup; g < len(groups); g++ {
+		groups[g] = append(groups[g], t)
+		if e.partition(order, groups, freeLetters, path) {
+			return true
+		}
+		groups[g] = groups[g][:len(groups[g])-1]
+	}
+	if len(groups) < len(freeLetters) {
+		groups = append(groups, []*memberNode{t})
+		if e.partition(order, groups, freeLetters, path) {
+			return true
+		}
+	}
+	return false
+}
+
+func assignedCount(groups [][]*memberNode) int {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	return n
+}
+
+func allAssigned(order []*memberNode, groups [][]*memberNode) bool {
+	return assignedCount(groups) == len(order)
+}
+
+func groupOf(groups [][]*memberNode, t *memberNode) int {
+	for i, g := range groups {
+		for _, x := range g {
+			if x == t {
+				return i
+			}
+		}
+	}
+	return 0
+}
+
+// realize embeds each group into its own child subtree rooted one letter
+// below path. A singleton group may place its tree's root at the subtree
+// root (code = path+letter) or sink deeper; a larger group must sink: its
+// roots stay mutually incomparable, so none may sit at the shared subtree
+// root.
+func (e *embedder) realize(groups [][]*memberNode, freeLetters []msg.Msg, path []msg.Msg) bool {
+	if len(groups) > len(freeLetters) {
+		return false
+	}
+	for i, g := range groups {
+		letter := freeLetters[i]
+		childPath := append(append([]msg.Msg{}, path...), letter)
+		if len(g) == 1 {
+			t := g[0]
+			// Option A: place at the subtree root.
+			e.codes[t.s.Key()] = childPath
+			if e.place(t.children, childPath) {
+				continue
+			}
+			delete(e.codes, t.s.Key())
+			// Option B: sink the whole singleton group deeper.
+			if e.place(g, childPath) {
+				continue
+			}
+			return false
+		}
+		if !e.place(g, childPath) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package alpha
+
+import (
+	"testing"
+
+	"seqtx/internal/seq"
+)
+
+// FuzzEncode throws arbitrary small sequence sets at the exact embedding
+// search: whenever it claims success the produced encoding must validate
+// (prefix relations preserved and reflected, codes repetition-free).
+func FuzzEncode(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, 2)
+	f.Add([]byte{0, 0, 1, 1, 2}, 3)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{3, 3, 3, 3, 3, 3}, 4)
+	f.Fuzz(func(t *testing.T, raw []byte, m int) {
+		if m < 0 || m > 4 {
+			return
+		}
+		// Decode raw into up to 6 short sequences over items 0..3: each
+		// byte contributes (len, items...) greedily.
+		var seqs []seq.Seq
+		seen := map[string]struct{}{}
+		i := 0
+		for i < len(raw) && len(seqs) < 6 {
+			l := int(raw[i]) % 4
+			i++
+			var s seq.Seq
+			for j := 0; j < l && i < len(raw); j++ {
+				s = append(s, seq.Item(raw[i]%4))
+				i++
+			}
+			if _, dup := seen[s.Key()]; dup {
+				continue
+			}
+			seen[s.Key()] = struct{}{}
+			seqs = append(seqs, s)
+		}
+		if len(seqs) == 0 {
+			return
+		}
+		x, err := seq.NewSet(seqs...)
+		if err != nil {
+			t.Fatalf("set construction: %v", err)
+		}
+		enc, err := Encode(x, m)
+		if err != nil {
+			return // infeasibility is a legitimate outcome
+		}
+		if verr := enc.Validate(x); verr != nil {
+			t.Fatalf("Encode claimed success but produced an invalid encoding: %v", verr)
+		}
+	})
+}
+
+// FuzzRankUnrank checks the bijection on arbitrary ranks and alphabet
+// sizes.
+func FuzzRankUnrank(f *testing.F) {
+	f.Add(3, uint64(7))
+	f.Add(6, uint64(1956))
+	f.Add(0, uint64(0))
+	f.Fuzz(func(t *testing.T, m int, r uint64) {
+		if m < 0 || m > 8 {
+			return
+		}
+		total := MustAlpha(m)
+		r %= total
+		s, err := Unrank(m, r)
+		if err != nil {
+			t.Fatalf("Unrank(%d, %d): %v", m, r, err)
+		}
+		if s.HasRepetition() {
+			t.Fatalf("Unrank produced repetition: %s", s)
+		}
+		back, err := Rank(m, s)
+		if err != nil {
+			t.Fatalf("Rank(%d, %s): %v", m, s, err)
+		}
+		if back != r {
+			t.Fatalf("Rank(Unrank(%d)) = %d", r, back)
+		}
+	})
+}

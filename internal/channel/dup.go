@@ -1,0 +1,124 @@
+package channel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqtx/internal/msg"
+)
+
+// Dup is a reordering, duplicating half: the deliverable set is the set of
+// messages ever sent (the paper's dup dlvrble vector, §2.2), and delivery
+// never removes anything — the channel can produce unboundedly many copies
+// of any past message. On the pure dup channel deletion is impossible
+// (Property 1c: everything sent is eventually delivered in full); the
+// combined dup+del variant (NewDupDel) additionally lets the adversary
+// erase a message type — "all copies deleted" — realizing the full fault
+// menu of the paper's introduction (delay, reorder, lose, duplicate).
+type Dup struct {
+	sent      map[msg.Msg]struct{}
+	allowDrop bool
+	sentTotal int
+	dropped   int
+}
+
+var _ Half = (*Dup)(nil)
+
+// NewDup returns an empty dup half.
+func NewDup() *Dup {
+	return &Dup{sent: make(map[msg.Msg]struct{})}
+}
+
+// NewDupDel returns an empty combined half: reordering, duplication, and
+// deletion all at once.
+func NewDupDel() *Dup {
+	return &Dup{sent: make(map[msg.Msg]struct{}), allowDrop: true}
+}
+
+// Kind returns KindDup or KindDupDel.
+func (d *Dup) Kind() Kind {
+	if d.allowDrop {
+		return KindDupDel
+	}
+	return KindDup
+}
+
+// Send records that m has been sent; from now on m is deliverable forever.
+func (d *Dup) Send(m msg.Msg) {
+	d.sent[m] = struct{}{}
+	d.sentTotal++
+}
+
+// Deliverable returns a 0/1 vector over the messages ever sent.
+func (d *Dup) Deliverable() msg.Counts {
+	c := make(msg.Counts, len(d.sent))
+	for m := range d.sent {
+		c[m] = 1
+	}
+	return c
+}
+
+// CanDeliver reports whether m was ever sent.
+func (d *Dup) CanDeliver(m msg.Msg) bool {
+	_, ok := d.sent[m]
+	return ok
+}
+
+// Deliver checks deliverability; the deliverable set is unchanged
+// (duplication).
+func (d *Dup) Deliver(m msg.Msg) error {
+	if !d.CanDeliver(m) {
+		return fmt.Errorf("channel: dup: %q was never sent", m)
+	}
+	return nil
+}
+
+// CanDrop reports whether m can be erased: never on the pure dup half
+// (§2.2 (c)); on the combined half, whenever m is currently deliverable.
+func (d *Dup) CanDrop(m msg.Msg) bool { return d.allowDrop && d.CanDeliver(m) }
+
+// Drop erases every copy of m (the deliverable set forgets the type). It
+// fails on a pure dup half.
+func (d *Dup) Drop(m msg.Msg) error {
+	if !d.allowDrop {
+		return fmt.Errorf("channel: dup channels cannot delete messages (%q)", m)
+	}
+	if !d.CanDeliver(m) {
+		return fmt.Errorf("channel: dup+del: %q is not deliverable", m)
+	}
+	delete(d.sent, m)
+	d.dropped++
+	return nil
+}
+
+// Dropped returns how many types were erased so far.
+func (d *Dup) Dropped() int { return d.dropped }
+
+// SentTotal returns the number of Send calls.
+func (d *Dup) SentTotal() int { return d.sentTotal }
+
+// Clone returns an independent copy.
+func (d *Dup) Clone() Half {
+	cp := &Dup{
+		sent:      make(map[msg.Msg]struct{}, len(d.sent)),
+		allowDrop: d.allowDrop,
+		sentTotal: d.sentTotal,
+		dropped:   d.dropped,
+	}
+	for m := range d.sent {
+		cp.sent[m] = struct{}{}
+	}
+	return cp
+}
+
+// Key returns the sorted sent-set. sentTotal is deliberately excluded:
+// two dup halves with the same sent-set behave identically forever.
+func (d *Dup) Key() string {
+	msgs := make([]string, 0, len(d.sent))
+	for m := range d.sent {
+		msgs = append(msgs, string(m))
+	}
+	sort.Strings(msgs)
+	return d.Kind().String() + "{" + strings.Join(msgs, ",") + "}"
+}

@@ -1,0 +1,164 @@
+// Package check audits recorded traces against the model's ground rules:
+// the safety property (Y a prefix of X), the channel conservation laws
+// ("messages cannot be created by the channel", §2.2 — deliveries never
+// exceed sends, per direction and per message, with the multiset version
+// for del channels), and schedule fairness measurements. The auditors are
+// independent re-implementations of invariants the simulator maintains
+// online, so they double as meta-tests of the harness itself, and they
+// let external tools validate imported traces.
+package check
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/msg"
+	"seqtx/internal/seq"
+	"seqtx/internal/trace"
+)
+
+// Report is the outcome of an audit.
+type Report struct {
+	// Steps audited.
+	Steps int
+	// Output is Y as reconstructed from the trace.
+	Output seq.Seq
+	// SafetyOK reports Y remained a prefix of X at every step.
+	SafetyOK bool
+	// ConservationOK reports no message was delivered more often than
+	// sent (counting per copy for del-style audits, per type for dup).
+	ConservationOK bool
+	// Errors lists every violation found (empty when all OK).
+	Errors []error
+	// MaxDeliveryLag is the largest number of steps any delivered copy
+	// spent in flight (a fairness measurement; 0 if nothing delivered).
+	MaxDeliveryLag int
+}
+
+// Ok reports whether the audit found no violations.
+func (r *Report) Ok() bool { return len(r.Errors) == 0 }
+
+// Mode selects the conservation law to enforce.
+type Mode int
+
+// Audit modes.
+const (
+	// ModeDup checks set semantics: a message may be delivered any number
+	// of times, but only after it was sent at least once, and drops are
+	// forbidden.
+	ModeDup Mode = iota + 1
+	// ModeDel checks multiset semantics: deliveries + drops never exceed
+	// sends, per message.
+	ModeDel
+)
+
+// Audit replays the trace's bookkeeping and verifies every invariant.
+// The trace must carry the entries of a full run (sim.World records them
+// when tracing is enabled).
+func Audit(tr *trace.Trace, mode Mode) (*Report, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("check: nil trace")
+	}
+	rep := &Report{SafetyOK: true, ConservationOK: true}
+	states := map[channel.Dir]*dirState{
+		channel.SToR: {sent: msg.Counts{}, delivered: msg.Counts{}, dropped: msg.Counts{}, sentAt: map[msg.Msg]int{}},
+		channel.RToS: {sent: msg.Counts{}, delivered: msg.Counts{}, dropped: msg.Counts{}, sentAt: map[msg.Msg]int{}},
+	}
+	var y seq.Seq
+	for i, e := range tr.Entries {
+		rep.Steps++
+		// 1. Route this step's sends.
+		sendDir := sendDirOf(e.Act)
+		for _, m := range e.Sends {
+			st := states[sendDir]
+			st.sent.Add(m, 1)
+			if _, ok := st.sentAt[m]; !ok {
+				st.sentAt[m] = e.Time
+			}
+		}
+		// 2. Account the action itself.
+		switch e.Act.Kind {
+		case trace.ActDeliver, trace.ActDeliverDup:
+			st := states[e.Act.Dir]
+			st.delivered.Add(e.Act.Msg, 1)
+			if at, ok := st.sentAt[e.Act.Msg]; ok {
+				if lag := e.Time - at; lag > rep.MaxDeliveryLag {
+					rep.MaxDeliveryLag = lag
+				}
+				delete(st.sentAt, e.Act.Msg)
+			}
+			if err := checkConservation(st, e.Act, mode, i); err != nil {
+				rep.ConservationOK = false
+				rep.Errors = append(rep.Errors, err)
+			}
+		case trace.ActDrop:
+			st := states[e.Act.Dir]
+			st.dropped.Add(e.Act.Msg, 1)
+			if mode == ModeDup {
+				rep.ConservationOK = false
+				rep.Errors = append(rep.Errors,
+					fmt.Errorf("check: step %d: drop on a dup channel (cannot delete)", i))
+			} else if err := checkConservation(st, e.Act, mode, i); err != nil {
+				rep.ConservationOK = false
+				rep.Errors = append(rep.Errors, err)
+			}
+		}
+		// 3. Safety on the output tape.
+		y = append(y, e.Writes...)
+		if !y.IsPrefixOf(tr.Input) {
+			if rep.SafetyOK {
+				rep.Errors = append(rep.Errors, fmt.Errorf(
+					"check: step %d: Y = %s is not a prefix of X = %s", i, y, tr.Input))
+			}
+			rep.SafetyOK = false
+		}
+	}
+	rep.Output = y
+	return rep, nil
+}
+
+// sendDirOf tells which half the stepped process's sends land on: sender
+// steps (ticks and R→S deliveries) send toward R, receiver steps send
+// toward S.
+func sendDirOf(a trace.Action) channel.Dir {
+	switch a.Kind {
+	case trace.ActTickS:
+		return channel.SToR
+	case trace.ActTickR:
+		return channel.RToS
+	case trace.ActDeliver, trace.ActDeliverDup:
+		if a.Dir == channel.SToR {
+			return channel.RToS // R received, R replies toward S
+		}
+		return channel.SToR
+	default:
+		return channel.SToR // drops step nobody; no sends occur
+	}
+}
+
+// dirState is the audited bookkeeping for one link direction.
+type dirState struct {
+	sent      msg.Counts
+	delivered msg.Counts
+	dropped   msg.Counts
+	sentAt    map[msg.Msg]int // earliest undelivered send time per type
+}
+
+func checkConservation(st *dirState, a trace.Action, mode Mode, step int) error {
+	m := a.Msg
+	switch mode {
+	case ModeDup:
+		if st.sent.Get(m) == 0 {
+			return fmt.Errorf("check: step %d: %q delivered but never sent (creation)", step, m)
+		}
+	case ModeDel:
+		if st.delivered.Get(m)+st.dropped.Get(m) > st.sent.Get(m) {
+			return fmt.Errorf(
+				"check: step %d: %q consumed %d+%d times but sent only %d (creation/duplication)",
+				step, m, st.delivered.Get(m), st.dropped.Get(m), st.sent.Get(m))
+		}
+	default:
+		return fmt.Errorf("check: unknown mode %d", int(mode))
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/check"
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/stenning"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+func tracedRun(t *testing.T, kind channel.Kind, adv sim.Adversary, input seq.Seq) *trace.Trace {
+	t.Helper()
+	link, err := channel.NewLinkOfKind(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.New(alphaproto.MustNew(4), input, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartTrace()
+	if _, err := sim.Run(w, adv, sim.Config{MaxSteps: 3000, StopWhenComplete: true}); err != nil {
+		t.Fatal(err)
+	}
+	return w.Trace
+}
+
+func TestAuditNilTrace(t *testing.T) {
+	t.Parallel()
+	if _, err := check.Audit(nil, check.ModeDup); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestAuditCleanDupRun(t *testing.T) {
+	t.Parallel()
+	tr := tracedRun(t, channel.KindDup, sim.NewRoundRobin(), seq.FromInts(1, 3, 0))
+	rep, err := check.Audit(tr, check.ModeDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean run failed audit: %v", rep.Errors)
+	}
+	if !rep.Output.Equal(seq.FromInts(1, 3, 0)) {
+		t.Errorf("Output = %s", rep.Output)
+	}
+	if rep.Steps != tr.Len() {
+		t.Errorf("Steps = %d, want %d", rep.Steps, tr.Len())
+	}
+}
+
+func TestAuditCleanDelRunWithDrops(t *testing.T) {
+	t.Parallel()
+	tr := tracedRun(t, channel.KindDel, sim.NewBudgetDropper(2, 4), seq.FromInts(2, 1))
+	rep, err := check.Audit(tr, check.ModeDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("del run failed audit: %v", rep.Errors)
+	}
+}
+
+func TestAuditDetectsCreation(t *testing.T) {
+	t.Parallel()
+	// Hand-forge a trace that delivers a never-sent message.
+	tr := &trace.Trace{Input: seq.FromInts(0)}
+	tr.Append(trace.Entry{Time: 0, Act: trace.Deliver(channel.SToR, "phantom")})
+	rep, err := check.Audit(tr, check.ModeDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConservationOK {
+		t.Fatal("creation not detected (dup mode)")
+	}
+	rep, err = check.Audit(tr, check.ModeDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConservationOK {
+		t.Fatal("creation not detected (del mode)")
+	}
+}
+
+func TestAuditDetectsDuplicationInDelMode(t *testing.T) {
+	t.Parallel()
+	// One send, two deliveries: fine for dup, a violation for del.
+	tr := &trace.Trace{Input: seq.FromInts(0)}
+	tr.Append(trace.Entry{Time: 0, Act: trace.TickS(), Sends: []msgT{"m"}})
+	tr.Append(trace.Entry{Time: 1, Act: trace.Deliver(channel.SToR, "m")})
+	tr.Append(trace.Entry{Time: 2, Act: trace.Deliver(channel.SToR, "m")})
+	rep, err := check.Audit(tr, check.ModeDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ConservationOK {
+		t.Fatalf("dup mode rejected a legal duplication: %v", rep.Errors)
+	}
+	rep, err = check.Audit(tr, check.ModeDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConservationOK {
+		t.Fatal("del mode accepted a duplication")
+	}
+}
+
+func TestAuditDetectsDropOnDup(t *testing.T) {
+	t.Parallel()
+	tr := &trace.Trace{Input: seq.FromInts(0)}
+	tr.Append(trace.Entry{Time: 0, Act: trace.TickS(), Sends: []msgT{"m"}})
+	tr.Append(trace.Entry{Time: 1, Act: trace.Drop(channel.SToR, "m")})
+	rep, err := check.Audit(tr, check.ModeDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConservationOK {
+		t.Fatal("drop on dup channel accepted")
+	}
+	rep, err = check.Audit(tr, check.ModeDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ConservationOK {
+		t.Fatalf("legal del drop rejected: %v", rep.Errors)
+	}
+}
+
+func TestAuditDetectsUnsafeOutput(t *testing.T) {
+	t.Parallel()
+	tr := &trace.Trace{Input: seq.FromInts(0, 1)}
+	tr.Append(trace.Entry{Time: 0, Act: trace.TickR(), Writes: seq.FromInts(1)})
+	rep, err := check.Audit(tr, check.ModeDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SafetyOK {
+		t.Fatal("unsafe write not flagged")
+	}
+}
+
+func TestAuditMeasuresDeliveryLag(t *testing.T) {
+	t.Parallel()
+	tr := &trace.Trace{Input: seq.FromInts(0)}
+	tr.Append(trace.Entry{Time: 0, Act: trace.TickS(), Sends: []msgT{"m"}})
+	tr.Append(trace.Entry{Time: 1, Act: trace.TickR()})
+	tr.Append(trace.Entry{Time: 2, Act: trace.TickR()})
+	tr.Append(trace.Entry{Time: 3, Act: trace.Deliver(channel.SToR, "m")})
+	rep, err := check.Audit(tr, check.ModeDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxDeliveryLag != 3 {
+		t.Errorf("MaxDeliveryLag = %d, want 3", rep.MaxDeliveryLag)
+	}
+}
+
+// TestAuditFuzzedRuns cross-validates the simulator against the auditor on
+// many random schedules and both channel modes.
+func TestAuditFuzzedRuns(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		input, err := seq.RandomRepetitionFree(rng, 4, 1+rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := channel.KindDup
+		mode := check.ModeDup
+		var adv sim.Adversary = sim.NewFinDelay(sim.NewRandom(int64(trial)), 8)
+		if trial%2 == 1 {
+			kind = channel.KindDel
+			mode = check.ModeDel
+			adv = sim.NewBudgetDropper(int64(trial), 3)
+		}
+		tr := tracedRun(t, kind, adv, input)
+		rep, err := check.Audit(tr, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("trial %d (%s): audit failed: %v", trial, kind, rep.Errors)
+		}
+	}
+}
+
+// TestAuditStenningUnbounded audits a protocol with an unbounded alphabet,
+// exercising the per-type maps with many distinct messages.
+func TestAuditStenningUnbounded(t *testing.T) {
+	t.Parallel()
+	link, err := channel.NewLinkOfKind(channel.KindDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.New(stenning.New(), seq.FromInts(0, 0, 0, 0), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartTrace()
+	if _, err := sim.Run(w, sim.NewRoundRobin(), sim.Config{MaxSteps: 500, StopWhenComplete: true}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := check.Audit(w.Trace, check.ModeDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("stenning audit failed: %v", rep.Errors)
+	}
+}
+
+// msgT abbreviates msg.Msg in forged trace entries.
+type msgT = msg.Msg
+
+// TestAuditAllProtocolFamilies audits traced runs of every protocol in
+// the repository on its lawful channel, under both friendly and faulty
+// schedules: the simulator must respect the conservation laws everywhere.
+func TestAuditAllProtocolFamilies(t *testing.T) {
+	t.Parallel()
+	repFree := seq.FromInts(1, 0) // the tight protocol's X is repetition-free (m = 2)
+	general := seq.FromInts(0, 1, 1, 0)
+	cases := []struct {
+		name  string
+		proto string
+		kind  channel.Kind
+		mode  check.Mode
+		input seq.Seq
+	}{
+		{"alpha-dup", "alpha", channel.KindDup, check.ModeDup, repFree},
+		{"alpha-del", "alpha", channel.KindDel, check.ModeDel, repFree},
+		{"afwz", "afwz", channel.KindDel, check.ModeDel, general},
+		{"hybrid", "hybrid", channel.KindDel, check.ModeDel, general},
+		{"abp", "abp", channel.KindFIFO, check.ModeDel, general},
+		{"gobackn", "gobackn", channel.KindFIFO, check.ModeDel, general},
+		{"selrepeat", "selrepeat", channel.KindFIFO, check.ModeDel, general},
+		{"stenning", "stenning", channel.KindDel, check.ModeDel, general},
+		{"modseq", "modseq", channel.KindDup, check.ModeDup, general},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := registry.Protocol(c.proto, registry.Params{M: 2, Timeout: 4, Window: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 4; seed++ {
+				link, lerr := channel.NewLinkOfKind(c.kind)
+				if lerr != nil {
+					t.Fatal(lerr)
+				}
+				w, werr := sim.New(spec, c.input, link)
+				if werr != nil {
+					t.Fatal(werr)
+				}
+				w.StartTrace()
+				var adv sim.Adversary = sim.NewRoundRobin()
+				if seed%2 == 1 && c.kind != channel.KindDup {
+					adv = sim.NewBudgetDropper(seed, 1)
+				}
+				if _, rerr := sim.Run(w, adv, sim.Config{MaxSteps: 2000, StopWhenComplete: true}); rerr != nil {
+					t.Fatal(rerr)
+				}
+				rep, aerr := check.Audit(w.Trace, c.mode)
+				if aerr != nil {
+					t.Fatal(aerr)
+				}
+				if !rep.Ok() {
+					t.Fatalf("seed %d: audit failed: %v", seed, rep.Errors)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package epistemic
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+func analyzeAlpha(t *testing.T, m, depth int) (*Analysis, []seq.Seq) {
+	t.Helper()
+	inputs := seq.RepetitionFree(m)
+	a, err := Analyze(alphaproto.MustNew(m), inputs, channel.KindDup, Config{Depth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, inputs
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Analyze(alphaproto.MustNew(1), nil, channel.KindDup, Config{}); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+func TestInitialViewKnowsNothing(t *testing.T) {
+	t.Parallel()
+	a, _ := analyzeAlpha(t, 2, 8)
+	// The empty view is Property 1a: R starts identically in all runs, so
+	// it cannot know x_1 (inputs 0... and 1... both reach it).
+	_, knows, err := a.Knows(trace.View{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knows {
+		t.Fatal("R knows x_1 before receiving anything")
+	}
+	if a.ClassSize(trace.View{}) < 2 {
+		t.Errorf("empty view class has %d inputs, want >= 2", a.ClassSize(trace.View{}))
+	}
+}
+
+func TestKnowledgeAfterFirstDataMessage(t *testing.T) {
+	t.Parallel()
+	a, _ := analyzeAlpha(t, 2, 8)
+	// After receiving d:1, every consistent input starts with item 1.
+	v := trace.View{{Msg: alphaproto.DataMsg(1)}}
+	val, knows, err := a.Knows(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knows || val != 1 {
+		t.Fatalf("after d:1, Knows(x_1) = (%d, %v), want (1, true)", int(val), knows)
+	}
+	// But x_2 is still open: 1, 1.0 are both live.
+	_, knows, err = a.Knows(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knows {
+		t.Fatal("R knows x_2 after one message")
+	}
+}
+
+func TestKnowledgeIndexValidation(t *testing.T) {
+	t.Parallel()
+	a, _ := analyzeAlpha(t, 1, 6)
+	if _, _, err := a.Knows(trace.View{}, 0); err == nil {
+		t.Error("item index 0 accepted")
+	}
+	if _, _, err := a.Knows(trace.View{{Msg: "nonsense"}}, 1); err == nil {
+		t.Error("unreached view accepted")
+	}
+}
+
+func TestStability(t *testing.T) {
+	t.Parallel()
+	// The paper: under the complete history interpretation K_R(x_i) is
+	// stable. Verify over the whole explored class structure.
+	a, _ := analyzeAlpha(t, 2, 10)
+	if err := a.CheckStability(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnTimesMatchWriteOrder(t *testing.T) {
+	t.Parallel()
+	a, _ := analyzeAlpha(t, 2, 12)
+	input := seq.FromInts(1, 0)
+	times, err := LearnTimes(a, alphaproto.MustNew(2), input, channel.KindDup,
+		sim.NewRoundRobin(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("times = %v", times)
+	}
+	if times[0] < 0 {
+		t.Fatal("x_1 never learned within the explored horizon")
+	}
+	if times[1] >= 0 && times[1] < times[0] {
+		t.Errorf("t_2 = %d before t_1 = %d", times[1], times[0])
+	}
+}
+
+func TestKnowledgeIsSoundForNaiveConfusion(t *testing.T) {
+	t.Parallel()
+	// Negative soundness: for the tight protocol R can NEVER know the
+	// input's length from data messages alone (0 vs 0.1 share views until
+	// d:1 arrives). Exhibit: after receiving only d:0, inputs 0 and 0.1
+	// both remain possible, so x_2 is unknown.
+	a, _ := analyzeAlpha(t, 2, 8)
+	v := trace.View{{Msg: alphaproto.DataMsg(0)}}
+	if _, knows, err := a.Knows(v, 2); err != nil {
+		t.Fatal(err)
+	} else if knows {
+		t.Fatal("R claims to know x_2 after seeing only d:0")
+	}
+}
+
+func TestTicksDoNotTeach(t *testing.T) {
+	t.Parallel()
+	a, _ := analyzeAlpha(t, 2, 8)
+	// A view of pure ticks is as ignorant as the empty view.
+	v := trace.View{{IsTick: true}, {IsTick: true}}
+	if !a.Reached(v) {
+		t.Skip("tick-only view beyond explored depth")
+	}
+	if _, knows, err := a.Knows(v, 1); err != nil {
+		t.Fatal(err)
+	} else if knows {
+		t.Fatal("ticks taught R the first item")
+	}
+}
+
+func TestAnalysisAccumulatesAcrossInputs(t *testing.T) {
+	t.Parallel()
+	a, inputs := analyzeAlpha(t, 2, 6)
+	if a.States == 0 {
+		t.Fatal("no states explored")
+	}
+	if got := a.ClassSize(trace.View{}); got != len(inputs) {
+		t.Errorf("empty view class = %d, want all %d inputs", got, len(inputs))
+	}
+}

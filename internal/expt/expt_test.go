@@ -1,0 +1,235 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func runExpt(t *testing.T, id string) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var b strings.Builder
+	for _, tab := range tables {
+		b.WriteString(tab.String())
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: table %q has no rows", id, tab.Title)
+		}
+	}
+	return b.String()
+}
+
+func TestByIDUnknown(t *testing.T) {
+	t.Parallel()
+	if _, err := ByID("T99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllHaveDistinctIDs(t *testing.T) {
+	t.Parallel()
+	seen := map[string]struct{}{}
+	for _, e := range All() {
+		if _, dup := seen[e.ID]; dup {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = struct{}{}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestT1AllRowsAgree(t *testing.T) {
+	t.Parallel()
+	out := runExpt(t, "T1")
+	if strings.Contains(out, "false") {
+		t.Errorf("T1 has a disagreeing row:\n%s", out)
+	}
+}
+
+func TestT2NoViolationsNoIncompletes(t *testing.T) {
+	t.Parallel()
+	e, err := ByID("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "0" || row[4] != "0" {
+			t.Errorf("T2 row %v has violations or incompletes", row)
+		}
+	}
+}
+
+func TestT3FindsAllViolationsAndNoSolutions(t *testing.T) {
+	t.Parallel()
+	out := runExpt(t, "T3")
+	if strings.Contains(out, "NONE FOUND") {
+		t.Errorf("T3a missed a violation:\n%s", out)
+	}
+	// T3b's solutions column must be all zeros.
+	e, _ := ByID("T3")
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[1].Rows {
+		if row[3] != "0" {
+			t.Errorf("T3b found a 'solution': %v", row)
+		}
+	}
+}
+
+func TestT4BoundedEverywhere(t *testing.T) {
+	t.Parallel()
+	e, _ := ByID("T4")
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "0" || row[4] != "0" {
+			t.Errorf("T4a row %v has violations or incompletes", row)
+		}
+	}
+	for _, row := range tables[1].Rows {
+		if row[5] != "true" {
+			t.Errorf("T4b row %v not bounded", row)
+		}
+	}
+}
+
+func TestT5ExpectedVerdicts(t *testing.T) {
+	t.Parallel()
+	out := runExpt(t, "T5")
+	if strings.Contains(out, "EXPECTED VIOLATION NOT FOUND") {
+		t.Errorf("T5 missed a violation:\n%s", out)
+	}
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Errorf("T5 refuted the tight protocol:\n%s", out)
+	}
+}
+
+func TestT6SlopeReported(t *testing.T) {
+	t.Parallel()
+	out := runExpt(t, "T6")
+	if !strings.Contains(out, "grows linearly") {
+		t.Errorf("T6 missing the slope note:\n%s", out)
+	}
+	if !strings.Contains(out, "false") { // the bounded column of T6b
+		t.Errorf("T6b should report unbounded verdicts:\n%s", out)
+	}
+}
+
+func TestT7ABPVerdictsSplitByChannel(t *testing.T) {
+	t.Parallel()
+	e, _ := ByID("T7")
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finiteNumbered := func(proto string) bool {
+		return strings.HasPrefix(proto, "abp") || strings.HasPrefix(proto, "gobackn") ||
+			strings.HasPrefix(proto, "selrepeat")
+	}
+	for _, row := range tables[0].Rows {
+		proto, ch, viol := row[0], row[1], row[5]
+		switch {
+		case finiteNumbered(proto) && ch == "fifo" && viol != "none":
+			t.Errorf("%s unsafe on FIFO: %v", proto, row)
+		case finiteNumbered(proto) && (ch == "del" || ch == "reorder") && viol == "none":
+			t.Errorf("%s safe under reordering (should break): %v", proto, row)
+		case proto == "stenning" && viol != "none":
+			t.Errorf("Stenning unsafe: %v", row)
+		}
+	}
+}
+
+func TestT8MatrixMatchesPaper(t *testing.T) {
+	t.Parallel()
+	e, _ := ByID("T8")
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix := tables[0]
+	for _, row := range matrix.Rows {
+		name, weak, bounded := row[0], row[3], row[4]
+		if !strings.HasPrefix(weak, "true") {
+			t.Errorf("%s not weakly bounded: %v", name, row)
+		}
+		wantBounded := strings.HasPrefix(name, "alpha")
+		isBounded := strings.HasPrefix(bounded, "true")
+		if wantBounded != isBounded {
+			t.Errorf("%s bounded = %v, want %v (row %v)", name, isBounded, wantBounded, row)
+		}
+	}
+}
+
+func TestT9PossibilityAndProbability(t *testing.T) {
+	t.Parallel()
+	e, _ := ByID("T9")
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T9a: a violation must exist for every window.
+	for _, row := range tables[0].Rows {
+		if row[2] != "yes" {
+			t.Errorf("T9a window %s: no violation found (contradicts Theorem 1): %v", row[0], row)
+		}
+	}
+	// T9b: the widest window (>= input length) must be collision-free, and
+	// window 1 must fail in a large share of runs.
+	rows := tables[1].Rows
+	first, last := rows[0], rows[len(rows)-1]
+	if first[2] == "0.0%" {
+		t.Errorf("T9b window 1 never failed: %v", first)
+	}
+	for _, cell := range last[2:] {
+		if cell != "0.0%" {
+			t.Errorf("T9b widest window failed: %v", last)
+		}
+	}
+}
+
+func TestT10KnowledgeAgreement(t *testing.T) {
+	t.Parallel()
+	e, _ := ByID("T10")
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T10a: class sizes never grow along the run.
+	prev := 1 << 30
+	for _, row := range tables[0].Rows {
+		var n int
+		if _, err := fmt.Sscanf(row[2], "%d", &n); err != nil {
+			t.Fatalf("bad class size %q", row[2])
+		}
+		if n > prev {
+			t.Errorf("class grew: %v", tables[0].Rows)
+		}
+		prev = n
+	}
+	// T10b: every row agrees.
+	for _, row := range tables[1].Rows {
+		if row[5] != "true" {
+			t.Errorf("t_i mismatch: %v", row)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"fmt"
+
+	"seqtx/internal/alpha"
+	"seqtx/internal/seq"
+	"seqtx/internal/tablefmt"
+)
+
+// RunT1 reproduces R1: the closed form alpha(m) = m! sum_{k<=m} 1/k!
+// equals both the exhaustive count of repetition-free sequences and
+// floor(e*m!) (m >= 1). It also tabulates the split by sequence length
+// (partial permutations) and the m! antichain ceiling the paper mentions.
+func RunT1(opts Options) ([]*tablefmt.Table, error) {
+	maxM := 12
+	enumTo := 7
+	if opts.Deep {
+		enumTo = 8
+	}
+	t := tablefmt.New("T1: alpha(m) three ways",
+		"m", "alpha(m) recurrence", "enumerated", "floor(e*m!)", "m! (antichain cap)", "agree")
+	fact := uint64(1)
+	for m := 0; m <= maxM; m++ {
+		if m > 0 {
+			fact *= uint64(m)
+		}
+		a, err := alpha.Alpha(m)
+		if err != nil {
+			return nil, err
+		}
+		enum := "-"
+		agree := true
+		if m <= enumTo {
+			n := len(seq.RepetitionFree(m))
+			enum = fmt.Sprint(n)
+			agree = agree && uint64(n) == a
+		}
+		floorE := "-"
+		if m >= 1 {
+			fe, err := alpha.FloorEFactorial(m)
+			if err != nil {
+				return nil, err
+			}
+			floorE = fmt.Sprint(fe)
+			agree = agree && fe == a
+		}
+		t.AddRow(fmt.Sprint(m), fmt.Sprint(a), enum, floorE, fmt.Sprint(fact), fmt.Sprint(agree))
+	}
+	t.AddNote("enumeration exhaustive for m <= %d; identity alpha(m) = floor(e*m!) holds for m >= 1 only", enumTo)
+
+	lens := tablefmt.New("T1b: repetition-free sequences by length (m = 6)",
+		"length k", "count m!/(m-k)!")
+	counts, err := alpha.CountByLength(6)
+	if err != nil {
+		return nil, err
+	}
+	var sum uint64
+	for k, c := range counts {
+		lens.AddRow(fmt.Sprint(k), fmt.Sprint(c))
+		sum += c
+	}
+	lens.AddNote("sum = %d = alpha(6)", sum)
+	return []*tablefmt.Table{t, lens}, nil
+}

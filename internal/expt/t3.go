@@ -1,0 +1,79 @@
+package expt
+
+import (
+	"fmt"
+
+	"seqtx/internal/alpha"
+	"seqtx/internal/channel"
+	"seqtx/internal/mc"
+	"seqtx/internal/protocol/naive"
+	"seqtx/internal/seq"
+	"seqtx/internal/tablefmt"
+)
+
+// RunT3 reproduces R2 (Theorem 1): past alpha(m), dup channels defeat any
+// protocol. Two executable forms:
+//
+//  1. Refutation of the natural over-claiming protocol (the tight
+//     protocol minus duplicate suppression, whose X is all sequences):
+//     the product model checker finds two R-indistinguishable runs with
+//     different inputs whose shared output breaks safety — the same
+//     object the paper's dup-decisive tuples construct.
+//  2. Exhaustive protocol-space search at m = 1, |X| = 3 > alpha(1) = 2:
+//     every finite-state protocol in the slice fails. (The deep variant
+//     widens the slice to 2-state receivers; ~2.5 minutes.)
+func RunT3(opts Options) ([]*tablefmt.Table, error) {
+	refute := tablefmt.New("T3a: product refutation of the over-claiming protocol (dup)",
+		"m", "X1", "X2", "violated input", "witness steps", "product states")
+	cases := []struct {
+		m      int
+		x1, x2 seq.Seq
+	}{
+		{1, seq.FromInts(0), seq.FromInts(0, 0)},
+		{2, seq.FromInts(0, 1), seq.FromInts(0, 1, 0)},
+		{2, seq.FromInts(0), seq.FromInts(0, 0)},
+		{3, seq.FromInts(0, 1, 2), seq.FromInts(0, 1, 2, 0)},
+	}
+	for _, c := range cases {
+		spec, err := naive.NewWriteEveryData(c.m)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mc.Refute(spec, c.x1, c.x2, channel.KindDup,
+			mc.ExploreConfig{MaxDepth: 14, MaxStates: 1 << 17})
+		if err != nil {
+			return nil, err
+		}
+		violated, steps := "NONE FOUND", "-"
+		if res.Violation != nil {
+			violated = res.Violation.ViolatedInput.String()
+			steps = fmt.Sprint(len(res.Violation.Actions))
+		}
+		refute.AddRow(fmt.Sprint(c.m), c.x1.String(), c.x2.String(), violated, steps, fmt.Sprint(res.States))
+	}
+	refute.AddNote("each witness is a pair of runs with equal receiver views throughout (Lemma 1's construction)")
+
+	search := tablefmt.New("T3b: exhaustive protocol search, m = 1, X = {ε, 0, 0.0}, |X| = 3 > alpha(1) = 2",
+		"sender states", "receiver states", "receivers examined", "solutions found")
+	slices := [][2]int{{1, 1}, {2, 1}}
+	if opts.Deep {
+		slices = append(slices, [2]int{3, 1}, [2]int{2, 2})
+	}
+	for _, sl := range slices {
+		res, err := mc.SearchProtocols(mc.SearchConfig{
+			SenderStates:   sl[0],
+			ReceiverStates: sl[1],
+			Kind:           channel.KindDup,
+			Depth:          10,
+			LiveSteps:      80,
+		})
+		if err != nil {
+			return nil, err
+		}
+		search.AddRow(fmt.Sprint(sl[0]), fmt.Sprint(sl[1]),
+			fmt.Sprint(res.Receivers), fmt.Sprint(res.Solutions))
+	}
+	a1 := alpha.MustAlpha(1)
+	search.AddNote("Theorem 1 predicts 0 solutions whenever |X| > alpha(m); here alpha(1) = %d", a1)
+	return []*tablefmt.Table{refute, search}, nil
+}

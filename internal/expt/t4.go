@@ -1,0 +1,88 @@
+package expt
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/mc"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/stats"
+	"seqtx/internal/tablefmt"
+)
+
+// RunT4 reproduces R6 (tightness for del): the tight protocol with
+// retransmission solves all alpha(m) repetition-free inputs on a
+// reordering+deleting channel, and it is BOUNDED per Definition 2 — from
+// every sampled point, the receiver can learn the next item within a
+// constant number of steps using only messages sent after the point
+// (long-lost copies are never needed).
+func RunT4(opts Options) ([]*tablefmt.Table, error) {
+	maxM := 4
+	if opts.Deep {
+		maxM = 5
+	}
+	t := tablefmt.New("T4a: tight protocol on del channels — all alpha(m) inputs × drop adversaries",
+		"m", "|X|=alpha(m)", "runs", "safety violations", "incomplete", "steps p50", "steps max")
+	for m := 1; m <= maxM; m++ {
+		spec, err := alphaproto.New(m)
+		if err != nil {
+			return nil, err
+		}
+		inputs := seq.RepetitionFree(m)
+		var (
+			runs, violations, incomplete int
+			steps                        []float64
+		)
+		for _, input := range inputs {
+			advs := []sim.Adversary{
+				sim.NewRoundRobin(),
+				sim.NewBudgetDropper(opts.Seed+3, 8),
+				sim.NewFinDelay(sim.NewRandomDropper(opts.Seed+4, 0), 10),
+				sim.NewWithholder(25),
+			}
+			for _, adv := range advs {
+				res, rerr := sim.RunProtocol(spec, input, channel.KindDel, adv,
+					sim.Config{MaxSteps: 8000, StopWhenComplete: true})
+				if rerr != nil {
+					return nil, rerr
+				}
+				runs++
+				if res.SafetyViolation != nil {
+					violations++
+				}
+				if !res.OutputComplete {
+					incomplete++
+				}
+				steps = append(steps, float64(res.Steps))
+			}
+		}
+		s := stats.Summarize(steps)
+		t.AddRow(fmt.Sprint(m), fmt.Sprint(len(inputs)), fmt.Sprint(runs),
+			fmt.Sprint(violations), fmt.Sprint(incomplete),
+			fmt.Sprintf("%.0f", s.P50), fmt.Sprintf("%.0f", s.Max))
+	}
+
+	// Definition 2 check: constant-recovery with fresh messages only.
+	b := tablefmt.New("T4b: Definition-2 boundedness of the tight protocol on del channels",
+		"m", "input", "sample points", "max recovery (steps)", "unrecovered", "bounded")
+	for m := 2; m <= maxM; m++ {
+		input := make(seq.Seq, m)
+		for i := range input {
+			input[i] = seq.Item((i + 1) % m)
+		}
+		spec, err := alphaproto.New(m)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := mc.CheckBounded(spec, input, channel.KindDel, mc.BoundedConfig{Budget: 16})
+		if err != nil {
+			return nil, err
+		}
+		b.AddRow(fmt.Sprint(m), input.String(), fmt.Sprint(rep.Samples),
+			fmt.Sprint(rep.MaxRecovery), fmt.Sprint(rep.Unrecovered), fmt.Sprint(rep.Bounded()))
+	}
+	b.AddNote("recovery extensions may deliver only messages sent after the point (dlvrble(r_t,t') >= dlvrble(r_t,t))")
+	return []*tablefmt.Table{t, b}, nil
+}

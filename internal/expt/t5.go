@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/mc"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/naive"
+	"seqtx/internal/seq"
+	"seqtx/internal/tablefmt"
+)
+
+// RunT5 reproduces R5 (Theorem 2): on del channels, bounded protocols die
+// past alpha(m). The over-claiming protocol is bounded (constant-recovery
+// retransmission), and the product checker refutes it: retransmitted
+// copies that the channel withheld arrive late and double-write. As a
+// negative control, the tight protocol within its lawful X admits no
+// counterexample at the same exploration bounds.
+func RunT5(opts Options) ([]*tablefmt.Table, error) {
+	t := tablefmt.New("T5: product refutation on del channels (bounded over-claiming protocol)",
+		"case", "m", "X1", "X2", "violated input", "witness steps", "product states")
+	type c struct {
+		name   string
+		spec   func(m int) (protocol.Spec, error)
+		m      int
+		x1, x2 seq.Seq
+		expect bool
+	}
+	cases := []c{
+		{"naive, repeat value", naive.NewWriteEveryData, 1, seq.FromInts(0), seq.FromInts(0, 0), true},
+		{"naive, repeat value", naive.NewWriteEveryData, 2, seq.FromInts(0, 1), seq.FromInts(0, 1, 0), true},
+		{"naive, flood", func(m int) (protocol.Spec, error) { return naive.NewFlood(m) }, 2,
+			seq.FromInts(0, 1), seq.FromInts(1, 0), true},
+		{"tight protocol (control)", alphaproto.New, 2, seq.FromInts(0, 1), seq.FromInts(1, 0), false},
+		{"tight protocol (control)", alphaproto.New, 2, seq.FromInts(0), seq.FromInts(0, 1), false},
+	}
+	depth := 12
+	if opts.Deep {
+		depth = 14
+	}
+	for _, cc := range cases {
+		spec, err := cc.spec(cc.m)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mc.Refute(spec, cc.x1, cc.x2, channel.KindDel,
+			mc.ExploreConfig{MaxDepth: depth, MaxStates: 1 << 17})
+		if err != nil {
+			return nil, err
+		}
+		violated, steps := "none", "-"
+		if res.Violation != nil {
+			violated = res.Violation.ViolatedInput.String()
+			steps = fmt.Sprint(len(res.Violation.Actions))
+		}
+		if cc.expect && res.Violation == nil {
+			violated = "EXPECTED VIOLATION NOT FOUND"
+		}
+		if !cc.expect && res.Violation != nil {
+			violated = "UNEXPECTED: " + violated
+		}
+		t.AddRow(cc.name, fmt.Sprint(cc.m), cc.x1.String(), cc.x2.String(), violated, steps, fmt.Sprint(res.States))
+	}
+	t.AddNote("controls run within X = repetition-free sequences (|X| = alpha(m)): no counterexample must exist")
+	return []*tablefmt.Table{t}, nil
+}

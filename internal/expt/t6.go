@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/mc"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/afwz"
+	"seqtx/internal/protocol/stenning"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/stats"
+	"seqtx/internal/tablefmt"
+)
+
+// RunT6 reproduces R7's first half: the AFWZ-style protocol solves STP
+// for ALL finite sequences over D — a set far beyond alpha(m) — at the
+// price of unboundedness. The series show:
+//
+//   - t_1 (the step at which R first knows/writes x_1) grows linearly
+//     with |X| = n: the receiver learns nothing until the reversed
+//     transmission completes, so the time to learn the NEXT item from a
+//     fresh start cannot be bounded by any f(i);
+//   - the Definition-2 check confirms outright unrecoverability: from a
+//     mid-run point, no extension that avoids old messages makes progress
+//     at all (the gated single copy IS the old message);
+//   - Stenning's unbounded-header protocol, as a contrast, learns x_1 in
+//     constant time regardless of n — the cost moved from time into the
+//     alphabet.
+func RunT6(opts Options) ([]*tablefmt.Table, error) {
+	lengths := []int{2, 4, 8, 16, 32}
+	if opts.Deep {
+		lengths = append(lengths, 48, 64)
+	}
+	series := tablefmt.New("T6a: time for R to learn x_1 vs |X| = n (round-robin fair schedule)",
+		"n", "afwz t_1 (steps)", "stenning t_1 (steps)", "afwz total", "stenning total")
+	var ns, afwzT1 []float64
+	for _, n := range lengths {
+		input := make(seq.Seq, n)
+		for i := range input {
+			input[i] = seq.Item(i % 2)
+		}
+		af, err := runOnce(afwz.MustNew(2), input, channel.KindReorder)
+		if err != nil {
+			return nil, err
+		}
+		st, err := runOnce(stenning.New(), input, channel.KindReorder)
+		if err != nil {
+			return nil, err
+		}
+		series.AddRow(fmt.Sprint(n),
+			fmt.Sprint(af.LearnTimes[0]), fmt.Sprint(st.LearnTimes[0]),
+			fmt.Sprint(af.Steps), fmt.Sprint(st.Steps))
+		ns = append(ns, float64(n))
+		afwzT1 = append(afwzT1, float64(af.LearnTimes[0]))
+	}
+	if _, slope, err := stats.LinearFit(ns, afwzT1); err == nil {
+		series.AddNote("afwz t_1 grows linearly: fitted slope %.2f steps per item (bounded protocols would be flat)", slope)
+	}
+
+	def2 := tablefmt.New("T6b: Definition-2 verdicts for the AFWZ-style protocol (del channel)",
+		"n", "sample points", "unrecovered (fresh-only)", "bounded")
+	for _, n := range []int{4, 8, 12} {
+		input := make(seq.Seq, n)
+		for i := range input {
+			input[i] = seq.Item(i % 2)
+		}
+		rep, err := mc.CheckBounded(afwz.MustNew(2), input, channel.KindDel,
+			mc.BoundedConfig{Budget: 40, SampleEvery: 2})
+		if err != nil {
+			return nil, err
+		}
+		def2.AddRow(fmt.Sprint(n), fmt.Sprint(rep.Samples),
+			fmt.Sprint(rep.Unrecovered), fmt.Sprint(rep.Bounded()))
+	}
+	def2.AddNote("the gated in-flight copy is an old message; extensions barred from it cannot progress at all")
+	return []*tablefmt.Table{series, def2}, nil
+}
+
+// runOnce drives one run to completion on the canonical fair schedule and
+// errors if the protocol misbehaved (these are positive-result series).
+func runOnce(spec protocol.Spec, input seq.Seq, kind channel.Kind) (sim.Result, error) {
+	res, err := sim.RunProtocol(spec, input, kind, sim.NewRoundRobin(),
+		sim.Config{MaxSteps: 400*len(input) + 400, StopWhenComplete: true})
+	if err != nil {
+		return res, err
+	}
+	if res.SafetyViolation != nil {
+		return res, fmt.Errorf("expt: %s on %s violated safety: %w", spec.Name, input, res.SafetyViolation)
+	}
+	if !res.OutputComplete {
+		return res, fmt.Errorf("expt: %s on %s did not complete (%d steps)", spec.Name, input, res.Steps)
+	}
+	return res, nil
+}

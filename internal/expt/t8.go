@@ -1,0 +1,167 @@
+package expt
+
+import (
+	"fmt"
+
+	"seqtx/internal/alpha"
+	"seqtx/internal/channel"
+	"seqtx/internal/mc"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/afwz"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/stats"
+	"seqtx/internal/tablefmt"
+)
+
+// RunT8 reproduces R7's second half: the §5 boundedness taxonomy.
+//
+// T8a is the boundedness matrix. "Bounded" means Definition 2 with a
+// constant budget independent of the input; the scaling column shows the
+// worst recovery as the input grows — a protocol is bounded only if that
+// column stays flat. The hybrid protocol is the paper's centerpiece:
+// weakly bounded (constant recovery from the t_i points, old messages
+// allowed) yet unbounded (after a fault, the suffix detour makes recovery
+// grow with |X|).
+//
+// T8b measures the §5 fault story directly: inject one loss early and
+// measure how long the receiver goes without learning anything new.
+func RunT8(opts Options) ([]*tablefmt.Table, error) {
+	lengths := []int{4, 8, 16}
+	if opts.Deep {
+		lengths = append(lengths, 24, 32)
+	}
+	matrix := tablefmt.New("T8a: boundedness matrix (§5)",
+		"protocol", "channel", "|X| solvable", "weakly bounded (max rec)", "bounded (Def 2)", "recovery vs n")
+	type row struct {
+		name    string
+		kind    channel.Kind
+		x       string
+		mkSpec  func() (specT, error)
+		mkInput func(n int) seq.Seq
+	}
+	alt := func(n int) seq.Seq {
+		in := make(seq.Seq, n)
+		for i := range in {
+			in[i] = seq.Item(i % 2)
+		}
+		return in
+	}
+	rows := []row{
+		{
+			name: "alpha (tight)", kind: channel.KindDel,
+			x:      fmt.Sprintf("alpha(m) (= %d at m = 4)", alpha.MustAlpha(4)),
+			mkSpec: func() (specT, error) { return alphaproto.New(8) },
+			mkInput: func(n int) seq.Seq { // repetition-free: distinct items
+				in := make(seq.Seq, n)
+				for i := range in {
+					in[i] = seq.Item(i)
+				}
+				return in
+			},
+		},
+		{
+			name: "afwz (reverse)", kind: channel.KindDel,
+			x:       "all finite sequences",
+			mkSpec:  func() (specT, error) { return afwz.New(2) },
+			mkInput: alt,
+		},
+		{
+			name: "hybrid (§5)", kind: channel.KindDel,
+			x:       "all finite sequences",
+			mkSpec:  func() (specT, error) { return hybrid.New(2, 4) },
+			mkInput: alt,
+		},
+	}
+	for _, r := range rows {
+		spec, err := r.mkSpec()
+		if err != nil {
+			return nil, err
+		}
+		// Weak boundedness: recovery from t_i points, old messages allowed.
+		weakRep, err := mc.CheckBounded(spec, r.mkInput(6), r.kind,
+			mc.BoundedConfig{Budget: 60, OldMessagesAllowed: true})
+		if err != nil {
+			return nil, err
+		}
+		weak := fmt.Sprintf("%v (%d)", weakRep.Bounded(), weakRep.MaxRecovery)
+
+		// Definition 2 across growing inputs: flat = bounded.
+		var ns, recs []float64
+		anyUnrecovered := false
+		for _, n := range lengths {
+			if r.name == "alpha (tight)" && n > 8 {
+				continue // repetition-free inputs need n <= m
+			}
+			// Sample the points of a run with one injected loss: Definition
+			// 2 quantifies over all points, and post-fault points are
+			// exactly where unbounded protocols cannot recover quickly.
+			rep, err := mc.CheckBounded(spec, r.mkInput(n), r.kind,
+				mc.BoundedConfig{
+					Budget:      30 + 12*n,
+					SampleEvery: 3,
+					Sampler:     sim.NewBudgetDropper(opts.Seed, 1),
+				})
+			if err != nil {
+				return nil, err
+			}
+			if rep.Unrecovered > 0 {
+				anyUnrecovered = true
+			}
+			ns = append(ns, float64(n))
+			recs = append(recs, float64(rep.MaxRecovery))
+		}
+		scaling := "-"
+		bounded := "false (unrecoverable)"
+		if !anyUnrecovered {
+			if _, slope, err := stats.LinearFit(ns, recs); err == nil {
+				scaling = fmt.Sprintf("slope %.2f steps/item", slope)
+				if slope < 0.5 {
+					bounded = fmt.Sprintf("true (const ≈ %.0f)", recs[len(recs)-1])
+				} else {
+					bounded = "false (grows with |X|)"
+				}
+			}
+		}
+		matrix.AddRow(r.name, r.kind.String(), r.x, weak, bounded, scaling)
+	}
+	matrix.AddNote("Definition 2 demands one f for all inputs: growth with n means no f(i) exists")
+	matrix.AddNote("weak boundedness samples the paper's t_i points and may use in-flight (old) messages")
+
+	// T8b: single-fault recovery gap vs n for the hybrid protocol.
+	fault := tablefmt.New("T8b: hybrid protocol, one early loss — longest learning gap vs n",
+		"n", "largest gap between consecutive learn times (steps)", "total steps")
+	var ns, gaps []float64
+	for _, n := range lengths {
+		input := alt(n)
+		res, err := sim.RunProtocol(hybrid.MustNew(2, 4), input, channel.KindDel,
+			sim.NewBudgetDropper(opts.Seed, 1), sim.Config{MaxSteps: 3000 + 600*n, StopWhenComplete: true})
+		if err != nil {
+			return nil, err
+		}
+		if res.SafetyViolation != nil || !res.OutputComplete {
+			return nil, fmt.Errorf("expt: hybrid misbehaved at n=%d: violation=%v complete=%v",
+				n, res.SafetyViolation, res.OutputComplete)
+		}
+		gap := 0
+		prev := 0
+		for _, t := range res.LearnTimes {
+			if t-prev > gap {
+				gap = t - prev
+			}
+			prev = t
+		}
+		fault.AddRow(fmt.Sprint(n), fmt.Sprint(gap), fmt.Sprint(res.Steps))
+		ns = append(ns, float64(n))
+		gaps = append(gaps, float64(gap))
+	}
+	if _, slope, err := stats.LinearFit(ns, gaps); err == nil {
+		fault.AddNote("gap slope %.2f steps/item: a single fault costs time proportional to the rest of the input (§5: 'never fully recovers')", slope)
+	}
+	return []*tablefmt.Table{matrix, fault}, nil
+}
+
+// specT aliases protocol.Spec to keep the row table compact.
+type specT = protocol.Spec

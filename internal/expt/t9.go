@@ -1,0 +1,118 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/mc"
+	"seqtx/internal/prob"
+	"seqtx/internal/protocol/modseq"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/tablefmt"
+)
+
+// RunT9 implements the paper's §6 outlook as an experiment: probabilistic
+// "solutions" to X-STP with |X| > alpha(m). The modseq protocol (Stenning
+// with sequence numbers mod M) carries every sequence over D with a
+// finite alphabet of M·|D| messages. Theorem 1 guarantees failing runs
+// exist for every M — T9a exhibits them by exhaustive model checking —
+// but T9b shows the Monte-Carlo failure probability under random fair
+// schedules collapsing as the window M grows: the possibility of failure
+// is unavoidable, its probability is a design parameter.
+func RunT9(opts Options) ([]*tablefmt.Table, error) {
+	adversarial := tablefmt.New("T9a: the possibility of failure — exhaustive check per window",
+		"window M", "|M^S|", "violation found", "witness steps", "states")
+	input3 := seq.FromInts(0, 0, 0)
+	for _, window := range []int{1, 2, 3} {
+		spec, err := modseq.New(1, window)
+		if err != nil {
+			return nil, err
+		}
+		// Input long enough to wrap the window: positions 0..window+1.
+		input := make(seq.Seq, window+2)
+		if window == 1 {
+			input = input3[:2]
+		}
+		res, err := mc.Explore(spec, input, channel.KindDup, mc.ExploreConfig{
+			MaxDepth:  4*window + 8,
+			MaxStates: 1 << 18,
+		})
+		if err != nil {
+			return nil, err
+		}
+		found, steps := "NO (unexpected!)", "-"
+		if res.Violation != nil {
+			found = "yes"
+			steps = fmt.Sprint(len(res.Violation.Actions))
+		}
+		adversarial.AddRow(fmt.Sprint(window), fmt.Sprint(window*1), found, steps, fmt.Sprint(res.States))
+	}
+	adversarial.AddNote("Theorem 1: with X = all sequences, every finite window must admit a failing run")
+
+	// Average over random inputs: with a fixed periodic input, a stale
+	// message whose position collides mod M can also collide in VALUE
+	// (writing the right item by accident), which masks or inflates the
+	// failure rate at particular windows.
+	const (
+		inputsPerWindow = 20
+		inputLen        = 12
+		domain          = 3
+	)
+	trialsPerInput := 10
+	if opts.Deep {
+		trialsPerInput = 50
+	}
+	totalRuns := inputsPerWindow * trialsPerInput
+	replayPeriods := []int{2, 4, 8}
+	header := []string{"window M", "|M^S|"}
+	for _, p := range replayPeriods {
+		header = append(header, fmt.Sprintf("violations @replay 1/%d", p))
+	}
+	carlo := tablefmt.New(fmt.Sprintf(
+		"T9b: the probability of failure — %d runs per cell (dup channel, random inputs, random stale replays)", totalRuns),
+		header...)
+	rng := rand.New(rand.NewSource(opts.Seed + 77))
+	inputs := make([]seq.Seq, inputsPerWindow)
+	for i := range inputs {
+		inputs[i] = seq.Random(rng, domain, inputLen)
+	}
+	for _, window := range []int{1, 2, 3, 4, 6, 8, 10, 12} {
+		spec, err := modseq.New(domain, window)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(window), fmt.Sprint(window * domain)}
+		for _, period := range replayPeriods {
+			period := period
+			var agg prob.Estimate
+			for i, input := range inputs {
+				base := opts.Seed + int64(1000*i)
+				est, perr := prob.Run(spec, input, channel.KindDup, prob.Config{
+					Trials: trialsPerInput,
+					Seed:   base,
+					NewAdversary: func(trial int) sim.Adversary {
+						// A live schedule (round-robin core) that replays a
+						// uniformly random already-sent message every
+						// period-th step: the "random network" of §6.
+						return sim.NewReplayer(base+int64(trial), period)
+					},
+				})
+				if perr != nil {
+					return nil, perr
+				}
+				agg.Trials += est.Trials
+				agg.Violations += est.Violations
+				agg.Completed += est.Completed
+				agg.Stalled += est.Stalled
+			}
+			row = append(row, fmt.Sprintf("%.1f%%", 100*agg.ViolationRate()))
+		}
+		carlo.AddRow(row...)
+	}
+	carlo.AddNote("inputs have %d items, so windows M >= %d admit no in-run collision: the Stenning limit", inputLen, inputLen)
+	carlo.AddNote("a failure needs a random stale replay to collide with the receiver's expectation mod M (and differ in value)")
+	carlo.AddNote("the paper's §6: error probability becomes a resource knob once zero is impossible")
+	return []*tablefmt.Table{adversarial, carlo}, nil
+}

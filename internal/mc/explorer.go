@@ -1,0 +1,161 @@
+// Package mc model-checks STP systems. It makes the paper's proof
+// technique executable:
+//
+//   - Explore: exhaustive bounded BFS over the runs of one (protocol,
+//     input, channel) system — every resolution of the environment's
+//     nondeterminism (Property 1b) up to a depth — checking safety in
+//     every reachable state.
+//   - Refute: the product construction behind Lemmas 1–4. Two runs with
+//     different inputs are explored in lockstep so that the receiver's
+//     complete-history views stay equal ("R cannot tell apart", §2.2);
+//     because protocols are deterministic, equal views mean equal
+//     receiver states and equal outputs, so reaching a point where the
+//     shared output is incompatible with one input is a safety violation
+//     for that run. This is exactly how the paper derives Theorems 1 and
+//     2 from dup-/del-decisive tuples.
+//   - CheckBounded / CheckWeaklyBounded: Definition 2 and the §5 weak
+//     variant, as reachability searches over extensions.
+//   - SearchProtocols: exhaustive enumeration of small finite-state
+//     protocols, verifying the universal impossibility statement on a
+//     finite slice.
+package mc
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+// ExploreResult reports an exhaustive bounded exploration.
+type ExploreResult struct {
+	// States is the number of distinct states visited.
+	States int
+	// Depth is the deepest level fully expanded.
+	Depth int
+	// Truncated reports whether the state or depth cap stopped expansion
+	// before the frontier emptied (if false, the exploration is complete:
+	// the system has finitely many reachable states and all were checked).
+	Truncated bool
+	// Violation is the first safety violation found, with a witness.
+	Violation *Witness
+	// CompletedState reports whether some reachable state has Y = X.
+	CompletedState bool
+}
+
+// Witness is a counterexample: the actions leading to a bad state.
+type Witness struct {
+	Input   seq.Seq
+	Actions []trace.Action
+	Output  seq.Seq
+	Err     error
+}
+
+// String renders the witness run.
+func (w *Witness) String() string {
+	s := fmt.Sprintf("input %s, output %s: %v\n", w.Input, w.Output, w.Err)
+	for i, a := range w.Actions {
+		s += fmt.Sprintf("  %3d. %s\n", i+1, a)
+	}
+	return s
+}
+
+// ExploreConfig bounds an exploration.
+type ExploreConfig struct {
+	// MaxDepth bounds the BFS depth (levels of actions). Required > 0.
+	MaxDepth int
+	// MaxStates caps the visited-state count (0 = 1<<20).
+	MaxStates int
+}
+
+func (c *ExploreConfig) normalize() error {
+	if c.MaxDepth <= 0 {
+		return fmt.Errorf("mc: MaxDepth must be positive, got %d", c.MaxDepth)
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 1 << 20
+	}
+	return nil
+}
+
+type node struct {
+	w      *sim.World
+	parent *node
+	act    trace.Action
+	depth  int
+}
+
+func (n *node) path() []trace.Action {
+	var acts []trace.Action
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		acts = append(acts, cur.act)
+	}
+	for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
+		acts[i], acts[j] = acts[j], acts[i]
+	}
+	return acts
+}
+
+// Explore runs exhaustive BFS from the initial state of (spec, input,
+// kind), checking the safety property in every state.
+func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreConfig) (*ExploreResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	link, err := channel.NewLinkOfKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sim.New(spec, input, link)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExploreResult{}
+	seen := map[string]struct{}{w.Key(): {}}
+	frontier := []*node{{w: w}}
+	res.States = 1
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur.depth >= cfg.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		for _, act := range cur.w.Enabled() {
+			next := cur.w.Clone()
+			if aerr := next.Apply(act); aerr != nil {
+				return nil, fmt.Errorf("mc: applying %s: %w", act, aerr)
+			}
+			child := &node{w: next, parent: cur, act: act, depth: cur.depth + 1}
+			if next.SafetyViolation != nil && res.Violation == nil {
+				res.Violation = &Witness{
+					Input:   input.Clone(),
+					Actions: child.path(),
+					Output:  next.Output.Clone(),
+					Err:     next.SafetyViolation,
+				}
+			}
+			if next.OutputComplete() {
+				res.CompletedState = true
+			}
+			key := next.Key()
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			if res.States >= cfg.MaxStates {
+				res.Truncated = true
+				continue
+			}
+			seen[key] = struct{}{}
+			res.States++
+			if child.depth > res.Depth {
+				res.Depth = child.depth
+			}
+			frontier = append(frontier, child)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,223 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/abp"
+	"seqtx/internal/protocol/afwz"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/protocol/stenning"
+	"seqtx/internal/seq"
+)
+
+// TestRefuteABPOnDelChannel: the stale-bit confusion of ABP under
+// reordering is also a two-run indistinguishability failure — the product
+// checker finds it without being told the mechanism.
+func TestRefuteABPOnDelChannel(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(2)
+	res, err := Refute(spec, seq.FromInts(0, 1), seq.FromInts(0, 1, 0), channel.KindDel,
+		ExploreConfig{MaxDepth: 12, MaxStates: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("product checker missed ABP's reordering failure")
+	}
+	if !res.Violation.ViolatedInput.Equal(seq.FromInts(0, 1)) {
+		t.Errorf("violated input = %s, want 0.1", res.Violation.ViolatedInput)
+	}
+}
+
+// TestRefuteABPOnFIFOFindsNothing: on its lawful channel the product
+// checker (including duplicating deliveries via DeliverKeep) finds no
+// confusion at this depth.
+func TestRefuteABPOnFIFOFindsNothing(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(2)
+	res, err := Refute(spec, seq.FromInts(0, 1), seq.FromInts(0, 0), channel.KindFIFO,
+		ExploreConfig{MaxDepth: 10, MaxStates: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("false positive on FIFO:\n%s", res.Violation)
+	}
+	if res.States < 10 {
+		t.Errorf("suspiciously small product exploration: %d states", res.States)
+	}
+}
+
+func TestProductWitnessRendering(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(2)
+	res, err := Refute(spec, seq.FromInts(0, 1), seq.FromInts(0, 1, 0), channel.KindDel,
+		ExploreConfig{MaxDepth: 12, MaxStates: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("no witness to render")
+	}
+	out := res.Violation.String()
+	for _, want := range []string{"X1 = 0.1", "X2 = 0.1.0", "R-indistinguishable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("witness rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Side labels render.
+	if got := Left.String() + Right.String() + Both.String(); got != "LRB" {
+		t.Errorf("side labels = %q", got)
+	}
+	if got := Side(9).String(); got != "Side(9)" {
+		t.Errorf("unknown side = %q", got)
+	}
+}
+
+func TestCheckWeaklyBoundedAFWZ(t *testing.T) {
+	t.Parallel()
+	// afwz: weak variant (old messages allowed) recovers — the in-flight
+	// gated copy is exactly what the weak definition may use.
+	rep, err := CheckBounded(afwz.MustNew(2), seq.FromInts(0, 1, 0), channel.KindDel,
+		BoundedConfig{Budget: 40, OldMessagesAllowed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded() {
+		t.Fatalf("afwz not weakly bounded: %+v", rep)
+	}
+	if !rep.OldMessagesAllowed {
+		t.Error("report lost the variant flag")
+	}
+}
+
+func TestCheckBoundedAFWZUnrecoverable(t *testing.T) {
+	t.Parallel()
+	// Strict Definition 2: the gated copy is old, so fresh-only recovery
+	// is impossible from mid-run points.
+	rep, err := CheckBounded(afwz.MustNew(2), seq.FromInts(0, 1, 0), channel.KindDel,
+		BoundedConfig{Budget: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bounded() {
+		t.Fatalf("afwz reported bounded: %+v", rep)
+	}
+	if rep.Unrecovered == 0 {
+		t.Error("no unrecovered points despite unboundedness")
+	}
+	// PerPosition records -1 markers for unrecovered positions.
+	found := false
+	for _, v := range rep.PerPosition {
+		if v == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PerPosition missing unrecovered markers")
+	}
+}
+
+func TestCheckBoundedHybridWeak(t *testing.T) {
+	t.Parallel()
+	rep, err := CheckBounded(hybrid.MustNew(2, 4), seq.FromInts(0, 1, 0, 1), channel.KindDel,
+		BoundedConfig{Budget: 60, OldMessagesAllowed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded() {
+		t.Fatalf("hybrid not weakly bounded: %+v", rep)
+	}
+	if rep.MaxRecovery > 10 {
+		t.Errorf("weak recovery suspiciously slow: %d", rep.MaxRecovery)
+	}
+}
+
+func TestExploreWitnessStringAndOutput(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(2)
+	res, err := Explore(spec, seq.FromInts(0, 1), channel.KindDel, ExploreConfig{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected ABP violation on del channel")
+	}
+	out := res.Violation.String()
+	if !strings.Contains(out, "input 0.1") || !strings.Contains(out, "1.") {
+		t.Errorf("witness rendering:\n%s", out)
+	}
+}
+
+// TestExploreHybridSafeOnDel: exhaustively verify the redesigned hybrid
+// admits no safety violation within the exploration bounds — including
+// drop actions and the fin parity commit.
+func TestExploreHybridSafeOnDel(t *testing.T) {
+	t.Parallel()
+	spec := hybrid.MustNew(2, 2)
+	for _, input := range []seq.Seq{seq.FromInts(0, 1), seq.FromInts(1, 1)} {
+		res, err := Explore(spec, input, channel.KindDel, ExploreConfig{
+			MaxDepth:  11,
+			MaxStates: 1 << 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("hybrid violated safety on %s:\n%s", input, res.Violation)
+		}
+	}
+}
+
+// TestRefuteEncodedProtocolAllPairs is the paper's sufficiency direction
+// on an instance: if X is prefix-monotone encodable over m messages, the
+// encoded protocol solves X-STP(dup) — so the product checker must find
+// no counterexample for ANY pair of members, including the repeating
+// sequences that the plain tight protocol cannot carry.
+func TestRefuteEncodedProtocolAllPairs(t *testing.T) {
+	t.Parallel()
+	x := seq.MustNewSet(
+		seq.FromInts(0, 0),
+		seq.FromInts(1),
+		seq.FromInts(1, 1, 1),
+	)
+	spec, err := alphaproto.NewEncoded(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := x.Seqs()
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			res, rerr := Refute(spec, members[i], members[j], channel.KindDup,
+				ExploreConfig{MaxDepth: 10, MaxStates: 1 << 15})
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if res.Violation != nil {
+				t.Fatalf("encoded protocol refuted on pair (%s, %s):\n%s",
+					members[i], members[j], res.Violation)
+			}
+		}
+	}
+}
+
+// TestProgressStenningDupCloses: Stenning's dup-channel state graph is
+// finite and free of doomed states — from every reachable state some
+// schedule still completes.
+func TestProgressStenningDupCloses(t *testing.T) {
+	t.Parallel()
+	res, err := CheckProgress(stenning.New(), seq.FromInts(0, 0), channel.KindDup,
+		ExploreConfig{MaxDepth: 64, MaxStates: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Skip("stenning dup graph did not close at these bounds")
+	}
+	if res.Doomed != 0 {
+		t.Fatalf("%d doomed states:\n%s", res.Doomed, res.DoomedWitness)
+	}
+}

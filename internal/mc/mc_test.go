@@ -1,0 +1,211 @@
+package mc
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/naive"
+	"seqtx/internal/seq"
+)
+
+func TestExploreTightProtocolSafeOnDup(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(2)
+	for _, input := range seq.RepetitionFree(2) {
+		res, err := Explore(spec, input, channel.KindDup, ExploreConfig{MaxDepth: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("input %s: unexpected violation:\n%s", input, res.Violation)
+		}
+		if len(input) > 0 && !res.CompletedState {
+			t.Errorf("input %s: no completed state reachable at depth 12", input)
+		}
+	}
+}
+
+func TestExploreFindsNaiveDupViolation(t *testing.T) {
+	t.Parallel()
+	// The trusting receiver writes every data receipt: a duplicated
+	// delivery of d:0 corrupts Y on any input that does not repeat 0.
+	spec, err := naive.NewWriteEveryData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(spec, seq.FromInts(0, 1), channel.KindDup, ExploreConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("no violation found for the naive protocol on a dup channel")
+	}
+	if len(res.Violation.Actions) == 0 {
+		t.Error("violation witness has no actions")
+	}
+}
+
+func TestExploreConfigValidation(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(1)
+	if _, err := Explore(spec, seq.Seq{}, channel.KindDup, ExploreConfig{}); err == nil {
+		t.Fatal("zero MaxDepth accepted")
+	}
+}
+
+func TestExploreStateCapTruncates(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(3)
+	res, err := Explore(spec, seq.FromInts(0, 1, 2), channel.KindDel,
+		ExploreConfig{MaxDepth: 30, MaxStates: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("tiny state cap did not truncate")
+	}
+	if res.States > 50 {
+		t.Errorf("States = %d exceeds cap", res.States)
+	}
+}
+
+// TestRefuteTheoremOneInstance is the executable Theorem 1 on an
+// instance: the naive protocol claims X ⊇ {0.1, 0.1.0}; the product
+// checker must find R-indistinguishable runs with diverging outputs.
+func TestRefuteTheoremOneInstance(t *testing.T) {
+	t.Parallel()
+	spec, err := naive.NewWriteEveryData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Refute(spec, seq.FromInts(0, 1), seq.FromInts(0, 1, 0), channel.KindDup,
+		ExploreConfig{MaxDepth: 12, MaxStates: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("product checker found no violation for the naive protocol")
+	}
+	w := res.Violation
+	if w.String() == "" || len(w.Actions) == 0 {
+		t.Error("empty witness")
+	}
+}
+
+func TestRefuteTightProtocolHasNoCounterexample(t *testing.T) {
+	t.Parallel()
+	// Within its lawful X (repetition-free over m=2) the tight protocol
+	// admits no view-collision attack at this depth.
+	spec := alphaproto.MustNew(2)
+	res, err := Refute(spec, seq.FromInts(0, 1), seq.FromInts(1, 0), channel.KindDup,
+		ExploreConfig{MaxDepth: 10, MaxStates: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("false positive on the tight protocol:\n%s", res.Violation)
+	}
+}
+
+func TestRefuteRejectsEqualInputs(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(2)
+	if _, err := Refute(spec, seq.FromInts(0), seq.FromInts(0), channel.KindDup,
+		ExploreConfig{MaxDepth: 4}); err == nil {
+		t.Fatal("equal inputs accepted")
+	}
+}
+
+// TestRefuteDelChannelNaive is the Theorem 2 instance: retransmissions on
+// a deleting channel double-deliver through the trusting receiver.
+func TestRefuteDelChannelNaive(t *testing.T) {
+	t.Parallel()
+	spec, err := naive.NewWriteEveryData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Refute(spec, seq.FromInts(0, 1), seq.FromInts(0, 1, 0), channel.KindDel,
+		ExploreConfig{MaxDepth: 12, MaxStates: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("no violation found on the del channel")
+	}
+}
+
+func TestCheckBoundedTightProtocolOnDel(t *testing.T) {
+	t.Parallel()
+	// The paper's R6: the tight protocol with retransmission is bounded —
+	// constant recovery from every point, fresh messages only.
+	spec := alphaproto.MustNew(3)
+	rep, err := CheckBounded(spec, seq.FromInts(2, 0, 1), channel.KindDel,
+		BoundedConfig{Budget: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded() {
+		t.Fatalf("tight protocol not bounded: %+v", rep)
+	}
+	if rep.MaxRecovery > 8 {
+		t.Errorf("recovery suspiciously slow: %d steps", rep.MaxRecovery)
+	}
+	if rep.Samples == 0 {
+		t.Error("no sample points")
+	}
+}
+
+func TestCheckBoundedConfigValidation(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(1)
+	if _, err := CheckBounded(spec, seq.Seq{}, channel.KindDel, BoundedConfig{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestSearchProtocolsTinySlice(t *testing.T) {
+	t.Parallel()
+	// 1-state senders and receivers: the smallest slice. Theorem 1 says
+	// no solution; the search must agree.
+	res, err := SearchProtocols(SearchConfig{
+		SenderStates:   1,
+		ReceiverStates: 1,
+		Kind:           channel.KindDup,
+		Depth:          8,
+		LiveSteps:      60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solutions != 0 {
+		t.Fatalf("found %d 'solutions' with |X| = 3 > alpha(1) = 2: %s", res.Solutions, res.Example)
+	}
+	if res.Receivers != 16 {
+		t.Errorf("Receivers = %d, want 4^2 = 16", res.Receivers)
+	}
+}
+
+func TestSearchProtocolsTwoStateSenders(t *testing.T) {
+	t.Parallel()
+	res, err := SearchProtocols(SearchConfig{
+		SenderStates:   2,
+		ReceiverStates: 1,
+		Kind:           channel.KindDup,
+		Depth:          8,
+		LiveSteps:      60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solutions != 0 {
+		t.Fatalf("found %d 'solutions': %s", res.Solutions, res.Example)
+	}
+}
+
+func TestSearchConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := SearchProtocols(SearchConfig{SenderStates: 0, ReceiverStates: 1}); err == nil {
+		t.Fatal("zero sender states accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+// Side tags a product action with the run(s) it applies to.
+type Side int
+
+// Product action sides.
+const (
+	// Left applies only to the first run (input X1); the receiver is
+	// untouched, so its views stay synchronized.
+	Left Side = iota + 1
+	// Right applies only to the second run.
+	Right
+	// Both applies a receiver-visible event to the two runs in lockstep —
+	// the construction that keeps (r,t) ~_R (r',t).
+	Both
+)
+
+// String names the side.
+func (s Side) String() string {
+	switch s {
+	case Left:
+		return "L"
+	case Right:
+		return "R"
+	case Both:
+		return "B"
+	default:
+		return fmt.Sprintf("Side(%d)", int(s))
+	}
+}
+
+// ProductAction is one lockstep-exploration step.
+type ProductAction struct {
+	Side Side
+	// Act is the action on the tagged side; for Side == Both, Act applies
+	// to the left run and ActRight to the right run (they may differ in
+	// kind — e.g. a consuming delivery on one side paired with a
+	// duplicating one on the other — but deliver the same message).
+	Act      trace.Action
+	ActRight trace.Action
+}
+
+// String renders the product action.
+func (a ProductAction) String() string {
+	if a.Side == Both {
+		if a.Act.Key() == a.ActRight.Key() {
+			return "B:" + a.Act.String()
+		}
+		return "B:" + a.Act.String() + "/" + a.ActRight.String()
+	}
+	return a.Side.String() + ":" + a.Act.String()
+}
+
+// ProductWitness is a counterexample pair of runs: different inputs, equal
+// receiver views throughout, and an output that is unsafe for one input.
+type ProductWitness struct {
+	X1, X2  seq.Seq
+	Actions []ProductAction
+	Output  seq.Seq
+	// ViolatedInput is the input whose run's safety broke (X1 or X2).
+	ViolatedInput seq.Seq
+	Err           error
+}
+
+// String renders the witness.
+func (w *ProductWitness) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runs on X1 = %s and X2 = %s, R-indistinguishable throughout;\n", w.X1, w.X2)
+	fmt.Fprintf(&b, "shared output %s violates the run on %s: %v\n", w.Output, w.ViolatedInput, w.Err)
+	for i, a := range w.Actions {
+		fmt.Fprintf(&b, "  %3d. %s\n", i+1, a)
+	}
+	return b.String()
+}
+
+// ProductResult reports a lockstep exploration.
+type ProductResult struct {
+	States    int
+	Depth     int
+	Truncated bool
+	Violation *ProductWitness
+}
+
+type productNode struct {
+	w1, w2 *sim.World
+	parent *productNode
+	act    ProductAction
+	depth  int
+}
+
+func (n *productNode) path() []ProductAction {
+	var acts []ProductAction
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		acts = append(acts, cur.act)
+	}
+	for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
+		acts[i], acts[j] = acts[j], acts[i]
+	}
+	return acts
+}
+
+// Refute explores the synchronized product of the runs of (spec, x1) and
+// (spec, x2) over the channel kind: the receiver experiences identical
+// event sequences in both runs, while each sender side moves freely. It
+// reports the first reachable pair of R-indistinguishable points whose
+// shared output violates safety for one of the inputs — the executable
+// content of the paper's Lemma 1/Lemma 3 adversary. A nil Violation with
+// Truncated == false means no such pair exists at all (the exploration
+// closed); with Truncated == true it means none exists within the bounds.
+func Refute(spec protocol.Spec, x1, x2 seq.Seq, kind channel.Kind, cfg ExploreConfig) (*ProductResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if x1.Equal(x2) {
+		return nil, fmt.Errorf("mc: product inputs must differ, both are %s", x1)
+	}
+	mk := func(x seq.Seq) (*sim.World, error) {
+		link, err := channel.NewLinkOfKind(kind)
+		if err != nil {
+			return nil, err
+		}
+		return sim.New(spec, x, link)
+	}
+	w1, err := mk(x1)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := mk(x2)
+	if err != nil {
+		return nil, err
+	}
+	res := &ProductResult{States: 1}
+	key := func(a, b *sim.World) string { return a.Key() + "||" + b.Key() }
+	seen := map[string]struct{}{key(w1, w2): {}}
+	frontier := []*productNode{{w1: w1, w2: w2}}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur.depth >= cfg.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		acts, aerr := productActions(cur.w1, cur.w2)
+		if aerr != nil {
+			return nil, aerr
+		}
+		for _, pa := range acts {
+			n1, n2, perr := applyProduct(cur.w1, cur.w2, pa)
+			if perr != nil {
+				return nil, perr
+			}
+			child := &productNode{w1: n1, w2: n2, parent: cur, act: pa, depth: cur.depth + 1}
+			if res.Violation == nil {
+				if v := violationOf(n1, n2, x1, x2); v != nil {
+					v.Actions = child.path()
+					res.Violation = v
+				}
+			}
+			k := key(n1, n2)
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			if res.States >= cfg.MaxStates {
+				res.Truncated = true
+				continue
+			}
+			seen[k] = struct{}{}
+			res.States++
+			if child.depth > res.Depth {
+				res.Depth = child.depth
+			}
+			frontier = append(frontier, child)
+		}
+	}
+	return res, nil
+}
+
+func violationOf(w1, w2 *sim.World, x1, x2 seq.Seq) *ProductWitness {
+	switch {
+	case w1.SafetyViolation != nil:
+		return &ProductWitness{
+			X1: x1.Clone(), X2: x2.Clone(),
+			Output: w1.Output.Clone(), ViolatedInput: x1.Clone(), Err: w1.SafetyViolation,
+		}
+	case w2.SafetyViolation != nil:
+		return &ProductWitness{
+			X1: x1.Clone(), X2: x2.Clone(),
+			Output: w2.Output.Clone(), ViolatedInput: x2.Clone(), Err: w2.SafetyViolation,
+		}
+	default:
+		return nil
+	}
+}
+
+// productActions enumerates the product moves: sender-side actions on
+// either run alone (invisible to R) and receiver-visible events applied
+// to both runs.
+func productActions(w1, w2 *sim.World) ([]ProductAction, error) {
+	var acts []ProductAction
+	sides := []struct {
+		side Side
+		w    *sim.World
+	}{{Left, w1}, {Right, w2}}
+	for _, sw := range sides {
+		side, w := sw.side, sw.w
+		acts = append(acts, ProductAction{Side: side, Act: trace.TickS()})
+		for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
+			half := w.Link.Half(dir)
+			for _, m := range half.Deliverable().Support() {
+				if dir == channel.RToS {
+					acts = append(acts, ProductAction{Side: side, Act: trace.Deliver(dir, m)})
+					if f, ok := half.(*channel.FIFO); ok && f.AllowsDup() {
+						acts = append(acts, ProductAction{Side: side, Act: trace.DeliverDup(dir, m)})
+					}
+				}
+				// Drops are invisible to R in both directions.
+				if half.CanDrop(m) {
+					acts = append(acts, ProductAction{Side: side, Act: trace.Drop(dir, m)})
+				}
+			}
+		}
+	}
+	// Receiver-visible synchronized events.
+	acts = append(acts, ProductAction{Side: Both, Act: trace.TickR(), ActRight: trace.TickR()})
+	for _, m := range w1.Link.Half(channel.SToR).Deliverable().Support() {
+		ways1 := feedWays(w1, m)
+		ways2 := feedWays(w2, m)
+		for _, a1 := range ways1 {
+			for _, a2 := range ways2 {
+				acts = append(acts, ProductAction{Side: Both, Act: a1, ActRight: a2})
+			}
+		}
+	}
+	return acts, nil
+}
+
+// feedWays lists the ways run w can deliver message m to R right now.
+func feedWays(w *sim.World, m msg.Msg) []trace.Action {
+	half := w.Link.Half(channel.SToR)
+	if !half.CanDeliver(m) {
+		return nil
+	}
+	ways := []trace.Action{trace.Deliver(channel.SToR, m)}
+	if f, ok := half.(*channel.FIFO); ok && f.AllowsDup() {
+		ways = append(ways, trace.DeliverDup(channel.SToR, m))
+	}
+	return ways
+}
+
+func applyProduct(w1, w2 *sim.World, pa ProductAction) (*sim.World, *sim.World, error) {
+	n1, n2 := w1, w2
+	switch pa.Side {
+	case Left:
+		n1 = w1.Clone()
+		if err := n1.Apply(pa.Act); err != nil {
+			return nil, nil, fmt.Errorf("mc: product left %s: %w", pa.Act, err)
+		}
+	case Right:
+		n2 = w2.Clone()
+		if err := n2.Apply(pa.Act); err != nil {
+			return nil, nil, fmt.Errorf("mc: product right %s: %w", pa.Act, err)
+		}
+	case Both:
+		n1 = w1.Clone()
+		n2 = w2.Clone()
+		if err := n1.Apply(pa.Act); err != nil {
+			return nil, nil, fmt.Errorf("mc: product both/left %s: %w", pa.Act, err)
+		}
+		if err := n2.Apply(pa.ActRight); err != nil {
+			return nil, nil, fmt.Errorf("mc: product both/right %s: %w", pa.ActRight, err)
+		}
+		if n1.R.Key() != n2.R.Key() {
+			return nil, nil, fmt.Errorf(
+				"mc: receiver states diverged under identical views (%s vs %s): protocol is nondeterministic",
+				n1.R.Key(), n2.R.Key())
+		}
+	default:
+		return nil, nil, fmt.Errorf("mc: bad product side %d", int(pa.Side))
+	}
+	return n1, n2, nil
+}

@@ -1,0 +1,165 @@
+// Package msg defines message values, finite message alphabets, and count
+// vectors over alphabets — the paper's dlvrble vectors (§2.2).
+//
+// The paper's bounds are stated in terms of the size m of the sender's
+// message alphabet M^S. Messages here are opaque strings; protocols define
+// their own encodings (e.g. "d:a" for a data message carrying item a, or
+// "ack:0" for an alternating-bit acknowledgement).
+package msg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Msg is a single message value. Protocols choose their own encodings; the
+// channel and the model checker treat messages as opaque comparable values.
+type Msg string
+
+// Alphabet is a finite, duplicate-free, ordered set of messages. The
+// paper's central parameter is m = len(sender's Alphabet).
+type Alphabet struct {
+	msgs  []Msg
+	index map[Msg]int
+}
+
+// NewAlphabet builds an alphabet from the given messages. It returns an
+// error if a message repeats, since |M| must count distinct messages.
+func NewAlphabet(msgs ...Msg) (Alphabet, error) {
+	a := Alphabet{
+		msgs:  make([]Msg, 0, len(msgs)),
+		index: make(map[Msg]int, len(msgs)),
+	}
+	for _, m := range msgs {
+		if _, ok := a.index[m]; ok {
+			return Alphabet{}, fmt.Errorf("msg: duplicate message %q in alphabet", m)
+		}
+		a.index[m] = len(a.msgs)
+		a.msgs = append(a.msgs, m)
+	}
+	return a, nil
+}
+
+// MustNewAlphabet is NewAlphabet for statically known inputs; it panics on
+// duplicates. Intended for tests, examples, and protocol constructors whose
+// alphabets are derived from validated parameters.
+func MustNewAlphabet(msgs ...Msg) Alphabet {
+	a, err := NewAlphabet(msgs...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Size returns the number of distinct messages (the paper's m for M^S).
+func (a Alphabet) Size() int { return len(a.msgs) }
+
+// Msgs returns the messages in order. The slice is shared; do not mutate.
+func (a Alphabet) Msgs() []Msg { return a.msgs }
+
+// Contains reports whether m is in the alphabet.
+func (a Alphabet) Contains(m Msg) bool {
+	_, ok := a.index[m]
+	return ok
+}
+
+// Union returns the union of a and b preserving a's order first. Duplicate
+// members across the two alphabets are collapsed.
+func (a Alphabet) Union(b Alphabet) Alphabet {
+	out := Alphabet{index: make(map[Msg]int, len(a.msgs)+len(b.msgs))}
+	for _, m := range append(append([]Msg{}, a.msgs...), b.msgs...) {
+		if _, ok := out.index[m]; ok {
+			continue
+		}
+		out.index[m] = len(out.msgs)
+		out.msgs = append(out.msgs, m)
+	}
+	return out
+}
+
+// String renders the alphabet as "{m1,m2,...}".
+func (a Alphabet) String() string {
+	parts := make([]string, len(a.msgs))
+	for i, m := range a.msgs {
+		parts[i] = string(m)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Counts is a multiset of messages: the paper's dlvrble vector. For dup
+// channels entries are 0/1 flags ("was mu ever sent"); for del channels
+// they are send-minus-deliver counts. The zero value is an empty multiset.
+type Counts map[Msg]int
+
+// Clone returns an independent copy of c.
+func (c Counts) Clone() Counts {
+	cp := make(Counts, len(c))
+	for m, n := range c {
+		cp[m] = n
+	}
+	return cp
+}
+
+// Add increases the count of m by delta (which may be negative) and drops
+// the entry when it reaches zero so that equal multisets have equal maps.
+func (c Counts) Add(m Msg, delta int) {
+	n := c[m] + delta
+	if n == 0 {
+		delete(c, m)
+		return
+	}
+	c[m] = n
+}
+
+// Get returns the count of m (zero if absent).
+func (c Counts) Get(m Msg) int { return c[m] }
+
+// Total returns the sum of all counts.
+func (c Counts) Total() int {
+	total := 0
+	for _, n := range c {
+		total += n
+	}
+	return total
+}
+
+// GE reports whether c[m] >= d[m] for every message m — the paper's
+// pointwise >= on dlvrble vectors (Definition 2, clause 2).
+func (c Counts) GE(d Counts) bool {
+	for m, n := range d {
+		if c[m] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether c and d are equal as multisets.
+func (c Counts) Equal(d Counts) bool { return c.GE(d) && d.GE(c) }
+
+// Support returns the messages with nonzero count, sorted.
+func (c Counts) Support() []Msg {
+	out := make([]Msg, 0, len(c))
+	for m := range c {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Key returns a canonical string encoding of the multiset, suitable for
+// state hashing in the model checker.
+func (c Counts) Key() string {
+	if len(c) == 0 {
+		return "∅"
+	}
+	parts := make([]string, 0, len(c))
+	for _, m := range c.Support() {
+		parts = append(parts, fmt.Sprintf("%s×%d", m, c[m]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the multiset for humans.
+func (c Counts) String() string { return "{" + c.Key() + "}" }

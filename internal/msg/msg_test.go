@@ -1,0 +1,173 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAlphabetRejectsDuplicates(t *testing.T) {
+	t.Parallel()
+	if _, err := NewAlphabet("a", "b", "a"); err == nil {
+		t.Fatal("duplicate alphabet accepted")
+	}
+	a, err := NewAlphabet("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 2 {
+		t.Errorf("Size() = %d, want 2", a.Size())
+	}
+}
+
+func TestAlphabetContains(t *testing.T) {
+	t.Parallel()
+	a := MustNewAlphabet("a", "b")
+	if !a.Contains("a") || a.Contains("c") {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestAlphabetUnion(t *testing.T) {
+	t.Parallel()
+	a := MustNewAlphabet("a", "b")
+	b := MustNewAlphabet("b", "c")
+	u := a.Union(b)
+	if u.Size() != 3 {
+		t.Fatalf("Union size = %d, want 3", u.Size())
+	}
+	want := []Msg{"a", "b", "c"}
+	for i, m := range u.Msgs() {
+		if m != want[i] {
+			t.Errorf("Union[%d] = %q, want %q", i, m, want[i])
+		}
+	}
+}
+
+func TestAlphabetString(t *testing.T) {
+	t.Parallel()
+	a := MustNewAlphabet("x", "y")
+	if got := a.String(); got != "{x,y}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCountsAddRemovesZeroEntries(t *testing.T) {
+	t.Parallel()
+	c := Counts{}
+	c.Add("a", 2)
+	c.Add("a", -2)
+	if len(c) != 0 {
+		t.Errorf("zero entry retained: %v", c)
+	}
+	c.Add("b", 1)
+	if c.Get("b") != 1 || c.Get("a") != 0 {
+		t.Errorf("counts wrong: %v", c)
+	}
+}
+
+func TestCountsTotal(t *testing.T) {
+	t.Parallel()
+	c := Counts{"a": 2, "b": 3}
+	if got := c.Total(); got != 5 {
+		t.Errorf("Total() = %d, want 5", got)
+	}
+}
+
+func TestCountsGE(t *testing.T) {
+	t.Parallel()
+	c := Counts{"a": 2, "b": 1}
+	d := Counts{"a": 1}
+	if !c.GE(d) {
+		t.Error("c.GE(d) = false")
+	}
+	if d.GE(c) {
+		t.Error("d.GE(c) = true")
+	}
+	if !c.GE(Counts{}) {
+		t.Error("c.GE(empty) = false")
+	}
+	if !(Counts{}).GE(nil) {
+		t.Error("empty.GE(nil) = false")
+	}
+}
+
+func TestCountsEqual(t *testing.T) {
+	t.Parallel()
+	a := Counts{"x": 1}
+	b := Counts{}
+	b.Add("x", 1)
+	if !a.Equal(b) {
+		t.Error("equal multisets not Equal")
+	}
+	b.Add("y", 1)
+	if a.Equal(b) {
+		t.Error("unequal multisets Equal")
+	}
+}
+
+func TestCountsCloneIndependent(t *testing.T) {
+	t.Parallel()
+	a := Counts{"x": 1}
+	b := a.Clone()
+	b.Add("x", 5)
+	if a.Get("x") != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestCountsKeyCanonical(t *testing.T) {
+	t.Parallel()
+	a := Counts{"b": 2, "a": 1}
+	b := Counts{}
+	b.Add("a", 1)
+	b.Add("b", 1)
+	b.Add("b", 1)
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if (Counts{}).Key() != "∅" {
+		t.Errorf("empty key = %q", (Counts{}).Key())
+	}
+}
+
+func TestCountsSupportSorted(t *testing.T) {
+	t.Parallel()
+	c := Counts{"z": 1, "a": 2, "m": 3}
+	sup := c.Support()
+	if len(sup) != 3 || sup[0] != "a" || sup[1] != "m" || sup[2] != "z" {
+		t.Errorf("Support() = %v", sup)
+	}
+}
+
+func TestCountsGEPartialOrderProperty(t *testing.T) {
+	t.Parallel()
+	mk := func(xs []uint8) Counts {
+		c := Counts{}
+		for i, v := range xs {
+			if i >= 4 {
+				break
+			}
+			c.Add(Msg(rune('a'+i%3)), int(v%3))
+		}
+		return c
+	}
+	f := func(a, b, c []uint8) bool {
+		x, y, z := mk(a), mk(b), mk(c)
+		// reflexive
+		if !x.GE(x) {
+			return false
+		}
+		// transitive
+		if x.GE(y) && y.GE(z) && !x.GE(z) {
+			return false
+		}
+		// antisymmetric up to Equal
+		if x.GE(y) && y.GE(x) && !x.Equal(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package prob
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/modseq"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(2)
+	if _, err := Run(spec, seq.FromInts(0), channel.KindDup, Config{}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestTightProtocolNeverFails(t *testing.T) {
+	t.Parallel()
+	// Monte Carlo over the tight protocol within its lawful X: zero
+	// violations, full completion — probability 0 of failure matches the
+	// theorem's possibility 0.
+	est, err := Run(alphaproto.MustNew(3), seq.FromInts(2, 0, 1), channel.KindDup, Config{
+		Trials: 50,
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Violations != 0 {
+		t.Errorf("tight protocol violated safety in %d/%d random runs", est.Violations, est.Trials)
+	}
+	if est.Completed != est.Trials {
+		t.Errorf("completed %d/%d (stalled %d)", est.Completed, est.Trials, est.Stalled)
+	}
+	if est.ViolationRate() != 0 || est.CompletionRate() != 1 {
+		t.Errorf("rates = %f, %f", est.ViolationRate(), est.CompletionRate())
+	}
+}
+
+func TestModseqWindowOneFailsOften(t *testing.T) {
+	t.Parallel()
+	// The degenerate window: stale replays collide constantly.
+	est, err := Run(modseq.MustNew(2, 1), seq.FromInts(0, 1, 0, 1), channel.KindDup, Config{
+		Trials: 40,
+		Seed:   4,
+		NewAdversary: func(trial int) sim.Adversary {
+			return sim.NewReplayer(int64(trial)+100, 2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Violations == 0 {
+		t.Error("window-1 modseq survived heavy replay in every run")
+	}
+}
+
+func TestWideWindowFailsRarely(t *testing.T) {
+	t.Parallel()
+	// Window >= input length: no in-run modular collision is possible.
+	est, err := Run(modseq.MustNew(2, 8), seq.FromInts(0, 1, 0, 1), channel.KindDup, Config{
+		Trials: 30,
+		Seed:   5,
+		NewAdversary: func(trial int) sim.Adversary {
+			return sim.NewReplayer(int64(trial)+200, 2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Violations != 0 {
+		t.Errorf("window-8 modseq violated safety %d times on a 4-item input", est.Violations)
+	}
+	if est.Completed != est.Trials {
+		t.Errorf("completed %d/%d", est.Completed, est.Trials)
+	}
+}
+
+func TestDropWeightPathOnDelChannel(t *testing.T) {
+	t.Parallel()
+	// The default factory with drops: the tight protocol still never
+	// violates; completion may occasionally stall within budget, which is
+	// acceptable — random drops are not fairness-bounded.
+	est, err := Run(alphaproto.MustNew(3), seq.FromInts(1, 2), channel.KindDel, Config{
+		Trials:     30,
+		Seed:       6,
+		DropWeight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Violations != 0 {
+		t.Errorf("tight protocol violated safety under random drops: %d", est.Violations)
+	}
+	if est.Trials != 30 {
+		t.Errorf("Trials = %d", est.Trials)
+	}
+	if est.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestEmptyEstimateRates(t *testing.T) {
+	t.Parallel()
+	var e Estimate
+	if e.ViolationRate() != 0 || e.CompletionRate() != 0 {
+		t.Error("zero estimate has nonzero rates")
+	}
+}

@@ -1,0 +1,140 @@
+// Package abp implements the alternating-bit protocol ([BSW69]; the "ABP"
+// of the paper's §5): stop-and-wait with a one-bit header, retransmitting
+// on every spontaneous step. Its guarantees are channel-dependent, which
+// is exactly why the paper uses it:
+//
+//   - On a FIFO channel with loss and duplication it solves STP for every
+//     sequence: the bit distinguishes "new item" from "retransmission".
+//   - Under reordering it is unsafe: a stale data message whose bit
+//     happens to match the receiver's expectation is accepted as new.
+//     Experiment T7 exhibits the violating run found by the model checker.
+//
+// Message alphabets are finite but the solvable X (on FIFO) is infinite —
+// no contradiction with Theorem 1/2, whose channels reorder.
+package abp
+
+import (
+	"fmt"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// DataMsg encodes item v under alternating bit b.
+func DataMsg(b int, v seq.Item) msg.Msg { return msg.Msg(fmt.Sprintf("b:%d:%d", b&1, int(v))) }
+
+// AckMsg encodes the acknowledgement for bit b.
+func AckMsg(b int) msg.Msg { return msg.Msg(fmt.Sprintf("k:%d", b&1)) }
+
+// New returns the protocol spec for domain size m.
+func New(m int) (protocol.Spec, error) {
+	if m < 0 {
+		return protocol.Spec{}, fmt.Errorf("abp: negative domain size %d", m)
+	}
+	return protocol.Spec{
+		Name:        fmt.Sprintf("abp(m=%d)", m),
+		Description: "alternating-bit stop-and-wait; safe on FIFO, unsafe under reordering",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			for _, v := range input {
+				if int(v) < 0 || int(v) >= m {
+					return nil, fmt.Errorf("abp: item %d outside domain of size %d", int(v), m)
+				}
+			}
+			return &sender{m: m, input: input.Clone()}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &receiver{m: m}, nil
+		},
+	}, nil
+}
+
+// MustNew is New for validated parameters; it panics on error.
+func MustNew(m int) protocol.Spec {
+	s, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// sender transmits input[idx] under bit idx%2, retransmitting each tick,
+// advancing on the matching acknowledgement.
+type sender struct {
+	m     int
+	input seq.Seq
+	idx   int
+}
+
+var _ protocol.Sender = (*sender)(nil)
+
+func (s *sender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		if s.idx < len(s.input) && ev.Msg == AckMsg(s.idx) {
+			s.idx++
+		}
+		return nil
+	case protocol.Tick:
+		if s.idx < len(s.input) {
+			return []msg.Msg{DataMsg(s.idx, s.input[s.idx])}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *sender) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, 0, 2*s.m)
+	for b := 0; b < 2; b++ {
+		for v := 0; v < s.m; v++ {
+			msgs = append(msgs, DataMsg(b, seq.Item(v)))
+		}
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (s *sender) Done() bool { return s.idx >= len(s.input) }
+
+func (s *sender) Clone() protocol.Sender {
+	return &sender{m: s.m, input: s.input.Clone(), idx: s.idx}
+}
+
+func (s *sender) Key() string { return fmt.Sprintf("abpS{%d}", s.idx) }
+
+// receiver accepts data whose bit matches its expectation, acknowledging
+// every data message with the bit it carried.
+type receiver struct {
+	m       int
+	written int
+}
+
+var _ protocol.Receiver = (*receiver)(nil)
+
+func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		return nil, nil
+	}
+	var b, v int
+	if _, err := fmt.Sscanf(string(ev.Msg), "b:%d:%d", &b, &v); err != nil {
+		return nil, nil
+	}
+	if b == r.written&1 {
+		r.written++
+		return []msg.Msg{AckMsg(b)}, seq.Seq{seq.Item(v)}
+	}
+	// Retransmission of the previous item: re-acknowledge its bit.
+	return []msg.Msg{AckMsg(b)}, nil
+}
+
+func (r *receiver) Alphabet() msg.Alphabet {
+	return msg.MustNewAlphabet(AckMsg(0), AckMsg(1))
+}
+
+func (r *receiver) Clone() protocol.Receiver {
+	cp := *r
+	return &cp
+}
+
+func (r *receiver) Key() string { return fmt.Sprintf("abpR{%d}", r.written) }

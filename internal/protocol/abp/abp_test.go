@@ -1,0 +1,137 @@
+package abp_test
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/abp"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := abp.New(-1); err == nil {
+		t.Fatal("negative m accepted")
+	}
+	spec := abp.MustNew(2)
+	if _, err := spec.NewSender(seq.FromInts(3)); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := spec.NewSender(seq.FromInts(0, 0, 1)); err != nil {
+		t.Errorf("repetitions must be allowed on FIFO: %v", err)
+	}
+}
+
+func TestAlphabetSizes(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(3)
+	s, _ := spec.NewSender(seq.FromInts(0))
+	if got := s.Alphabet().Size(); got != 6 {
+		t.Errorf("|M^S| = %d, want 2m = 6", got)
+	}
+	r, _ := spec.NewReceiver()
+	if got := r.Alphabet().Size(); got != 2 {
+		t.Errorf("|M^R| = %d, want 2", got)
+	}
+}
+
+func TestCompletesOnLossyDupFIFO(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(2)
+	input := seq.FromInts(0, 0, 1, 0, 1, 1) // repetitions stress the bit logic
+	advs := []sim.Adversary{
+		sim.NewRoundRobin(),
+		sim.NewBudgetDropper(1, 6),
+		sim.NewFinDelay(sim.NewRandom(4), 10),
+	}
+	for _, adv := range advs {
+		res, err := sim.RunProtocol(spec, input, channel.KindFIFO, adv,
+			sim.Config{MaxSteps: 6000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Errorf("%s: safety on FIFO: %v", adv.Name(), res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Errorf("%s: incomplete: %s", adv.Name(), res.Output)
+		}
+	}
+}
+
+func TestDuplicationOnFIFOIsHarmless(t *testing.T) {
+	t.Parallel()
+	// Hand-drive duplicated deliveries: adjacent copies must be rejected
+	// by the bit check.
+	spec := abp.MustNew(2)
+	r, _ := spec.NewReceiver()
+	sends, writes := r.Step(protocol.RecvEvent(abp.DataMsg(0, 1)))
+	if len(writes) != 1 || len(sends) != 1 || sends[0] != abp.AckMsg(0) {
+		t.Fatalf("first copy: %v %v", sends, writes)
+	}
+	sends, writes = r.Step(protocol.RecvEvent(abp.DataMsg(0, 1)))
+	if len(writes) != 0 {
+		t.Fatalf("duplicate accepted: wrote %v", writes)
+	}
+	if len(sends) != 1 || sends[0] != abp.AckMsg(0) {
+		t.Fatalf("duplicate not re-acked: %v", sends)
+	}
+}
+
+func TestSenderIgnoresWrongBitAck(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(2)
+	s, _ := spec.NewSender(seq.FromInts(1, 0))
+	s.Step(protocol.TickEvent())
+	s.Step(protocol.RecvEvent(abp.AckMsg(1))) // wrong bit
+	if s.Done() {
+		t.Fatal("wrong-bit ack advanced the sender")
+	}
+	out := s.Step(protocol.TickEvent())
+	if len(out) != 1 || out[0] != abp.DataMsg(0, 1) {
+		t.Fatalf("tick sends %v, want b:0:1", out)
+	}
+	s.Step(protocol.RecvEvent(abp.AckMsg(0)))
+	out = s.Step(protocol.TickEvent())
+	if len(out) != 1 || out[0] != abp.DataMsg(1, 0) {
+		t.Fatalf("tick sends %v, want b:1:0", out)
+	}
+}
+
+// TestUnsafeUnderReordering exhibits §5's premise: ABP breaks on a
+// reordering channel. A stale data message with a matching bit is
+// accepted as new. We drive the run by hand.
+func TestUnsafeUnderReordering(t *testing.T) {
+	t.Parallel()
+	spec := abp.MustNew(2)
+	link, err := channel.NewLinkOfKind(channel.KindDel) // reorder+delete
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X = 0.1: a stale duplicate of b:0:0 delivered after item 2 makes
+	// Y = 0.1.0, not a prefix of X.
+	w, err := sim.New(spec, seq.FromInts(0, 1), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []trace.Action{
+		trace.TickS(), // send b:0:0 (copy 1)
+		trace.TickS(), // retransmit b:0:0 (copy 2)
+		trace.Deliver(channel.SToR, abp.DataMsg(0, 0)), // R writes 0, acks k:0
+		trace.Deliver(channel.RToS, abp.AckMsg(0)),     // S advances
+		trace.TickS(), // send b:1:1
+		trace.Deliver(channel.SToR, abp.DataMsg(1, 1)), // R writes 1, acks k:1
+		trace.Deliver(channel.SToR, abp.DataMsg(0, 0)), // STALE copy 2: bit matches!
+	}
+	for i, act := range steps {
+		if err := w.Apply(act); err != nil {
+			t.Fatalf("step %d (%s): %v", i, act, err)
+		}
+	}
+	if w.SafetyViolation == nil {
+		t.Fatalf("no safety violation; output = %s", w.Output)
+	}
+}

@@ -1,0 +1,152 @@
+package afwz_test
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/afwz"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := afwz.New(-1); err == nil {
+		t.Fatal("negative m accepted")
+	}
+	spec := afwz.MustNew(2)
+	if _, err := spec.NewSender(seq.FromInts(7)); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := spec.NewSender(seq.FromInts(0, 0, 1, 1)); err != nil {
+		t.Errorf("repeating input must be allowed: %v", err)
+	}
+}
+
+func TestAlphabetSizes(t *testing.T) {
+	t.Parallel()
+	spec := afwz.MustNew(3)
+	s, _ := spec.NewSender(seq.FromInts(0))
+	if got := s.Alphabet().Size(); got != 4 {
+		t.Errorf("|M^S| = %d, want m+1 = 4", got)
+	}
+	r, _ := spec.NewReceiver()
+	if got := r.Alphabet().Size(); got != 1 {
+		t.Errorf("|M^R| = %d, want 1", got)
+	}
+}
+
+func TestCompletesOnDelAndReorder(t *testing.T) {
+	t.Parallel()
+	spec := afwz.MustNew(2)
+	inputs := []seq.Seq{
+		{},
+		seq.FromInts(0),
+		seq.FromInts(0, 0, 0),
+		seq.FromInts(1, 0, 1, 0, 1),
+		seq.FromInts(0, 1, 1, 0, 0, 1, 1, 1),
+	}
+	for _, kind := range []channel.Kind{channel.KindDel, channel.KindReorder} {
+		for _, input := range inputs {
+			res, err := sim.RunProtocol(spec, input, kind, sim.NewRoundRobin(),
+				sim.Config{MaxSteps: 5000, StopWhenComplete: true})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, input, err)
+			}
+			if res.SafetyViolation != nil {
+				t.Errorf("%s/%s: safety: %v", kind, input, res.SafetyViolation)
+			}
+			if !res.OutputComplete {
+				t.Errorf("%s/%s: incomplete: %s", kind, input, res.Output)
+			}
+		}
+	}
+}
+
+func TestWritesAreAllAtTheEnd(t *testing.T) {
+	t.Parallel()
+	// The defining behaviour: R learns (and writes) everything only when
+	// "end" arrives — all learn times are equal.
+	spec := afwz.MustNew(2)
+	input := seq.FromInts(0, 1, 0, 1)
+	res, err := sim.RunProtocol(spec, input, channel.KindReorder, sim.NewRoundRobin(),
+		sim.Config{MaxSteps: 5000, StopWhenComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LearnTimes) != len(input) {
+		t.Fatalf("LearnTimes = %v", res.LearnTimes)
+	}
+	for i := 1; i < len(res.LearnTimes); i++ {
+		if res.LearnTimes[i] != res.LearnTimes[0] {
+			t.Errorf("writes not simultaneous: %v", res.LearnTimes)
+		}
+	}
+}
+
+func TestGatingKeepsOneCopyInFlight(t *testing.T) {
+	t.Parallel()
+	spec := afwz.MustNew(2)
+	link, err := channel.NewLinkOfKind(channel.KindDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.New(spec, seq.FromInts(1, 0, 1), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := sim.NewRoundRobin()
+	for i := 0; i < 200 && !w.OutputComplete(); i++ {
+		if total := w.Link.Half(channel.SToR).Deliverable().Total(); total > 1 {
+			t.Fatalf("gating violated: %d copies in flight", total)
+		}
+		if total := w.Link.Half(channel.RToS).Deliverable().Total(); total > 1 {
+			t.Fatalf("ack gating violated: %d acks in flight", total)
+		}
+		if err := w.Apply(adv.Choose(w, w.Enabled())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !w.OutputComplete() {
+		t.Fatal("run did not complete")
+	}
+}
+
+func TestDeletionStallsSafely(t *testing.T) {
+	t.Parallel()
+	// Drop the single in-flight copy: the protocol must stall (no fresh
+	// sends, no writes) but never violate safety. This is the unfair-run
+	// behaviour of a del channel.
+	spec := afwz.MustNew(2)
+	link, err := channel.NewLinkOfKind(channel.KindDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.New(spec, seq.FromInts(1, 0), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Apply(trace.TickS()); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the only copy.
+	sup := w.Link.Half(channel.SToR).Deliverable().Support()
+	if len(sup) != 1 {
+		t.Fatalf("expected one in-flight message, got %v", sup)
+	}
+	if err := w.Link.Half(channel.SToR).Drop(sup[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Run a long fair schedule: nothing can happen anymore.
+	res, err := sim.Run(w, sim.NewRoundRobin(), sim.Config{MaxSteps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafetyViolation != nil {
+		t.Errorf("stall violated safety: %v", res.SafetyViolation)
+	}
+	if len(res.Output) != 0 {
+		t.Errorf("stalled run wrote %s", res.Output)
+	}
+}

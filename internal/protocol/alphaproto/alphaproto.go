@@ -1,0 +1,182 @@
+// Package alphaproto implements the paper's tight protocol (§3 end, §4
+// end): the finite-state solution to X-STP(dup) and X-STP(del) for the
+// set X of repetition-free sequences over a domain D of size m, which has
+// |X| = alpha(m) — matching the impossibility bound of Theorems 1 and 2.
+//
+// Protocol (quoting the paper): "S sends the data items in sequence and
+// waits for the appropriate acknowledgements for each. R awaits the
+// arrival of some new message (i.e., one different than any of the
+// previously received messages); it then writes the new data item and
+// sends the appropriate acknowledgement to S. Hence, reordering is dealt
+// with by simply allowing the processors to ignore previously received
+// messages."
+//
+// The same machine works on both channel models:
+//
+//   - dup: duplicates of old data messages are ignored by R because their
+//     values were already seen — this is exactly why X must be
+//     repetition-free;
+//   - del: S retransmits the current item on every tick until it is
+//     acknowledged, and R re-acknowledges duplicates (retransmissions), so
+//     losses are repaired. The protocol is f-bounded with constant f: from
+//     any point, one retransmission plus one acknowledgement round trip —
+//     all fresh messages — teaches R the next item (Definition 2).
+//
+// Message alphabets: M^S = {d:v | v in D} and M^R = {a:v | v in D}, so
+// |M^S| = m as in the paper (acknowledgements name the value because the
+// ack channel also reorders; the paper's "appropriate acknowledgements").
+package alphaproto
+
+import (
+	"fmt"
+	"strings"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// DataMsg encodes the data message for item v.
+func DataMsg(v seq.Item) msg.Msg { return msg.Msg(fmt.Sprintf("d:%d", int(v))) }
+
+// AckMsg encodes the acknowledgement for item v.
+func AckMsg(v seq.Item) msg.Msg { return msg.Msg(fmt.Sprintf("a:%d", int(v))) }
+
+// senderAlphabet returns M^S for domain size m.
+func senderAlphabet(m int) msg.Alphabet {
+	msgs := make([]msg.Msg, m)
+	for v := 0; v < m; v++ {
+		msgs[v] = DataMsg(seq.Item(v))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+// receiverAlphabet returns M^R for domain size m.
+func receiverAlphabet(m int) msg.Alphabet {
+	msgs := make([]msg.Msg, m)
+	for v := 0; v < m; v++ {
+		msgs[v] = AckMsg(seq.Item(v))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+// New returns the protocol spec for domain size m. Senders reject inputs
+// that repeat an item or leave the domain: those are outside this
+// protocol's X (and, by Theorems 1 and 2, outside any protocol's X at
+// this alphabet size, up to re-encoding).
+func New(m int) (protocol.Spec, error) {
+	if m < 0 {
+		return protocol.Spec{}, fmt.Errorf("alphaproto: negative domain size %d", m)
+	}
+	return protocol.Spec{
+		Name:        fmt.Sprintf("alpha(m=%d)", m),
+		Description: "the paper's tight protocol: new-value writes, value acknowledgements",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			for _, v := range input {
+				if int(v) < 0 || int(v) >= m {
+					return nil, fmt.Errorf("alphaproto: item %d outside domain of size %d", int(v), m)
+				}
+			}
+			if input.HasRepetition() {
+				return nil, fmt.Errorf("alphaproto: input %s repeats an item; X is the repetition-free sequences", input)
+			}
+			return &sender{m: m, input: input.Clone()}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &receiver{m: m, seen: make(map[seq.Item]bool)}, nil
+		},
+	}, nil
+}
+
+// MustNew is New for validated parameters; it panics on error.
+func MustNew(m int) protocol.Spec {
+	s, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// sender is S: transmit input[idx] every tick until its ack arrives.
+type sender struct {
+	m     int
+	input seq.Seq
+	idx   int // next unacknowledged position
+}
+
+var _ protocol.Sender = (*sender)(nil)
+
+func (s *sender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		if s.idx < len(s.input) && ev.Msg == AckMsg(s.input[s.idx]) {
+			s.idx++
+		}
+		return nil
+	case protocol.Tick:
+		if s.idx < len(s.input) {
+			return []msg.Msg{DataMsg(s.input[s.idx])}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *sender) Alphabet() msg.Alphabet { return senderAlphabet(s.m) }
+func (s *sender) Done() bool             { return s.idx >= len(s.input) }
+
+func (s *sender) Clone() protocol.Sender {
+	return &sender{m: s.m, input: s.input.Clone(), idx: s.idx}
+}
+
+func (s *sender) Key() string {
+	// The input is fixed per run; idx fully determines behaviour.
+	return fmt.Sprintf("alphaS{idx=%d}", s.idx)
+}
+
+// receiver is R: write each never-before-seen value, acknowledge every
+// data message (first sight or duplicate).
+type receiver struct {
+	m       int
+	seen    map[seq.Item]bool
+	written seq.Seq
+}
+
+var _ protocol.Receiver = (*receiver)(nil)
+
+func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		return nil, nil
+	}
+	var v seq.Item
+	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d", (*int)(&v)); err != nil {
+		return nil, nil // not a data message; ignore
+	}
+	if r.seen[v] {
+		// Duplicate: re-acknowledge (repairs lost acks on del channels).
+		return []msg.Msg{AckMsg(v)}, nil
+	}
+	r.seen[v] = true
+	r.written = append(r.written, v)
+	return []msg.Msg{AckMsg(v)}, seq.Seq{v}
+}
+
+func (r *receiver) Alphabet() msg.Alphabet { return receiverAlphabet(r.m) }
+
+func (r *receiver) Clone() protocol.Receiver {
+	seen := make(map[seq.Item]bool, len(r.seen))
+	for k, v := range r.seen {
+		seen[k] = v
+	}
+	return &receiver{m: r.m, seen: seen, written: r.written.Clone()}
+}
+
+func (r *receiver) Key() string {
+	// The written order determines the seen set and all future behaviour.
+	parts := make([]string, len(r.written))
+	for i, v := range r.written {
+		parts[i] = fmt.Sprintf("%d", int(v))
+	}
+	return "alphaR{" + strings.Join(parts, ".") + "}"
+}

@@ -1,0 +1,227 @@
+package alphaproto_test
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+func TestNewValidatesParameters(t *testing.T) {
+	t.Parallel()
+	if _, err := alphaproto.New(-1); err == nil {
+		t.Fatal("negative m accepted")
+	}
+	spec := alphaproto.MustNew(2)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.NewSender(seq.FromInts(0, 0)); err == nil {
+		t.Error("repeating input accepted")
+	}
+	if _, err := spec.NewSender(seq.FromInts(5)); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := spec.NewSender(seq.FromInts(1, 0)); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+func TestAlphabetSizesMatchPaper(t *testing.T) {
+	t.Parallel()
+	// |M^S| = |M^R| = m, the paper's protocol.
+	spec := alphaproto.MustNew(3)
+	s, err := spec.NewSender(seq.FromInts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Alphabet().Size(); got != 3 {
+		t.Errorf("|M^S| = %d, want 3", got)
+	}
+	r, err := spec.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Alphabet().Size(); got != 3 {
+		t.Errorf("|M^R| = %d, want 3", got)
+	}
+}
+
+func TestSenderIgnoresWrongAcks(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(3)
+	s, err := spec.NewSender(seq.FromInts(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-value ack: no progress.
+	s.Step(protocol.RecvEvent(alphaproto.AckMsg(2)))
+	sends := s.Step(protocol.TickEvent())
+	if len(sends) != 1 || sends[0] != alphaproto.DataMsg(1) {
+		t.Fatalf("after stray ack, tick sends %v, want d:1", sends)
+	}
+	// Right ack advances.
+	s.Step(protocol.RecvEvent(alphaproto.AckMsg(1)))
+	sends = s.Step(protocol.TickEvent())
+	if len(sends) != 1 || sends[0] != alphaproto.DataMsg(2) {
+		t.Fatalf("tick sends %v, want d:2", sends)
+	}
+	if s.Done() {
+		t.Error("Done before final ack")
+	}
+	s.Step(protocol.RecvEvent(alphaproto.AckMsg(2)))
+	if !s.Done() {
+		t.Error("not Done after all acks")
+	}
+	if got := s.Step(protocol.TickEvent()); len(got) != 0 {
+		t.Errorf("done sender still sends %v", got)
+	}
+}
+
+func TestReceiverWritesNewValuesOnceAndReacks(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(2)
+	r, err := spec.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends, writes := r.Step(protocol.RecvEvent(alphaproto.DataMsg(1)))
+	if len(writes) != 1 || writes[0] != 1 {
+		t.Fatalf("first receipt: writes %v", writes)
+	}
+	if len(sends) != 1 || sends[0] != alphaproto.AckMsg(1) {
+		t.Fatalf("first receipt: sends %v", sends)
+	}
+	// Duplicate: re-ack, no write.
+	sends, writes = r.Step(protocol.RecvEvent(alphaproto.DataMsg(1)))
+	if len(writes) != 0 {
+		t.Fatalf("duplicate wrote %v", writes)
+	}
+	if len(sends) != 1 || sends[0] != alphaproto.AckMsg(1) {
+		t.Fatalf("duplicate re-ack: sends %v", sends)
+	}
+	// Ticks and foreign messages are no-ops.
+	if s, w := r.Step(protocol.TickEvent()); len(s)+len(w) != 0 {
+		t.Error("tick produced activity")
+	}
+	if s, w := r.Step(protocol.RecvEvent("junk")); len(s)+len(w) != 0 {
+		t.Error("junk message produced activity")
+	}
+}
+
+func TestCloneAndKeyDiscipline(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(2)
+	s, _ := spec.NewSender(seq.FromInts(0, 1))
+	c := s.Clone()
+	if s.Key() != c.Key() {
+		t.Error("clone has different key")
+	}
+	c.Step(protocol.RecvEvent(alphaproto.AckMsg(0)))
+	if s.Key() == c.Key() {
+		t.Error("diverged clones share key")
+	}
+	r, _ := spec.NewReceiver()
+	rc := r.Clone()
+	rc.Step(protocol.RecvEvent(alphaproto.DataMsg(1)))
+	if r.Key() == rc.Key() {
+		t.Error("diverged receiver clones share key")
+	}
+}
+
+// TestAllSequencesAllChannels is the heart of T2/T4 in miniature: every
+// repetition-free input over m completes safely on dup and del channels
+// under several adversaries.
+func TestAllSequencesAllChannels(t *testing.T) {
+	t.Parallel()
+	const m = 3
+	spec := alphaproto.MustNew(m)
+	advs := func() []sim.Adversary {
+		return []sim.Adversary{
+			sim.NewRoundRobin(),
+			sim.NewFinDelay(sim.NewRandom(7), 10),
+			sim.NewFinDelay(sim.NewReplayer(3, 2), 12),
+			sim.NewWithholder(20),
+		}
+	}
+	for _, kind := range []channel.Kind{channel.KindDup, channel.KindDel, channel.KindReorder} {
+		for _, input := range seq.RepetitionFree(m) {
+			for i, adv := range advs() {
+				if kind != channel.KindDup && i == 2 {
+					continue // replayer targets dup semantics
+				}
+				res, err := sim.RunProtocol(spec, input, kind, adv, sim.Config{MaxSteps: 4000, StopWhenComplete: true})
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", kind, input, adv.Name(), err)
+				}
+				if res.SafetyViolation != nil {
+					t.Errorf("%s/%s/%s: safety: %v", kind, input, adv.Name(), res.SafetyViolation)
+				}
+				if !res.OutputComplete {
+					t.Errorf("%s/%s/%s: incomplete output %s", kind, input, adv.Name(), res.Output)
+				}
+			}
+		}
+	}
+}
+
+func TestDelChannelWithDropsRecovers(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(4)
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := sim.RunProtocol(spec, seq.FromInts(3, 1, 0, 2), channel.KindDel,
+			sim.NewBudgetDropper(seed, 10), sim.Config{MaxSteps: 5000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OutputComplete || res.SafetyViolation != nil {
+			t.Errorf("seed %d: complete=%v violation=%v", seed, res.OutputComplete, res.SafetyViolation)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(2)
+	res, err := sim.RunProtocol(spec, seq.Seq{}, channel.KindDup, sim.NewRoundRobin(),
+		sim.Config{MaxSteps: 10, StopWhenComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputComplete || len(res.Output) != 0 {
+		t.Errorf("empty input: complete=%v output=%s", res.OutputComplete, res.Output)
+	}
+}
+
+// TestDupDelChannel exercises the full fault menu: reorder + duplicate +
+// delete. The tight protocol's retransmission restores erased types and
+// its duplicate suppression absorbs replays, so it survives both at once.
+func TestDupDelChannel(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(3)
+	for seed := int64(0); seed < 6; seed++ {
+		res, err := sim.RunProtocol(spec, seq.FromInts(2, 0, 1), channel.KindDupDel,
+			sim.NewBudgetDropper(seed, 4), sim.Config{MaxSteps: 5000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Errorf("seed %d: safety: %v", seed, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Errorf("seed %d: incomplete: %s", seed, res.Output)
+		}
+	}
+	// And under replay pressure with erasures mixed in.
+	res, err := sim.RunProtocol(spec, seq.FromInts(1, 2, 0), channel.KindDupDel,
+		sim.NewFinDelay(sim.NewRandomDropper(7, 1), 10), sim.Config{MaxSteps: 8000, StopWhenComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafetyViolation != nil || !res.OutputComplete {
+		t.Errorf("random dup+del: complete=%v violation=%v", res.OutputComplete, res.SafetyViolation)
+	}
+}

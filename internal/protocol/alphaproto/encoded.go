@@ -1,0 +1,168 @@
+package alphaproto
+
+import (
+	"fmt"
+	"strings"
+
+	"seqtx/internal/alpha"
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// NewEncoded generalizes the tight protocol from the canonical X
+// (repetition-free sequences over D) to an arbitrary finite set X of data
+// sequences, provided X is prefix-monotone encodable over m messages —
+// the exact condition the paper identifies as necessary (§3, end). The
+// sender transmits the repetition-free code mu(X) symbol by symbol with
+// value acknowledgements; the receiver, which knows the code table (R's
+// protocol may depend on the set X, only not on the chosen X), writes
+// data items as soon as the received code prefix pins them down.
+//
+// Prefix monotonicity is what makes eager writing safe: if the received
+// code string equals mu(X1) for a member X1, then mu(X1) is a prefix of
+// mu(X) for the actual input X, hence X1 is a prefix of X, so writing
+// X1's items can never violate safety.
+func NewEncoded(x *seq.Set, m int) (protocol.Spec, error) {
+	enc, err := alpha.Encode(x, m)
+	if err != nil {
+		return protocol.Spec{}, fmt.Errorf("alphaproto: %w", err)
+	}
+	// Receiver-side decode table: code-string key -> member data sequence.
+	decode := make(map[string]seq.Seq, x.Size())
+	for _, member := range x.Seqs() {
+		code, cerr := enc.Code(member)
+		if cerr != nil {
+			return protocol.Spec{}, cerr
+		}
+		decode[codeKey(code)] = member.Clone()
+	}
+	senderAlp := enc.Alphabet()
+	ackMsgs := make([]msg.Msg, senderAlp.Size())
+	for i, c := range senderAlp.Msgs() {
+		ackMsgs[i] = msg.Msg("k:" + string(c))
+	}
+	recvAlp := msg.MustNewAlphabet(ackMsgs...)
+
+	return protocol.Spec{
+		Name:        fmt.Sprintf("alpha-encoded(m=%d,|X|=%d)", m, x.Size()),
+		Description: "tight protocol over an encoded arbitrary X (prefix-monotone mu)",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			code, cerr := enc.Code(input)
+			if cerr != nil {
+				return nil, fmt.Errorf("alphaproto: input %s not in X: %w", input, cerr)
+			}
+			return &encSender{alphabet: senderAlp, code: code}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &encReceiver{alphabet: recvAlp, decode: decode}, nil
+		},
+	}, nil
+}
+
+func codeKey(code []msg.Msg) string {
+	parts := make([]string, len(code))
+	for i, c := range code {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, "/")
+}
+
+// encSender transmits the code symbols of mu(input) with stop-and-wait on
+// value acknowledgements, retransmitting on every tick.
+type encSender struct {
+	alphabet msg.Alphabet
+	code     []msg.Msg
+	idx      int
+}
+
+var _ protocol.Sender = (*encSender)(nil)
+
+func (s *encSender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		if s.idx < len(s.code) && ev.Msg == msg.Msg("k:"+string(s.code[s.idx])) {
+			s.idx++
+		}
+		return nil
+	case protocol.Tick:
+		if s.idx < len(s.code) {
+			return []msg.Msg{s.code[s.idx]}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *encSender) Alphabet() msg.Alphabet { return s.alphabet }
+func (s *encSender) Done() bool             { return s.idx >= len(s.code) }
+
+func (s *encSender) Clone() protocol.Sender {
+	return &encSender{alphabet: s.alphabet, code: s.code, idx: s.idx}
+}
+
+func (s *encSender) Key() string { return fmt.Sprintf("encS{idx=%d}", s.idx) }
+
+// encReceiver accumulates new code symbols in arrival order, acknowledges
+// everything, and writes data items whenever the accumulated code string
+// matches a member's full code.
+type encReceiver struct {
+	alphabet  msg.Alphabet
+	decode    map[string]seq.Seq
+	seen      map[msg.Msg]bool
+	codeSoFar []msg.Msg
+	written   int // items written so far
+}
+
+var _ protocol.Receiver = (*encReceiver)(nil)
+
+func (r *encReceiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		// A member may have the empty code (its data is then a prefix of
+		// every member's, so writing it blind is safe); commit it on the
+		// first spontaneous step.
+		return nil, r.tryWrite()
+	}
+	if r.seen == nil {
+		r.seen = make(map[msg.Msg]bool)
+	}
+	ack := msg.Msg("k:" + string(ev.Msg))
+	if r.seen[ev.Msg] {
+		return []msg.Msg{ack}, nil
+	}
+	r.seen[ev.Msg] = true
+	r.codeSoFar = append(r.codeSoFar, ev.Msg)
+	return []msg.Msg{ack}, r.tryWrite()
+}
+
+// tryWrite commits the data items pinned down by the received code prefix.
+func (r *encReceiver) tryWrite() seq.Seq {
+	member, ok := r.decode[codeKey(r.codeSoFar)]
+	if !ok || len(member) <= r.written {
+		return nil
+	}
+	writes := member[r.written:].Clone()
+	r.written = len(member)
+	return writes
+}
+
+func (r *encReceiver) Alphabet() msg.Alphabet { return r.alphabet }
+
+func (r *encReceiver) Clone() protocol.Receiver {
+	seen := make(map[msg.Msg]bool, len(r.seen))
+	for k, v := range r.seen {
+		seen[k] = v
+	}
+	return &encReceiver{
+		alphabet:  r.alphabet,
+		decode:    r.decode,
+		seen:      seen,
+		codeSoFar: append([]msg.Msg(nil), r.codeSoFar...),
+		written:   r.written,
+	}
+}
+
+func (r *encReceiver) Key() string {
+	return fmt.Sprintf("encR{%s|w=%d}", codeKey(r.codeSoFar), r.written)
+}

@@ -1,0 +1,120 @@
+package alphaproto_test
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+func TestEncodedRejectsUnencodableSet(t *testing.T) {
+	t.Parallel()
+	// Six sequences over m=2: beyond alpha(2) = 5.
+	x := seq.MustNewSet(
+		seq.Seq{}, seq.FromInts(0), seq.FromInts(1),
+		seq.FromInts(0, 1), seq.FromInts(1, 0), seq.FromInts(0, 0),
+	)
+	if _, err := alphaproto.NewEncoded(x, 2); err == nil {
+		t.Fatal("oversized X accepted")
+	}
+}
+
+func TestEncodedTransmitsRepeatingSequences(t *testing.T) {
+	t.Parallel()
+	// The encoded protocol's whole point: X may contain repetitions as
+	// long as |X| fits; mu maps them to repetition-free codes.
+	x := seq.MustNewSet(
+		seq.FromInts(0, 0, 0),
+		seq.FromInts(1, 1),
+		seq.FromInts(2),
+	)
+	spec, err := alphaproto.NewEncoded(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range x.Seqs() {
+		for _, kind := range []channel.Kind{channel.KindDup, channel.KindDel} {
+			res, rerr := sim.RunProtocol(spec, input, kind, sim.NewRoundRobin(),
+				sim.Config{MaxSteps: 2000, StopWhenComplete: true})
+			if rerr != nil {
+				t.Fatalf("%s/%s: %v", kind, input, rerr)
+			}
+			if res.SafetyViolation != nil {
+				t.Errorf("%s/%s: %v", kind, input, res.SafetyViolation)
+			}
+			if !res.OutputComplete {
+				t.Errorf("%s/%s: incomplete output %s", kind, input, res.Output)
+			}
+		}
+	}
+}
+
+func TestEncodedPrefixChainWritesEagerly(t *testing.T) {
+	t.Parallel()
+	// X = {0, 0.0}: mu(0) may be the empty code, in which case R writes
+	// "0" before receiving anything — legitimately, since every member
+	// starts with 0. Safety must hold for both inputs regardless.
+	x := seq.MustNewSet(seq.FromInts(0), seq.FromInts(0, 0))
+	spec, err := alphaproto.NewEncoded(x, 1)
+	if err != nil {
+		t.Fatalf("2-chain should encode over m=1: %v", err)
+	}
+	for _, input := range x.Seqs() {
+		res, rerr := sim.RunProtocol(spec, input, channel.KindDup, sim.NewRoundRobin(),
+			sim.Config{MaxSteps: 500, StopWhenComplete: true})
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if res.SafetyViolation != nil {
+			t.Errorf("input %s: %v", input, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Errorf("input %s: incomplete %s", input, res.Output)
+		}
+	}
+}
+
+func TestEncodedRejectsNonMemberInput(t *testing.T) {
+	t.Parallel()
+	x := seq.MustNewSet(seq.FromInts(0))
+	spec, err := alphaproto.NewEncoded(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.NewSender(seq.FromInts(1)); err == nil {
+		t.Fatal("non-member input accepted")
+	}
+}
+
+func TestEncodedSurvivesReplayAndDrops(t *testing.T) {
+	t.Parallel()
+	x := seq.MustNewSet(
+		seq.FromInts(0, 0),
+		seq.FromInts(1),
+		seq.FromInts(1, 1, 1),
+	)
+	spec, err := alphaproto.NewEncoded(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay on dup.
+	res, err := sim.RunProtocol(spec, seq.FromInts(0, 0), channel.KindDup,
+		sim.NewFinDelay(sim.NewReplayer(5, 2), 10), sim.Config{MaxSteps: 3000, StopWhenComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafetyViolation != nil || !res.OutputComplete {
+		t.Errorf("replay: complete=%v violation=%v", res.OutputComplete, res.SafetyViolation)
+	}
+	// Drops on del.
+	res, err = sim.RunProtocol(spec, seq.FromInts(1, 1, 1), channel.KindDel,
+		sim.NewBudgetDropper(2, 6), sim.Config{MaxSteps: 3000, StopWhenComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafetyViolation != nil || !res.OutputComplete {
+		t.Errorf("drops: complete=%v violation=%v output=%s", res.OutputComplete, res.SafetyViolation, res.Output)
+	}
+}

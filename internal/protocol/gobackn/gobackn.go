@@ -1,0 +1,198 @@
+// Package gobackn implements the Go-Back-N sliding-window protocol over
+// the FIFO channel with loss and duplication — the classic data-link
+// pipelining refinement of the alternating-bit protocol (the [BSW69]
+// lineage the paper's introduction situates STP in).
+//
+// The sender keeps up to Window unacknowledged frames in flight, each
+// numbered modulo Window+1; the receiver accepts only the next expected
+// number and acknowledges cumulatively. On a timeout the sender re-sends
+// the whole outstanding window ("go back n").
+//
+// Relevance to the paper: Go-Back-N needs only Window+1 distinct numbers
+// BECAUSE the channel preserves order. Under reordering, frame numbers
+// taken modulo anything collide exactly like modseq's (experiment T9/T7
+// territory), and the alpha(m) bound bites again. The package exhibits
+// the boundary: safe and fast on FIFO, refutable on reordering channels.
+// The benchmark ablation measures the pipelining win over stop-and-wait.
+package gobackn
+
+import (
+	"fmt"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// DataMsg encodes item v under frame number n (modulo window+1).
+func DataMsg(mod, n int, v seq.Item) msg.Msg {
+	return msg.Msg(fmt.Sprintf("g:%d:%d", n%mod, int(v)))
+}
+
+// AckMsg encodes the cumulative acknowledgement "expecting frame n next".
+func AckMsg(mod, n int) msg.Msg { return msg.Msg(fmt.Sprintf("ga:%d", n%mod)) }
+
+// New returns the protocol spec for domain size m and window >= 1.
+// The frame-number space is window+1 (the classic minimum for Go-Back-N),
+// so |M^S| = (window+1)·m and |M^R| = window+1.
+func New(m, window int) (protocol.Spec, error) {
+	if m < 0 {
+		return protocol.Spec{}, fmt.Errorf("gobackn: negative domain size %d", m)
+	}
+	if window < 1 {
+		return protocol.Spec{}, fmt.Errorf("gobackn: window %d < 1", window)
+	}
+	return protocol.Spec{
+		Name:        fmt.Sprintf("gobackn(m=%d,W=%d)", m, window),
+		Description: "Go-Back-N sliding window over FIFO: pipelined stop-and-wait",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			for _, v := range input {
+				if int(v) < 0 || int(v) >= m {
+					return nil, fmt.Errorf("gobackn: item %d outside domain of size %d", int(v), m)
+				}
+			}
+			return &sender{m: m, window: window, input: input.Clone()}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &receiver{m: m, window: window}, nil
+		},
+	}, nil
+}
+
+// MustNew is New for validated parameters; it panics on error.
+func MustNew(m, window int) protocol.Spec {
+	s, err := New(m, window)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// timeoutTicks is how many spontaneous steps the sender waits without a
+// new cumulative ack before going back and re-sending the window.
+const timeoutTicks = 6
+
+type sender struct {
+	m      int
+	window int
+	input  seq.Seq
+
+	base    int // lowest unacknowledged position
+	next    int // next position to send fresh (base <= next <= base+window)
+	stalled int // ticks since the last ack progress
+}
+
+var _ protocol.Sender = (*sender)(nil)
+
+func (s *sender) mod() int { return s.window + 1 }
+
+func (s *sender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		var n int
+		if _, err := fmt.Sscanf(string(ev.Msg), "ga:%d", &n); err != nil {
+			return nil
+		}
+		// Cumulative ack: the receiver expects frame n next. The true
+		// expectation position p lies in [base, next], whose span is at
+		// most the window, so p is the unique position there congruent to
+		// n modulo window+1 — slide base to it.
+		for s.base < s.next && s.base%s.mod() != n {
+			s.base++
+			s.stalled = 0
+		}
+		return nil
+	case protocol.Tick:
+		if s.base >= len(s.input) {
+			return nil // everything acknowledged
+		}
+		if s.next < len(s.input) && s.next < s.base+s.window {
+			// Pipeline: send a fresh frame.
+			m := DataMsg(s.mod(), s.next, s.input[s.next])
+			s.next++
+			return []msg.Msg{m}
+		}
+		// Window full (or input exhausted): wait for acks, then go back.
+		s.stalled++
+		if s.stalled > timeoutTicks {
+			s.stalled = 0
+			// Go back n: retransmit the whole outstanding window in one
+			// burst (each frame is a separate message on the link).
+			var burst []msg.Msg
+			for i := s.base; i < s.next; i++ {
+				burst = append(burst, DataMsg(s.mod(), i, s.input[i]))
+			}
+			return burst
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *sender) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, 0, s.mod()*s.m)
+	for n := 0; n < s.mod(); n++ {
+		for v := 0; v < s.m; v++ {
+			msgs = append(msgs, DataMsg(s.mod(), n, seq.Item(v)))
+		}
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (s *sender) Done() bool { return s.base >= len(s.input) }
+
+func (s *sender) Clone() protocol.Sender {
+	cp := *s
+	cp.input = s.input.Clone()
+	return &cp
+}
+
+func (s *sender) Key() string {
+	return fmt.Sprintf("gbnS{b=%d,n=%d,st=%d}", s.base, s.next, s.stalled)
+}
+
+// receiver accepts in-order frames only, acking cumulatively with the
+// next expected frame number (re-acking on out-of-order arrivals, which
+// on FIFO means "frames lost ahead of me — go back").
+type receiver struct {
+	m      int
+	window int
+	next   int // positions delivered so far
+}
+
+var _ protocol.Receiver = (*receiver)(nil)
+
+func (r *receiver) mod() int { return r.window + 1 }
+
+func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		return nil, nil
+	}
+	var n, v int
+	if _, err := fmt.Sscanf(string(ev.Msg), "g:%d:%d", &n, &v); err != nil {
+		return nil, nil
+	}
+	if n == r.next%r.mod() {
+		r.next++
+		return []msg.Msg{AckMsg(r.mod(), r.next)}, seq.Seq{seq.Item(v)}
+	}
+	// Unexpected frame: re-ack the current expectation so the sender
+	// learns where to resume.
+	return []msg.Msg{AckMsg(r.mod(), r.next)}, nil
+}
+
+func (r *receiver) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, 0, r.mod())
+	for n := 0; n < r.mod(); n++ {
+		msgs = append(msgs, AckMsg(r.mod(), n))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (r *receiver) Clone() protocol.Receiver {
+	cp := *r
+	return &cp
+}
+
+func (r *receiver) Key() string { return fmt.Sprintf("gbnR{%d}", r.next) }

@@ -1,0 +1,167 @@
+package gobackn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/mc"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/gobackn"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := gobackn.New(-1, 2); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := gobackn.New(2, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	spec := gobackn.MustNew(2, 3)
+	if _, err := spec.NewSender(seq.FromInts(5)); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+}
+
+func TestAlphabetSizes(t *testing.T) {
+	t.Parallel()
+	spec := gobackn.MustNew(2, 3) // mod = 4
+	s, _ := spec.NewSender(seq.FromInts(0))
+	if got := s.Alphabet().Size(); got != 8 {
+		t.Errorf("|M^S| = %d, want (W+1)·m = 8", got)
+	}
+	r, _ := spec.NewReceiver()
+	if got := r.Alphabet().Size(); got != 4 {
+		t.Errorf("|M^R| = %d, want W+1 = 4", got)
+	}
+}
+
+func TestCompletesOnCleanFIFO(t *testing.T) {
+	t.Parallel()
+	for _, w := range []int{1, 2, 4, 7} {
+		spec := gobackn.MustNew(2, w)
+		input := seq.FromInts(0, 1, 1, 0, 1, 0, 0, 1, 1, 0)
+		res, err := sim.RunProtocol(spec, input, channel.KindFIFO, sim.NewRoundRobin(),
+			sim.Config{MaxSteps: 3000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Errorf("W=%d: safety: %v", w, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Errorf("W=%d: incomplete: %s", w, res.Output)
+		}
+	}
+}
+
+func TestSurvivesLossAndDuplication(t *testing.T) {
+	t.Parallel()
+	spec := gobackn.MustNew(2, 3)
+	input := seq.FromInts(1, 0, 1, 1, 0, 0, 1)
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := sim.RunProtocol(spec, input, channel.KindFIFO,
+			sim.NewBudgetDropper(seed, 5), sim.Config{MaxSteps: 20000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Errorf("seed %d: safety: %v", seed, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Errorf("seed %d: incomplete: %s (%d steps)", seed, res.Output, res.Steps)
+		}
+	}
+}
+
+func TestRandomizedFIFOFuzz(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		w := 1 + rng.Intn(5)
+		spec := gobackn.MustNew(3, w)
+		input := seq.Random(rng, 3, 1+rng.Intn(10))
+		res, err := sim.RunProtocol(spec, input, channel.KindFIFO,
+			sim.NewBudgetDropper(int64(trial), rng.Intn(4)),
+			sim.Config{MaxSteps: 30000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.SafetyViolation != nil {
+			t.Fatalf("trial %d (W=%d, X=%s): %v", trial, w, input, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Fatalf("trial %d (W=%d, X=%s): incomplete %s", trial, w, input, res.Output)
+		}
+	}
+}
+
+// TestUnsafeUnderReordering: like every mod-numbered scheme, Go-Back-N
+// needs the channel's order; the model checker finds the collision on a
+// del channel.
+func TestUnsafeUnderReordering(t *testing.T) {
+	t.Parallel()
+	spec := gobackn.MustNew(1, 1) // mod 2, domain {0}
+	// The witness is deep: it includes the sender's 6-tick timeout before
+	// the go-back burst that creates the colliding stale copy.
+	res, err := mc.Explore(spec, seq.FromInts(0, 0, 0), channel.KindDel,
+		mc.ExploreConfig{MaxDepth: 22, MaxStates: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("no violation under reordering")
+	}
+}
+
+func TestPipelineActuallyPipelines(t *testing.T) {
+	t.Parallel()
+	// With window 4 the sender should have several frames in flight
+	// before any ack returns.
+	spec := gobackn.MustNew(2, 4)
+	link, err := channel.NewLinkOfKind(channel.KindFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.New(spec, seq.FromInts(0, 1, 0, 1, 0), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Apply(trace.TickS()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Link.Half(channel.SToR).(*channel.FIFO).Len(); got != 4 {
+		t.Errorf("frames in flight after 4 ticks = %d, want 4", got)
+	}
+}
+
+func TestSenderCumulativeAckSlides(t *testing.T) {
+	t.Parallel()
+	spec := gobackn.MustNew(2, 3) // mod 4
+	s, _ := spec.NewSender(seq.FromInts(0, 1, 0, 1))
+	// Send three frames.
+	for i := 0; i < 3; i++ {
+		if out := s.Step(protocol.TickEvent()); len(out) != 1 {
+			t.Fatalf("tick %d sent %v", i, out)
+		}
+	}
+	// Cumulative ack "expecting frame 2": positions 0 and 1 acknowledged.
+	s.Step(protocol.RecvEvent(gobackn.AckMsg(4, 2)))
+	if s.Done() {
+		t.Fatal("done too early")
+	}
+	// Ack everything sent so far plus the last frame.
+	if out := s.Step(protocol.TickEvent()); len(out) != 1 {
+		t.Fatalf("fourth frame not sent: %v", out)
+	}
+	s.Step(protocol.RecvEvent(gobackn.AckMsg(4, 0))) // expecting frame 0 = position 4
+	if !s.Done() {
+		t.Fatalf("not done after full cumulative ack: %s", s.Key())
+	}
+}

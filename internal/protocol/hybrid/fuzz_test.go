@@ -1,0 +1,43 @@
+package hybrid_test
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+// FuzzHybridSafety feeds the §5 hybrid arbitrary inputs, timeouts, and
+// random drop-happy schedules: safety must hold in every run, no matter
+// how many copies the channel deletes (liveness is only promised for at
+// most one deletion, so completion is not asserted here).
+func FuzzHybridSafety(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1}, 4, int64(1), 1)
+	f.Add([]byte{1, 1, 1}, 2, int64(9), 3)
+	f.Add([]byte{}, 1, int64(0), 0)
+	f.Fuzz(func(t *testing.T, raw []byte, timeout int, seed int64, dropWeight int) {
+		if timeout < 1 || timeout > 16 || len(raw) > 10 {
+			return
+		}
+		if dropWeight < 0 || dropWeight > 3 {
+			return
+		}
+		input := make(seq.Seq, len(raw))
+		for i, b := range raw {
+			input[i] = seq.Item(b % 2)
+		}
+		spec := hybrid.MustNew(2, timeout)
+		adv := sim.NewFinDelay(sim.NewRandomDropper(seed, dropWeight), 8)
+		res, err := sim.RunProtocol(spec, input, channel.KindDel, adv,
+			sim.Config{MaxSteps: 2500, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Fatalf("input %s timeout %d seed %d drops %d: %v",
+				input, timeout, seed, dropWeight, res.SafetyViolation)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package hybrid_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := hybrid.New(-1, 4); err == nil {
+		t.Fatal("negative m accepted")
+	}
+	if _, err := hybrid.New(2, 0); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+	spec := hybrid.MustNew(2, 4)
+	if _, err := spec.NewSender(seq.FromInts(9)); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := spec.NewSender(seq.FromInts(0, 0, 1, 1, 0)); err != nil {
+		t.Errorf("repeating input must be allowed: %v", err)
+	}
+}
+
+func TestAlphabetSizes(t *testing.T) {
+	t.Parallel()
+	spec := hybrid.MustNew(3, 4)
+	s, _ := spec.NewSender(seq.FromInts(0))
+	if got := s.Alphabet().Size(); got != 14 {
+		t.Errorf("|M^S| = %d, want 4m+2 = 14", got)
+	}
+	r, _ := spec.NewReceiver()
+	if got := r.Alphabet().Size(); got != 5 {
+		t.Errorf("|M^R| = %d, want 5", got)
+	}
+}
+
+func TestFaultFreeCompletesIncrementally(t *testing.T) {
+	t.Parallel()
+	// Without faults the run stays in the ABP phase: every item is
+	// learned incrementally (strictly increasing learn times).
+	spec := hybrid.MustNew(2, hybrid.DefaultTimeout)
+	input := seq.FromInts(0, 1, 1, 0, 0, 1)
+	for _, kind := range []channel.Kind{channel.KindDel, channel.KindReorder} {
+		res, err := sim.RunProtocol(spec, input, kind, sim.NewRoundRobin(),
+			sim.Config{MaxSteps: 5000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Fatalf("%s: safety: %v", kind, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Fatalf("%s: incomplete: %s", kind, res.Output)
+		}
+		if len(res.LearnTimes) != len(input) {
+			t.Fatalf("%s: LearnTimes = %v", kind, res.LearnTimes)
+		}
+		for i := 1; i < len(res.LearnTimes); i++ {
+			if res.LearnTimes[i] <= res.LearnTimes[i-1] {
+				t.Errorf("%s: fault-free run not incremental: %v", kind, res.LearnTimes)
+			}
+		}
+	}
+}
+
+func TestRecoversFromOneDrop(t *testing.T) {
+	t.Parallel()
+	// The §5 story: a single deletion is survived — the surviving stream
+	// covers the lost position and fin commits the tail.
+	spec := hybrid.MustNew(2, 4)
+	input := seq.FromInts(1, 0, 0, 1, 1, 0, 1)
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := sim.RunProtocol(spec, input, channel.KindDel,
+			sim.NewBudgetDropper(seed, 1), sim.Config{MaxSteps: 20000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Errorf("seed %d: safety: %v", seed, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Errorf("seed %d: incomplete: %s (steps %d)", seed, res.Output, res.Steps)
+		}
+	}
+}
+
+func TestRandomizedDelayAndReorder(t *testing.T) {
+	t.Parallel()
+	// Random inputs under heavy delay/reordering (no deletion): safety
+	// and liveness must hold throughout.
+	rng := rand.New(rand.NewSource(99))
+	spec := hybrid.MustNew(3, 3)
+	for trial := 0; trial < 25; trial++ {
+		input := seq.Random(rng, 3, 1+rng.Intn(9))
+		res, err := sim.RunProtocol(spec, input, channel.KindReorder,
+			sim.NewFinDelay(sim.NewRandom(int64(trial)), 12),
+			sim.Config{MaxSteps: 30000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatalf("trial %d (input %s): %v", trial, input, err)
+		}
+		if res.SafetyViolation != nil {
+			t.Fatalf("trial %d (input %s): safety: %v", trial, input, res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Fatalf("trial %d (input %s): incomplete: %s", trial, input, res.Output)
+		}
+	}
+}
+
+func TestSafetyUnderArbitraryDrops(t *testing.T) {
+	t.Parallel()
+	// With more than one deletion liveness may be lost (the streams can
+	// both stall), but safety must never break: whatever was written is a
+	// prefix of X.
+	rng := rand.New(rand.NewSource(7))
+	spec := hybrid.MustNew(2, 3)
+	for trial := 0; trial < 30; trial++ {
+		input := seq.Random(rng, 2, 2+rng.Intn(8))
+		res, err := sim.RunProtocol(spec, input, channel.KindDel,
+			sim.NewRandomDropper(int64(trial), 1), sim.Config{MaxSteps: 4000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.SafetyViolation != nil {
+			t.Fatalf("trial %d (input %s): safety: %v", trial, input, res.SafetyViolation)
+		}
+	}
+}
+
+func TestEmptyAndSingletonInputs(t *testing.T) {
+	t.Parallel()
+	spec := hybrid.MustNew(2, 4)
+	for _, input := range []seq.Seq{{}, seq.FromInts(1)} {
+		res, err := sim.RunProtocol(spec, input, channel.KindDel, sim.NewRoundRobin(),
+			sim.Config{MaxSteps: 2000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OutputComplete || res.SafetyViolation != nil {
+			t.Errorf("input %s: complete=%v violation=%v", input, res.OutputComplete, res.SafetyViolation)
+		}
+	}
+}
+
+// TestSingleLossForcesSuffixDetour is the §5 behaviour: after the first
+// data message is lost, the receiver learns nothing until the whole
+// suffix has arrived in reverse plus fin — everything commits at once.
+func TestSingleLossForcesSuffixDetour(t *testing.T) {
+	t.Parallel()
+	spec := hybrid.MustNew(2, 3)
+	n := 10
+	input := make(seq.Seq, n)
+	for i := range input {
+		input[i] = seq.Item(i % 2)
+	}
+	res, err := sim.RunProtocol(spec, input, channel.KindDel,
+		sim.NewBudgetDropper(0, 1), sim.Config{MaxSteps: 30000, StopWhenComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafetyViolation != nil {
+		t.Fatalf("safety: %v", res.SafetyViolation)
+	}
+	if !res.OutputComplete {
+		t.Fatalf("incomplete: %s", res.Output)
+	}
+	last := res.LearnTimes[len(res.LearnTimes)-1]
+	group := 0
+	for i := len(res.LearnTimes) - 1; i >= 0 && res.LearnTimes[i] == last; i-- {
+		group++
+	}
+	if group < n/2 {
+		t.Errorf("expected a batched suffix commit; learn times %v", res.LearnTimes)
+	}
+}
+
+// TestOverlapParityResolution drives the boundary case where one position
+// is delivered by both streams: the fin parity must prevent a duplicate
+// write. A lost prefix ACK (not data) leaves R with the item written while
+// the sender covers the same position from the suffix side.
+func TestOverlapParityResolution(t *testing.T) {
+	t.Parallel()
+	spec := hybrid.MustNew(2, 2)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		input := make(seq.Seq, n)
+		for i := range input {
+			input[i] = seq.Item((i + 1) % 2)
+		}
+		// Drop the second deliverable copy (usually the first ack).
+		for seed := int64(0); seed < 6; seed++ {
+			res, err := sim.RunProtocol(spec, input, channel.KindDel,
+				sim.NewBudgetDropper(seed, 1), sim.Config{MaxSteps: 20000, StopWhenComplete: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SafetyViolation != nil {
+				t.Fatalf("n=%d seed=%d: duplicate write: %v", n, seed, res.SafetyViolation)
+			}
+			if !res.OutputComplete {
+				t.Fatalf("n=%d seed=%d: incomplete %s", n, seed, res.Output)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package modseq implements the paper's §6 outlook — "it is conceivable
+// that we sometimes can be satisfied with 'solutions' to X-STP with
+// |X| > alpha(m) that, although having the POSSIBILITY of failure,
+// present an acceptably low PROBABILITY of failure" — as a concrete
+// protocol: Stenning's scheme with sequence numbers reduced modulo a
+// window M.
+//
+// The alphabet is finite (M·|D| data messages + M acknowledgements), and
+// the allowable X is every sequence over D — far beyond alpha(m). By
+// Theorem 1/2 this cannot be safe in every run, and indeed the product
+// model checker exhibits the failure: a stale data message whose position
+// collides modulo M with the receiver's expectation is accepted as
+// current (experiment T9 prints the witness). But against a RANDOM
+// channel rather than an adversarial one, a collision requires a stale
+// copy to survive M full protocol rounds, so the failure probability
+// decays rapidly with M — which T9 measures by Monte Carlo.
+//
+// This is exactly the trade the paper's conclusion anticipates: pay
+// alphabet (M times more messages) to push the failure probability down,
+// without ever reaching the impossible zero.
+package modseq
+
+import (
+	"fmt"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// DataMsg encodes item v at position i, reduced modulo the window.
+func DataMsg(window, i int, v seq.Item) msg.Msg {
+	return msg.Msg(fmt.Sprintf("d:%d:%d", i%window, int(v)))
+}
+
+// AckMsg encodes the acknowledgement for position i modulo the window.
+func AckMsg(window, i int) msg.Msg {
+	return msg.Msg(fmt.Sprintf("a:%d", i%window))
+}
+
+// New returns the protocol spec for domain size m and sequence-number
+// window M >= 1. |M^S| = M·m, |M^R| = M. Window 1 degenerates to the
+// naive write-everything protocol; window 2 is ABP-with-value-payloads.
+func New(m, window int) (protocol.Spec, error) {
+	if m < 0 {
+		return protocol.Spec{}, fmt.Errorf("modseq: negative domain size %d", m)
+	}
+	if window < 1 {
+		return protocol.Spec{}, fmt.Errorf("modseq: window %d < 1", window)
+	}
+	return protocol.Spec{
+		Name:        fmt.Sprintf("modseq(m=%d,M=%d)", m, window),
+		Description: "Stenning with sequence numbers mod M: probabilistic STP (§6 outlook)",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			for _, v := range input {
+				if int(v) < 0 || int(v) >= m {
+					return nil, fmt.Errorf("modseq: item %d outside domain of size %d", int(v), m)
+				}
+			}
+			return &sender{m: m, window: window, input: input.Clone()}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &receiver{m: m, window: window}, nil
+		},
+	}, nil
+}
+
+// MustNew is New for validated parameters; it panics on error.
+func MustNew(m, window int) protocol.Spec {
+	s, err := New(m, window)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// sender retransmits the lowest unacknowledged position each tick,
+// advancing on an acknowledgement that matches it modulo the window.
+type sender struct {
+	m      int
+	window int
+	input  seq.Seq
+	next   int
+}
+
+var _ protocol.Sender = (*sender)(nil)
+
+func (s *sender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		if s.next < len(s.input) && ev.Msg == AckMsg(s.window, s.next) {
+			s.next++
+		}
+		return nil
+	case protocol.Tick:
+		if s.next < len(s.input) {
+			return []msg.Msg{DataMsg(s.window, s.next, s.input[s.next])}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *sender) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, 0, s.window*s.m)
+	for i := 0; i < s.window; i++ {
+		for v := 0; v < s.m; v++ {
+			msgs = append(msgs, DataMsg(s.window, i, seq.Item(v)))
+		}
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (s *sender) Done() bool { return s.next >= len(s.input) }
+
+func (s *sender) Clone() protocol.Sender {
+	cp := *s
+	cp.input = s.input.Clone()
+	return &cp
+}
+
+func (s *sender) Key() string { return fmt.Sprintf("modseqS{%d}", s.next) }
+
+// receiver writes a data message whose number matches its expectation
+// modulo the window; anything else is re-acknowledged as stale. The
+// soundness hole (by design): a stale copy from M positions ago matches.
+type receiver struct {
+	m      int
+	window int
+	next   int
+}
+
+var _ protocol.Receiver = (*receiver)(nil)
+
+func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		return nil, nil
+	}
+	var i, v int
+	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d:%d", &i, &v); err != nil {
+		return nil, nil
+	}
+	if i == r.next%r.window {
+		r.next++
+		return []msg.Msg{AckMsg(r.window, r.next-1)}, seq.Seq{seq.Item(v)}
+	}
+	// Stale (mod-window) retransmission: re-acknowledge it so the sender
+	// can advance past a lost acknowledgement.
+	return []msg.Msg{msg.Msg(fmt.Sprintf("a:%d", i))}, nil
+}
+
+func (r *receiver) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, 0, r.window)
+	for i := 0; i < r.window; i++ {
+		msgs = append(msgs, msg.Msg(fmt.Sprintf("a:%d", i)))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (r *receiver) Clone() protocol.Receiver {
+	cp := *r
+	return &cp
+}
+
+func (r *receiver) Key() string { return fmt.Sprintf("modseqR{%d}", r.next) }

@@ -1,0 +1,181 @@
+// Package naive implements deliberately unsound protocols: the natural
+// attempts a designer might make at solving X-STP for sets X larger than
+// alpha(m). They are the concrete victims for the impossibility
+// experiments (T3, T5): Theorems 1 and 2 say every such attempt must fail,
+// and the model checker exhibits the failing runs.
+package naive
+
+import (
+	"fmt"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/seq"
+)
+
+// NewWriteEveryData returns the "trusting" protocol over domain size m:
+// identical to the paper's tight protocol except that the receiver writes
+// the value of every data message it receives, instead of only
+// never-before-seen values, and the sender accepts inputs with repeated
+// items. Its X is every sequence over D, so |X| > alpha(m) as soon as
+// lengths exceed m — and indeed a duplicating (or retransmitting-on-del)
+// channel makes R write spurious copies: a safety violation.
+func NewWriteEveryData(m int) (protocol.Spec, error) {
+	if m < 0 {
+		return protocol.Spec{}, fmt.Errorf("naive: negative domain size %d", m)
+	}
+	return protocol.Spec{
+		Name:        fmt.Sprintf("naive-write-every(m=%d)", m),
+		Description: "tight protocol minus duplicate suppression: unsafe under duplication",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			for _, v := range input {
+				if int(v) < 0 || int(v) >= m {
+					return nil, fmt.Errorf("naive: item %d outside domain of size %d", int(v), m)
+				}
+			}
+			return &posSender{m: m, input: input.Clone()}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &trustingReceiver{m: m}, nil
+		},
+	}, nil
+}
+
+// posSender transmits input[idx] until a matching-value ack arrives. With
+// repeated items in X the value ack is ambiguous — which is precisely the
+// ambiguity the paper's bound formalizes.
+type posSender struct {
+	m     int
+	input seq.Seq
+	idx   int
+}
+
+var _ protocol.Sender = (*posSender)(nil)
+
+func (s *posSender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		if s.idx < len(s.input) && ev.Msg == alphaproto.AckMsg(s.input[s.idx]) {
+			s.idx++
+		}
+		return nil
+	case protocol.Tick:
+		if s.idx < len(s.input) {
+			return []msg.Msg{alphaproto.DataMsg(s.input[s.idx])}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *posSender) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, s.m)
+	for v := 0; v < s.m; v++ {
+		msgs[v] = alphaproto.DataMsg(seq.Item(v))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (s *posSender) Done() bool { return s.idx >= len(s.input) }
+
+func (s *posSender) Clone() protocol.Sender {
+	return &posSender{m: s.m, input: s.input.Clone(), idx: s.idx}
+}
+
+func (s *posSender) Key() string { return fmt.Sprintf("naiveS{idx=%d}", s.idx) }
+
+// trustingReceiver writes every data message's value on receipt.
+type trustingReceiver struct {
+	m       int
+	written int
+}
+
+var _ protocol.Receiver = (*trustingReceiver)(nil)
+
+func (r *trustingReceiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		return nil, nil
+	}
+	var v seq.Item
+	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d", (*int)(&v)); err != nil {
+		return nil, nil
+	}
+	r.written++
+	return []msg.Msg{alphaproto.AckMsg(v)}, seq.Seq{v}
+}
+
+func (r *trustingReceiver) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, r.m)
+	for v := 0; v < r.m; v++ {
+		msgs[v] = alphaproto.AckMsg(seq.Item(v))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (r *trustingReceiver) Clone() protocol.Receiver {
+	cp := *r
+	return &cp
+}
+
+func (r *trustingReceiver) Key() string { return fmt.Sprintf("naiveR{w=%d}", r.written) }
+
+// NewFlood returns the ack-free protocol over domain size m: the sender
+// just emits each item once per tick position with no feedback channel at
+// all. Unsafe under reordering even without duplication — the receiver
+// has no way to recover the order.
+func NewFlood(m int) (protocol.Spec, error) {
+	if m < 0 {
+		return protocol.Spec{}, fmt.Errorf("naive: negative domain size %d", m)
+	}
+	return protocol.Spec{
+		Name:        fmt.Sprintf("naive-flood(m=%d)", m),
+		Description: "no acknowledgements: sender streams, receiver writes arrivals",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			for _, v := range input {
+				if int(v) < 0 || int(v) >= m {
+					return nil, fmt.Errorf("naive: item %d outside domain of size %d", int(v), m)
+				}
+			}
+			return &floodSender{m: m, input: input.Clone()}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &trustingReceiver{m: m}, nil
+		},
+	}, nil
+}
+
+// floodSender sends the next item on each tick, never waiting.
+type floodSender struct {
+	m     int
+	input seq.Seq
+	idx   int
+}
+
+var _ protocol.Sender = (*floodSender)(nil)
+
+func (s *floodSender) Step(ev protocol.Event) []msg.Msg {
+	if ev.Kind != protocol.Tick || s.idx >= len(s.input) {
+		return nil
+	}
+	m := alphaproto.DataMsg(s.input[s.idx])
+	s.idx++
+	return []msg.Msg{m}
+}
+
+func (s *floodSender) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, s.m)
+	for v := 0; v < s.m; v++ {
+		msgs[v] = alphaproto.DataMsg(seq.Item(v))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (s *floodSender) Done() bool { return s.idx >= len(s.input) }
+
+func (s *floodSender) Clone() protocol.Sender {
+	return &floodSender{m: s.m, input: s.input.Clone(), idx: s.idx}
+}
+
+func (s *floodSender) Key() string { return fmt.Sprintf("floodS{idx=%d}", s.idx) }

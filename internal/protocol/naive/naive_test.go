@@ -1,0 +1,148 @@
+package naive_test
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/naive"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := naive.NewWriteEveryData(-1); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := naive.NewFlood(-1); err == nil {
+		t.Error("negative m accepted")
+	}
+	spec, err := naive.NewWriteEveryData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.NewSender(seq.FromInts(5)); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := spec.NewSender(seq.FromInts(0, 0)); err != nil {
+		t.Errorf("repeating input must be accepted (that is the point): %v", err)
+	}
+	flood, err := naive.NewFlood(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flood.NewSender(seq.FromInts(7)); err == nil {
+		t.Error("flood accepted out-of-domain input")
+	}
+}
+
+func TestWriteEveryDataWorksWhenChannelIsKind(t *testing.T) {
+	t.Parallel()
+	// On a friendly schedule with no duplication the naive protocol
+	// actually completes — the point is that it is not SAFE, not that it
+	// never works.
+	spec, err := naive.NewWriteEveryData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunProtocol(spec, seq.FromInts(0, 1, 0), channel.KindReorder,
+		sim.NewRoundRobin(), sim.Config{MaxSteps: 500, StopWhenComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputComplete {
+		t.Fatalf("incomplete on friendly schedule: %s", res.Output)
+	}
+}
+
+func TestWriteEveryDataBrokenByReplay(t *testing.T) {
+	t.Parallel()
+	// A duplicating channel replaying old data messages forces a wrong
+	// write on an input that does not repeat the value.
+	spec, err := naive.NewWriteEveryData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := channel.NewLinkOfKind(channel.KindDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.New(spec, seq.FromInts(0, 1), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []trace.Action{
+		trace.TickS(),
+		trace.Deliver(channel.SToR, alphaproto.DataMsg(0)),
+		trace.Deliver(channel.RToS, alphaproto.AckMsg(0)),
+		trace.TickS(),
+		trace.Deliver(channel.SToR, alphaproto.DataMsg(1)),
+		trace.Deliver(channel.SToR, alphaproto.DataMsg(0)), // replay!
+	}
+	for i, act := range steps {
+		if err := w.Apply(act); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if w.SafetyViolation == nil {
+		t.Fatalf("no violation; output %s", w.Output)
+	}
+}
+
+func TestFloodBrokenByReordering(t *testing.T) {
+	t.Parallel()
+	spec, err := naive.NewFlood(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := channel.NewLinkOfKind(channel.KindDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.New(spec, seq.FromInts(0, 1), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []trace.Action{
+		trace.TickS(), // sends d:0
+		trace.TickS(), // sends d:1
+		trace.Deliver(channel.SToR, alphaproto.DataMsg(1)), // out of order
+	}
+	for i, act := range steps {
+		if err := w.Apply(act); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if w.SafetyViolation == nil {
+		t.Fatalf("no violation; output %s", w.Output)
+	}
+}
+
+func TestFloodSenderStreamsWithoutAcks(t *testing.T) {
+	t.Parallel()
+	spec, err := naive.NewFlood(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spec.NewSender(seq.FromInts(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Error("done before sending")
+	}
+	first := s.Step(protocol.TickEvent())
+	second := s.Step(protocol.TickEvent())
+	if len(first) != 1 || len(second) != 1 || first[0] == second[0] {
+		t.Errorf("flood sends = %v, %v", first, second)
+	}
+	if !s.Done() {
+		t.Error("not done after streaming both items")
+	}
+	if got := s.Step(protocol.TickEvent()); len(got) != 0 {
+		t.Errorf("done sender sent %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+// Package protocol defines the interface between STP protocols and the
+// runs model: deterministic sender/receiver state machines driven by
+// events (ticks and message deliveries), exactly as in the paper's §2.1 —
+// all nondeterminism belongs to the environment, and determinism of the
+// processes loses no generality because the correctness criteria quantify
+// over every run.
+//
+// Senders are created from the full input sequence, which makes the
+// framework non-uniform in the paper's sense (§2.1, footnote 2): a
+// sender's code may depend arbitrarily on X. The impossibility experiments
+// therefore apply to this stronger model, as do the paper's theorems.
+package protocol
+
+import (
+	"fmt"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/seq"
+)
+
+// EventKind distinguishes the two things that can happen to a process.
+type EventKind int
+
+// Event kinds.
+const (
+	// Tick is a spontaneous step: the process acts on its own (retransmit,
+	// advance a timeout clock, ...). The paper's processes may move at any
+	// point; ticks are how the scheduler grants them steps.
+	Tick EventKind = iota + 1
+	// Recv delivers one message (§2.2: at most one per step, never in the
+	// step it was sent).
+	Recv
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Tick:
+		return "tick"
+	case Recv:
+		return "recv"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a single step input for a process.
+type Event struct {
+	Kind EventKind
+	Msg  msg.Msg // valid when Kind == Recv
+}
+
+// TickEvent returns the spontaneous-step event.
+func TickEvent() Event { return Event{Kind: Tick} }
+
+// RecvEvent returns a delivery event for m.
+func RecvEvent(m msg.Msg) Event { return Event{Kind: Recv, Msg: m} }
+
+// String renders the event.
+func (e Event) String() string {
+	if e.Kind == Recv {
+		return "recv(" + string(e.Msg) + ")"
+	}
+	return e.Kind.String()
+}
+
+// Sender is the sender process S. Implementations must be deterministic:
+// equal states fed equal events produce equal successor states and sends.
+type Sender interface {
+	// Step processes one event and returns the messages S sends in this
+	// step (each is placed on the S->R half by the scheduler).
+	Step(ev Event) (sends []msg.Msg)
+	// Alphabet returns M^S, the finite set of messages S may ever send.
+	// An empty alphabet (Size 0) declares "unbounded" (used only by the
+	// Stenning baseline, which deliberately leaves the paper's model).
+	Alphabet() msg.Alphabet
+	// Done reports whether S has transmitted everything and received all
+	// the acknowledgements it needs: a quiescence hint for experiments.
+	Done() bool
+	// Clone returns an independent deep copy (model checking support).
+	Clone() Sender
+	// Key returns a canonical encoding of the local state s_S; equal keys
+	// must imply behaviourally identical states.
+	Key() string
+}
+
+// Receiver is the receiver process R.
+type Receiver interface {
+	// Step processes one event and returns messages to send back to S and
+	// the data items R writes onto the output tape Y in this step, in
+	// order. Writes are irrevocable (safety is judged on them).
+	Step(ev Event) (sends []msg.Msg, writes seq.Seq)
+	// Alphabet returns M^R.
+	Alphabet() msg.Alphabet
+	// Clone returns an independent deep copy.
+	Clone() Receiver
+	// Key returns a canonical encoding of the local state s_R.
+	Key() string
+}
+
+// Spec packages a protocol family: constructors plus metadata. The
+// receiver constructor takes no input (Property 1a: R's initial state is
+// the same in all runs — R must not know X in advance); the sender
+// constructor takes the whole input sequence.
+type Spec struct {
+	// Name identifies the protocol (registry key).
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// NewSender builds S for the given input. It returns an error if the
+	// input is outside the protocol's allowable set X.
+	NewSender func(input seq.Seq) (Sender, error)
+	// NewReceiver builds R in its unique initial state.
+	NewReceiver func() (Receiver, error)
+}
+
+// Validate checks the spec is fully populated.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("protocol: spec missing name")
+	}
+	if s.NewSender == nil || s.NewReceiver == nil {
+		return fmt.Errorf("protocol: spec %q missing constructors", s.Name)
+	}
+	return nil
+}

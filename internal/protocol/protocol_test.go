@@ -1,0 +1,46 @@
+package protocol
+
+import (
+	"testing"
+
+	"seqtx/internal/seq"
+)
+
+func TestEventConstructorsAndStrings(t *testing.T) {
+	t.Parallel()
+	tick := TickEvent()
+	if tick.Kind != Tick || tick.String() != "tick" {
+		t.Errorf("tick event = %+v (%s)", tick, tick)
+	}
+	recv := RecvEvent("m1")
+	if recv.Kind != Recv || recv.Msg != "m1" || recv.String() != "recv(m1)" {
+		t.Errorf("recv event = %+v (%s)", recv, recv)
+	}
+	if got := Tick.String(); got != "tick" {
+		t.Errorf("Tick.String() = %q", got)
+	}
+	if got := Recv.String(); got != "recv" {
+		t.Errorf("Recv.String() = %q", got)
+	}
+	if got := EventKind(9).String(); got != "EventKind(9)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	t.Parallel()
+	ok := Spec{
+		Name:        "x",
+		NewSender:   func(seq.Seq) (Sender, error) { return nil, nil },
+		NewReceiver: func() (Receiver, error) { return nil, nil },
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{}).Validate(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if err := (Spec{Name: "x"}).Validate(); err == nil {
+		t.Error("spec without constructors accepted")
+	}
+}

@@ -1,0 +1,250 @@
+// Package selrepeat implements the Selective Repeat sliding-window
+// protocol over the FIFO channel with loss and duplication: the classic
+// refinement of Go-Back-N in which the receiver buffers out-of-order...
+// except that on a FIFO link nothing arrives out of order — frames arrive
+// in send order with gaps where copies were lost. Selective Repeat's win
+// over Go-Back-N is therefore that a loss costs ONE retransmission
+// instead of a whole window: the receiver acknowledges each frame
+// individually, and the sender retransmits only the unacknowledged ones.
+//
+// The frame-number space is 2·Window (the textbook minimum: the
+// receiver's acceptance window and the sender's retransmission window
+// must never overlap modulo the number space).
+//
+// Relevance to the paper: a third point on the alphabet-vs-performance
+// curve of the data-link lineage ([BSW69], [Ste76]). Like every
+// mod-numbered scheme it is safe only because the channel preserves
+// order; the model checker exhibits its failure under reordering, and the
+// alpha(m) bound explains why no amount of cleverness can avoid that.
+package selrepeat
+
+import (
+	"fmt"
+	"strings"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// DataMsg encodes item v under frame number n (modulo 2·window).
+func DataMsg(mod, n int, v seq.Item) msg.Msg {
+	return msg.Msg(fmt.Sprintf("s:%d:%d", n%mod, int(v)))
+}
+
+// AckMsg encodes the individual acknowledgement of frame n.
+func AckMsg(mod, n int) msg.Msg { return msg.Msg(fmt.Sprintf("sa:%d", n%mod)) }
+
+// New returns the protocol spec for domain size m and window >= 1.
+// |M^S| = 2·window·m, |M^R| = 2·window.
+func New(m, window int) (protocol.Spec, error) {
+	if m < 0 {
+		return protocol.Spec{}, fmt.Errorf("selrepeat: negative domain size %d", m)
+	}
+	if window < 1 {
+		return protocol.Spec{}, fmt.Errorf("selrepeat: window %d < 1", window)
+	}
+	return protocol.Spec{
+		Name:        fmt.Sprintf("selrepeat(m=%d,W=%d)", m, window),
+		Description: "Selective Repeat sliding window over FIFO: per-frame retransmission",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			for _, v := range input {
+				if int(v) < 0 || int(v) >= m {
+					return nil, fmt.Errorf("selrepeat: item %d outside domain of size %d", int(v), m)
+				}
+			}
+			return &sender{m: m, window: window, input: input.Clone(), acked: map[int]bool{}}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &receiver{m: m, window: window, buffered: map[int]seq.Item{}}, nil
+		},
+	}, nil
+}
+
+// MustNew is New for validated parameters; it panics on error.
+func MustNew(m, window int) protocol.Spec {
+	s, err := New(m, window)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// timeoutTicks is how long the sender waits with a full window before
+// retransmitting its unacknowledged frames.
+const timeoutTicks = 6
+
+type sender struct {
+	m      int
+	window int
+	input  seq.Seq
+
+	base    int          // lowest unacknowledged position
+	next    int          // next position never sent
+	acked   map[int]bool // individually acknowledged positions >= base
+	stalled int
+}
+
+var _ protocol.Sender = (*sender)(nil)
+
+func (s *sender) mod() int { return 2 * s.window }
+
+func (s *sender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		var n int
+		if _, err := fmt.Sscanf(string(ev.Msg), "sa:%d", &n); err != nil {
+			return nil
+		}
+		// The acknowledged position is the unique one in [base, next)
+		// congruent to n (the window never spans mod() positions).
+		for p := s.base; p < s.next; p++ {
+			if p%s.mod() == n {
+				if !s.acked[p] {
+					s.acked[p] = true
+					s.stalled = 0
+				}
+				break
+			}
+		}
+		for s.acked[s.base] {
+			delete(s.acked, s.base)
+			s.base++
+		}
+		return nil
+	case protocol.Tick:
+		if s.base >= len(s.input) {
+			return nil
+		}
+		if s.next < len(s.input) && s.next < s.base+s.window {
+			m := DataMsg(s.mod(), s.next, s.input[s.next])
+			s.next++
+			return []msg.Msg{m}
+		}
+		s.stalled++
+		if s.stalled > timeoutTicks {
+			s.stalled = 0
+			// Selective: retransmit only the unacknowledged frames.
+			var burst []msg.Msg
+			for p := s.base; p < s.next; p++ {
+				if !s.acked[p] {
+					burst = append(burst, DataMsg(s.mod(), p, s.input[p]))
+				}
+			}
+			return burst
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *sender) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, 0, s.mod()*s.m)
+	for n := 0; n < s.mod(); n++ {
+		for v := 0; v < s.m; v++ {
+			msgs = append(msgs, DataMsg(s.mod(), n, seq.Item(v)))
+		}
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (s *sender) Done() bool { return s.base >= len(s.input) }
+
+func (s *sender) Clone() protocol.Sender {
+	cp := *s
+	cp.input = s.input.Clone()
+	cp.acked = make(map[int]bool, len(s.acked))
+	for k, v := range s.acked {
+		cp.acked[k] = v
+	}
+	return &cp
+}
+
+func (s *sender) Key() string {
+	acked := make([]string, 0, len(s.acked))
+	for p := s.base; p < s.next; p++ {
+		if s.acked[p] {
+			acked = append(acked, fmt.Sprint(p))
+		}
+	}
+	return fmt.Sprintf("srS{b=%d,n=%d,a=%s,st=%d}", s.base, s.next, strings.Join(acked, "."), s.stalled)
+}
+
+// receiver accepts any frame inside its window, buffers it, acknowledges
+// it individually, and writes buffered items as the in-order prefix
+// fills in.
+type receiver struct {
+	m        int
+	window   int
+	next     int              // positions written so far
+	buffered map[int]seq.Item // accepted positions >= next awaiting the gap
+}
+
+var _ protocol.Receiver = (*receiver)(nil)
+
+func (r *receiver) mod() int { return 2 * r.window }
+
+func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		return nil, nil
+	}
+	var n, v int
+	if _, err := fmt.Sscanf(string(ev.Msg), "s:%d:%d", &n, &v); err != nil {
+		return nil, nil
+	}
+	// Identify the position: within the acceptance window [next,
+	// next+window) it is the unique one congruent to n. A frame congruent
+	// to an already-delivered position (the trailing window) is a
+	// retransmission: re-ack it but do not buffer.
+	pos := -1
+	for p := r.next; p < r.next+r.window; p++ {
+		if p%r.mod() == n {
+			pos = p
+			break
+		}
+	}
+	if pos < 0 {
+		// Trailing window: a duplicate of something already delivered.
+		return []msg.Msg{msg.Msg(fmt.Sprintf("sa:%d", n))}, nil
+	}
+	r.buffered[pos] = seq.Item(v)
+	var writes seq.Seq
+	for {
+		item, ok := r.buffered[r.next]
+		if !ok {
+			break
+		}
+		delete(r.buffered, r.next)
+		writes = append(writes, item)
+		r.next++
+	}
+	return []msg.Msg{AckMsg(r.mod(), pos)}, writes
+}
+
+func (r *receiver) Alphabet() msg.Alphabet {
+	msgs := make([]msg.Msg, 0, r.mod())
+	for n := 0; n < r.mod(); n++ {
+		msgs = append(msgs, msg.Msg(fmt.Sprintf("sa:%d", n)))
+	}
+	return msg.MustNewAlphabet(msgs...)
+}
+
+func (r *receiver) Clone() protocol.Receiver {
+	cp := *r
+	cp.buffered = make(map[int]seq.Item, len(r.buffered))
+	for k, v := range r.buffered {
+		cp.buffered[k] = v
+	}
+	return &cp
+}
+
+func (r *receiver) Key() string {
+	buf := make([]string, 0, len(r.buffered))
+	for p := r.next; p < r.next+r.window; p++ {
+		if v, ok := r.buffered[p]; ok {
+			buf = append(buf, fmt.Sprintf("%d=%d", p, int(v)))
+		}
+	}
+	return fmt.Sprintf("srR{%d|%s}", r.next, strings.Join(buf, ","))
+}

@@ -1,0 +1,121 @@
+// Package stenning implements Stenning's data transfer protocol [Ste76]:
+// every data message carries an unbounded sequence number, the receiver
+// writes messages in sequence-number order, and acknowledgements echo the
+// number. It solves STP for every sequence over any domain, on every
+// channel model — dup, del, reorder, FIFO — precisely because it abandons
+// the paper's central resource bound: its message alphabet is infinite.
+//
+// It is the baseline that locates the difficulty: Theorems 1 and 2 say
+// that with |M^S| = m finite you can distinguish at most alpha(m) input
+// sequences; unbounded headers make |M^S| infinite and the problem
+// trivial. The package exists so experiments can show the contrast.
+package stenning
+
+import (
+	"fmt"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// dataMsg encodes item v at position i (0-based).
+func dataMsg(i int, v seq.Item) msg.Msg { return msg.Msg(fmt.Sprintf("d:%d:%d", i, int(v))) }
+
+// ackMsg encodes the acknowledgement for position i.
+func ackMsg(i int) msg.Msg { return msg.Msg(fmt.Sprintf("a:%d", i)) }
+
+// New returns the protocol spec. There is no domain-size parameter: the
+// sequence-number scheme carries any items whatsoever.
+func New() protocol.Spec {
+	return protocol.Spec{
+		Name:        "stenning",
+		Description: "unbounded sequence numbers [Ste76]: trivially correct, infinite alphabet",
+		NewSender: func(input seq.Seq) (protocol.Sender, error) {
+			return &sender{input: input.Clone()}, nil
+		},
+		NewReceiver: func() (protocol.Receiver, error) {
+			return &receiver{}, nil
+		},
+	}
+}
+
+// sender retransmits the lowest unacknowledged item each tick.
+type sender struct {
+	input seq.Seq
+	next  int // lowest unacknowledged position
+}
+
+var _ protocol.Sender = (*sender)(nil)
+
+func (s *sender) Step(ev protocol.Event) []msg.Msg {
+	switch ev.Kind {
+	case protocol.Recv:
+		var i int
+		if _, err := fmt.Sscanf(string(ev.Msg), "a:%d", &i); err == nil && i == s.next {
+			s.next++
+		}
+		return nil
+	case protocol.Tick:
+		if s.next < len(s.input) {
+			return []msg.Msg{dataMsg(s.next, s.input[s.next])}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Alphabet declares unboundedness by returning the empty alphabet.
+func (s *sender) Alphabet() msg.Alphabet { return msg.Alphabet{} }
+
+func (s *sender) Done() bool { return s.next >= len(s.input) }
+
+func (s *sender) Clone() protocol.Sender {
+	return &sender{input: s.input.Clone(), next: s.next}
+}
+
+func (s *sender) Key() string { return fmt.Sprintf("stenS{%d}", s.next) }
+
+// receiver writes position next when it arrives; every receipt of a
+// position <= next is acknowledged (re-acks repair lost acknowledgements).
+type receiver struct {
+	next int // number of items written
+}
+
+var _ protocol.Receiver = (*receiver)(nil)
+
+func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
+	if ev.Kind != protocol.Recv {
+		return nil, nil
+	}
+	var (
+		i int
+		v int
+	)
+	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d:%d", &i, &v); err != nil {
+		return nil, nil
+	}
+	switch {
+	case i == r.next:
+		r.next++
+		return []msg.Msg{ackMsg(i)}, seq.Seq{seq.Item(v)}
+	case i < r.next:
+		// Stale retransmission: re-acknowledge so the sender advances.
+		return []msg.Msg{ackMsg(i)}, nil
+	default:
+		// Out-of-order future message (reordering): ignore; the sender
+		// will retransmit once earlier items are acknowledged.
+		return nil, nil
+	}
+}
+
+// Alphabet declares unboundedness by returning the empty alphabet.
+func (r *receiver) Alphabet() msg.Alphabet { return msg.Alphabet{} }
+
+func (r *receiver) Clone() protocol.Receiver {
+	cp := *r
+	return &cp
+}
+
+func (r *receiver) Key() string { return fmt.Sprintf("stenR{%d}", r.next) }

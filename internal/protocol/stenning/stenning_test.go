@@ -1,0 +1,138 @@
+package stenning_test
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/stenning"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+func TestCompletesOnEveryChannelKind(t *testing.T) {
+	t.Parallel()
+	spec := stenning.New()
+	input := seq.FromInts(1, 1, 0, 2, 1) // repetitions are fine here
+	for _, kind := range []channel.Kind{channel.KindDup, channel.KindDel, channel.KindReorder, channel.KindFIFO} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := sim.RunProtocol(spec, input, kind, sim.NewRoundRobin(),
+				sim.Config{MaxSteps: 3000, StopWhenComplete: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SafetyViolation != nil {
+				t.Fatalf("safety: %v", res.SafetyViolation)
+			}
+			if !res.OutputComplete {
+				t.Fatalf("incomplete: %s after %d steps", res.Output, res.Steps)
+			}
+		})
+	}
+}
+
+func TestSurvivesReplayDropsAndDelay(t *testing.T) {
+	t.Parallel()
+	spec := stenning.New()
+	input := seq.FromInts(0, 0, 0, 0) // maximally ambiguous values
+	advs := []sim.Adversary{
+		sim.NewFinDelay(sim.NewReplayer(11, 2), 10),
+		sim.NewBudgetDropper(5, 8),
+		sim.NewWithholder(40),
+		sim.NewFinDelay(sim.NewRandom(3), 10),
+	}
+	kinds := []channel.Kind{channel.KindDup, channel.KindDel, channel.KindDel, channel.KindDup}
+	for i, adv := range advs {
+		res, err := sim.RunProtocol(spec, input, kinds[i], adv,
+			sim.Config{MaxSteps: 6000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SafetyViolation != nil {
+			t.Errorf("%s: safety: %v", adv.Name(), res.SafetyViolation)
+		}
+		if !res.OutputComplete {
+			t.Errorf("%s: incomplete: %s", adv.Name(), res.Output)
+		}
+	}
+}
+
+func TestUnboundedAlphabetDeclared(t *testing.T) {
+	t.Parallel()
+	spec := stenning.New()
+	s, err := spec.NewSender(seq.FromInts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alphabet().Size() != 0 {
+		t.Error("stenning should declare an unbounded (empty) alphabet")
+	}
+	r, err := spec.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Alphabet().Size() != 0 {
+		t.Error("receiver should declare an unbounded (empty) alphabet")
+	}
+}
+
+func TestSenderStopAndWaitDiscipline(t *testing.T) {
+	t.Parallel()
+	spec := stenning.New()
+	s, _ := spec.NewSender(seq.FromInts(7, 8))
+	first := s.Step(protocol.TickEvent())
+	if len(first) != 1 || string(first[0]) != "d:0:7" {
+		t.Fatalf("first tick sends %v", first)
+	}
+	// Without an ack, retransmit the same message.
+	second := s.Step(protocol.TickEvent())
+	if len(second) != 1 || second[0] != first[0] {
+		t.Fatalf("retransmission sends %v", second)
+	}
+	s.Step(protocol.RecvEvent("a:0"))
+	third := s.Step(protocol.TickEvent())
+	if len(third) != 1 || string(third[0]) != "d:1:8" {
+		t.Fatalf("after ack, tick sends %v", third)
+	}
+	// Stale ack ignored.
+	s.Step(protocol.RecvEvent("a:0"))
+	if s.Done() {
+		t.Error("Done after stale ack")
+	}
+	s.Step(protocol.RecvEvent("a:1"))
+	if !s.Done() {
+		t.Error("not Done after final ack")
+	}
+}
+
+func TestReceiverOrderingDiscipline(t *testing.T) {
+	t.Parallel()
+	spec := stenning.New()
+	r, _ := spec.NewReceiver()
+	// Future message ignored.
+	sends, writes := r.Step(protocol.RecvEvent("d:1:5"))
+	if len(sends)+len(writes) != 0 {
+		t.Fatalf("future message handled: %v %v", sends, writes)
+	}
+	// In-order message written and acked.
+	sends, writes = r.Step(protocol.RecvEvent("d:0:4"))
+	if len(writes) != 1 || writes[0] != 4 || len(sends) != 1 || string(sends[0]) != "a:0" {
+		t.Fatalf("in-order message: %v %v", sends, writes)
+	}
+	// Stale message re-acked, not written.
+	sends, writes = r.Step(protocol.RecvEvent("d:0:4"))
+	if len(writes) != 0 || len(sends) != 1 || string(sends[0]) != "a:0" {
+		t.Fatalf("stale message: %v %v", sends, writes)
+	}
+	// Junk ignored; clone independence.
+	if s2, w2 := r.Step(protocol.RecvEvent("junk")); len(s2)+len(w2) != 0 {
+		t.Error("junk handled")
+	}
+	c := r.Clone()
+	c.Step(protocol.RecvEvent("d:1:6"))
+	if r.Key() == c.Key() {
+		t.Error("diverged clones share key")
+	}
+}

@@ -1,0 +1,196 @@
+// Package registry names the protocols, channel kinds, and adversaries of
+// this repository for command-line tools and configuration: one place to
+// parse "alpha", "dup+del", or "replayer" into the corresponding
+// constructors, with current parameter values threaded through.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/abp"
+	"seqtx/internal/protocol/afwz"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/protocol/gobackn"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/protocol/modseq"
+	"seqtx/internal/protocol/naive"
+	"seqtx/internal/protocol/selrepeat"
+	"seqtx/internal/protocol/stenning"
+	"seqtx/internal/sim"
+)
+
+// Params carries the numeric knobs a named constructor may need.
+type Params struct {
+	// M is the domain / alphabet size parameter.
+	M int
+	// Timeout is the hybrid protocol's phase-switch timeout.
+	Timeout int
+	// Window is the modseq sequence-number window.
+	Window int
+	// Seed feeds seeded adversaries.
+	Seed int64
+	// Budget is the dropper budget / replayer period / withholder hold.
+	Budget int
+}
+
+// protocolEntry describes one named protocol.
+type protocolEntry struct {
+	describe string
+	build    func(Params) (protocol.Spec, error)
+}
+
+var protocols = map[string]protocolEntry{
+	"alpha": {
+		describe: "the paper's tight protocol (uses M)",
+		build:    func(p Params) (protocol.Spec, error) { return alphaproto.New(p.M) },
+	},
+	"afwz": {
+		describe: "gated reverse-order [AFWZ89] stand-in (uses M)",
+		build:    func(p Params) (protocol.Spec, error) { return afwz.New(p.M) },
+	},
+	"hybrid": {
+		describe: "§5 ABP/AFWZ alternation (uses M, Timeout)",
+		build:    func(p Params) (protocol.Spec, error) { return hybrid.New(p.M, p.Timeout) },
+	},
+	"abp": {
+		describe: "alternating-bit stop-and-wait (uses M)",
+		build:    func(p Params) (protocol.Spec, error) { return abp.New(p.M) },
+	},
+	"stenning": {
+		describe: "unbounded sequence numbers [Ste76]",
+		build:    func(Params) (protocol.Spec, error) { return stenning.New(), nil },
+	},
+	"naive": {
+		describe: "over-claiming protocol, unsafe past alpha(m) (uses M)",
+		build:    func(p Params) (protocol.Spec, error) { return naive.NewWriteEveryData(p.M) },
+	},
+	"flood": {
+		describe: "ack-free streaming, unsafe under reordering (uses M)",
+		build:    func(p Params) (protocol.Spec, error) { return naive.NewFlood(p.M) },
+	},
+	"modseq": {
+		describe: "Stenning mod Window: probabilistic STP (uses M, Window)",
+		build:    func(p Params) (protocol.Spec, error) { return modseq.New(p.M, p.Window) },
+	},
+	"gobackn": {
+		describe: "Go-Back-N sliding window over FIFO (uses M, Window)",
+		build:    func(p Params) (protocol.Spec, error) { return gobackn.New(p.M, p.Window) },
+	},
+	"selrepeat": {
+		describe: "Selective Repeat sliding window over FIFO (uses M, Window)",
+		build:    func(p Params) (protocol.Spec, error) { return selrepeat.New(p.M, p.Window) },
+	},
+}
+
+// Protocol builds the named protocol with the given parameters.
+func Protocol(name string, p Params) (protocol.Spec, error) {
+	e, ok := protocols[name]
+	if !ok {
+		return protocol.Spec{}, fmt.Errorf("registry: unknown protocol %q (have %s)",
+			name, strings.Join(ProtocolNames(), ", "))
+	}
+	return e.build(p)
+}
+
+// ProtocolNames lists the registered protocol names, sorted.
+func ProtocolNames() []string {
+	names := make([]string, 0, len(protocols))
+	for n := range protocols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DescribeProtocol returns the one-line description of a registered name.
+func DescribeProtocol(name string) (string, error) {
+	e, ok := protocols[name]
+	if !ok {
+		return "", fmt.Errorf("registry: unknown protocol %q", name)
+	}
+	return e.describe, nil
+}
+
+var kinds = map[string]channel.Kind{
+	"dup":     channel.KindDup,
+	"del":     channel.KindDel,
+	"reorder": channel.KindReorder,
+	"fifo":    channel.KindFIFO,
+	"dupdel":  channel.KindDupDel,
+	"dup+del": channel.KindDupDel,
+}
+
+// Kind parses a channel-kind name.
+func Kind(name string) (channel.Kind, error) {
+	k, ok := kinds[name]
+	if !ok {
+		return 0, fmt.Errorf("registry: unknown channel %q (have %s)",
+			name, strings.Join(KindNames(), ", "))
+	}
+	return k, nil
+}
+
+// KindNames lists the channel-kind names, sorted (aliases included).
+func KindNames() []string {
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// adversaryEntry describes one named adversary.
+type adversaryEntry struct {
+	describe string
+	build    func(Params) sim.Adversary
+}
+
+var adversaries = map[string]adversaryEntry{
+	"roundrobin": {
+		describe: "deterministic fair schedule",
+		build:    func(Params) sim.Adversary { return sim.NewRoundRobin() },
+	},
+	"random": {
+		describe: "seeded random schedule under finite-delay fairness (uses Seed)",
+		build:    func(p Params) sim.Adversary { return sim.NewFinDelay(sim.NewRandom(p.Seed), 10) },
+	},
+	"replayer": {
+		describe: "round-robin plus periodic stale replays (uses Seed, Budget as period)",
+		build: func(p Params) sim.Adversary {
+			return sim.NewFinDelay(sim.NewReplayer(p.Seed, max(1, p.Budget)), 12)
+		},
+	},
+	"dropper": {
+		describe: "deletes up to Budget copies, then fair (uses Seed, Budget)",
+		build:    func(p Params) sim.Adversary { return sim.NewBudgetDropper(p.Seed, p.Budget) },
+	},
+	"withholder": {
+		describe: "stalls all deliveries for 10×Budget steps, then fair (uses Budget)",
+		build:    func(p Params) sim.Adversary { return sim.NewWithholder(10 * p.Budget) },
+	},
+}
+
+// Adversary builds the named adversary with the given parameters.
+func Adversary(name string, p Params) (sim.Adversary, error) {
+	e, ok := adversaries[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown adversary %q (have %s)",
+			name, strings.Join(AdversaryNames(), ", "))
+	}
+	return e.build(p), nil
+}
+
+// AdversaryNames lists the adversary names, sorted.
+func AdversaryNames() []string {
+	names := make([]string, 0, len(adversaries))
+	for n := range adversaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

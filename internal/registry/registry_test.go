@@ -1,0 +1,115 @@
+package registry
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+func defaults() Params {
+	return Params{M: 2, Timeout: 4, Window: 4, Seed: 1, Budget: 2}
+}
+
+func TestEveryProtocolBuildsAndRuns(t *testing.T) {
+	t.Parallel()
+	for _, name := range ProtocolNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := Protocol(name, defaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if desc, derr := DescribeProtocol(name); derr != nil || desc == "" {
+				t.Errorf("describe: %q, %v", desc, derr)
+			}
+			// Pick a channel each protocol is correct on and check a run.
+			kind := channel.KindDup
+			switch name {
+			case "afwz", "hybrid":
+				kind = channel.KindReorder
+			case "abp", "gobackn", "selrepeat":
+				kind = channel.KindFIFO
+			case "flood", "naive":
+				kind = channel.KindFIFO // even these work without faults... on FIFO order holds
+			}
+			input := seq.FromInts(0, 1)
+			res, err := sim.RunProtocol(spec, input, kind, sim.NewRoundRobin(),
+				sim.Config{MaxSteps: 2000, StopWhenComplete: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OutputComplete {
+				t.Fatalf("%s did not complete on %s: %s", name, kind, res.Output)
+			}
+		})
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	t.Parallel()
+	if _, err := Protocol("nope", defaults()); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := DescribeProtocol("nope"); err == nil {
+		t.Error("unknown describe accepted")
+	}
+	if _, err := Kind("nope"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Adversary("nope", defaults()); err == nil {
+		t.Error("unknown adversary accepted")
+	}
+}
+
+func TestKindAliases(t *testing.T) {
+	t.Parallel()
+	k1, err := Kind("dupdel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Kind("dup+del")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != channel.KindDupDel || k2 != channel.KindDupDel {
+		t.Errorf("aliases resolve to %v, %v", k1, k2)
+	}
+	for _, name := range []string{"dup", "del", "reorder", "fifo"} {
+		if _, err := Kind(name); err != nil {
+			t.Errorf("Kind(%q): %v", name, err)
+		}
+	}
+}
+
+func TestEveryAdversaryBuildsWithName(t *testing.T) {
+	t.Parallel()
+	for _, name := range AdversaryNames() {
+		adv, err := Adversary(name, defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv.Name() == "" {
+			t.Errorf("%s: empty adversary name", name)
+		}
+	}
+}
+
+func TestInvalidParamsPropagate(t *testing.T) {
+	t.Parallel()
+	p := defaults()
+	p.M = -1
+	if _, err := Protocol("alpha", p); err == nil {
+		t.Error("negative M accepted by alpha")
+	}
+	p = defaults()
+	p.Window = 0
+	if _, err := Protocol("modseq", p); err == nil {
+		t.Error("zero window accepted by modseq")
+	}
+}

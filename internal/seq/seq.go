@@ -1,0 +1,164 @@
+// Package seq defines data items, domains, data sequences, and sets of
+// allowable sequences for the sequence transmission problem (STP).
+//
+// In the paper's model (Wang & Zuck 1989, §2.1) the sender reads a sequence
+// X of data items drawn from a finite domain D and must communicate it to
+// the receiver. The set of allowable input sequences is called X (here:
+// Set). Sequences may be finite; the paper also admits infinite sequences,
+// which this implementation approximates by finite prefixes of configurable
+// length.
+package seq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Item is a single data item from a finite domain D. Items are small
+// non-negative integers; the Domain gives them meaning and a printable name.
+type Item int
+
+// Domain is the finite domain D the data items are drawn from.
+// The zero value is the empty domain.
+type Domain struct {
+	names []string
+}
+
+// NewDomain returns a domain with size items named by names. Item i is
+// printed as names[i].
+func NewDomain(names ...string) Domain {
+	cp := make([]string, len(names))
+	copy(cp, names)
+	return Domain{names: cp}
+}
+
+// IntDomain returns a domain of size n whose items print as "0".."n-1".
+func IntDomain(n int) Domain {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%d", i)
+	}
+	return Domain{names: names}
+}
+
+// LetterDomain returns a domain of size n (n <= 26) whose items print as
+// "a".."z".
+func LetterDomain(n int) (Domain, error) {
+	if n < 0 || n > 26 {
+		return Domain{}, fmt.Errorf("seq: letter domain size %d out of range [0,26]", n)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	return Domain{names: names}, nil
+}
+
+// Size returns |D|.
+func (d Domain) Size() int { return len(d.names) }
+
+// Name returns the printable name of item x, or "?" if x is out of range.
+func (d Domain) Name(x Item) string {
+	if int(x) < 0 || int(x) >= len(d.names) {
+		return "?"
+	}
+	return d.names[x]
+}
+
+// Contains reports whether x is a member of the domain.
+func (d Domain) Contains(x Item) bool { return int(x) >= 0 && int(x) < len(d.names) }
+
+// Items returns all items of the domain in order.
+func (d Domain) Items() []Item {
+	items := make([]Item, d.Size())
+	for i := range items {
+		items[i] = Item(i)
+	}
+	return items
+}
+
+// Seq is a finite sequence of data items (an input tape X or output tape Y).
+type Seq []Item
+
+// Clone returns an independent copy of s.
+func (s Seq) Clone() Seq {
+	if s == nil {
+		return nil
+	}
+	cp := make(Seq, len(s))
+	copy(cp, s)
+	return cp
+}
+
+// Equal reports whether s and t are item-wise equal.
+func (s Seq) Equal(t Seq) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports whether s is a (not necessarily proper) prefix of t.
+// This is the paper's safety relation: at all times Y must be a prefix of X.
+func (s Seq) IsPrefixOf(t Seq) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasRepetition reports whether any item occurs more than once in s.
+// Repetition-free sequences are the ones counted by alpha(m) and are
+// exactly the inputs accepted by the paper's tight protocol (§3, end).
+func (s Seq) HasRepetition() bool {
+	seen := make(map[Item]struct{}, len(s))
+	for _, x := range s {
+		if _, ok := seen[x]; ok {
+			return true
+		}
+		seen[x] = struct{}{}
+	}
+	return false
+}
+
+// String renders s as "x1.x2.x3" using raw item numbers ("ε" if empty).
+func (s Seq) String() string {
+	if len(s) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(s))
+	for i, x := range s {
+		parts[i] = fmt.Sprintf("%d", int(x))
+	}
+	return strings.Join(parts, ".")
+}
+
+// Format renders s using the domain's item names.
+func (s Seq) Format(d Domain) string {
+	if len(s) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(s))
+	for i, x := range s {
+		parts[i] = d.Name(x)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Key returns a canonical map key for s.
+func (s Seq) Key() string { return s.String() }
+
+// PaperLength returns the paper's |X|: k+1 for a sequence of k items
+// (so the empty sequence has length 1). The paper uses this convention so
+// that "i < |X|" ranges over the positions 1..k.
+func (s Seq) PaperLength() int { return len(s) + 1 }

@@ -1,0 +1,128 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a finite set X of allowable input sequences, stored both as a
+// list (stable iteration order) and as a prefix trie (for prefix-relation
+// queries, which drive the encodability results of §3).
+type Set struct {
+	seqs []Seq
+	keys map[string]int // Key -> index into seqs
+}
+
+// NewSet returns a set containing the given sequences. Duplicates are
+// rejected so that |X| is meaningful.
+func NewSet(seqs ...Seq) (*Set, error) {
+	s := &Set{keys: make(map[string]int, len(seqs))}
+	for _, x := range seqs {
+		if err := s.Add(x); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustNewSet is NewSet for statically known inputs; it panics on duplicates.
+// Intended for tests and examples only.
+func MustNewSet(seqs ...Seq) *Set {
+	s, err := NewSet(seqs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add inserts x into the set. It returns an error if x is already present.
+func (s *Set) Add(x Seq) error {
+	k := x.Key()
+	if _, ok := s.keys[k]; ok {
+		return fmt.Errorf("seq: duplicate sequence %s in set", k)
+	}
+	s.keys[k] = len(s.seqs)
+	s.seqs = append(s.seqs, x.Clone())
+	return nil
+}
+
+// Size returns |X|.
+func (s *Set) Size() int { return len(s.seqs) }
+
+// Seqs returns the sequences in insertion order. The returned slice is
+// shared; callers must not mutate it.
+func (s *Set) Seqs() []Seq { return s.seqs }
+
+// At returns the i-th sequence in insertion order.
+func (s *Set) At(i int) Seq { return s.seqs[i] }
+
+// Contains reports whether x is in the set.
+func (s *Set) Contains(x Seq) bool {
+	_, ok := s.keys[x.Key()]
+	return ok
+}
+
+// MaxLen returns the length (number of items) of the longest sequence.
+func (s *Set) MaxLen() int {
+	maxLen := 0
+	for _, x := range s.seqs {
+		if len(x) > maxLen {
+			maxLen = len(x)
+		}
+	}
+	return maxLen
+}
+
+// DistinguishingPrefix returns the paper's beta (§4): the minimal i such
+// that every sequence in the set is uniquely identified by its i-item
+// prefix. For a set containing two identical sequences this cannot happen,
+// but NewSet rejects duplicates, so a value always exists (at most MaxLen).
+func (s *Set) DistinguishingPrefix() int {
+	// Two distinct sequences share an i-prefix key exactly when their
+	// truncations to i items are equal; once i reaches both lengths the
+	// truncations are the sequences themselves, which differ. Hence the
+	// loop terminates by MaxLen at the latest.
+	for i := 0; ; i++ {
+		seen := make(map[string]struct{}, len(s.seqs))
+		ok := true
+		for _, x := range s.seqs {
+			p := x
+			if len(p) > i {
+				p = p[:i]
+			}
+			key := p.Key()
+			if _, dup := seen[key]; dup {
+				ok = false
+				break
+			}
+			seen[key] = struct{}{}
+		}
+		if ok {
+			return i
+		}
+		if i > s.MaxLen() {
+			return s.MaxLen() // unreachable for duplicate-free sets
+		}
+	}
+}
+
+// SortedKeys returns the canonical keys of all sequences, sorted. Useful
+// for deterministic iteration in tests.
+func (s *Set) SortedKeys() []string {
+	keys := make([]string, 0, len(s.seqs))
+	for k := range s.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Trie converts the set into a prefix trie. Every sequence in the set is
+// marked terminal in the trie; shared prefixes share nodes.
+func (s *Set) Trie() *Trie {
+	t := NewTrie()
+	for _, x := range s.seqs {
+		t.Insert(x)
+	}
+	return t
+}

@@ -1,0 +1,129 @@
+package seq
+
+import "sort"
+
+// Trie is a prefix trie over data sequences. It records, for a set X of
+// sequences, the prefix structure that governs encodability into the
+// arrangement tree (§3, end): mu(X1) must be a prefix of mu(X2) exactly
+// when X1 is a prefix of X2, so the shape of X's trie is what must embed.
+type Trie struct {
+	root *TrieNode
+	size int // number of terminal nodes
+}
+
+// TrieNode is a node of a Trie. The root corresponds to the empty sequence.
+type TrieNode struct {
+	item     Item // item on the edge from the parent (undefined at root)
+	terminal bool // whether the sequence ending here is a member of X
+	children map[Item]*TrieNode
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie {
+	return &Trie{root: &TrieNode{children: make(map[Item]*TrieNode)}}
+}
+
+// Insert adds x to the trie (idempotent).
+func (t *Trie) Insert(x Seq) {
+	n := t.root
+	for _, it := range x {
+		child, ok := n.children[it]
+		if !ok {
+			child = &TrieNode{item: it, children: make(map[Item]*TrieNode)}
+			n.children[it] = child
+		}
+		n = child
+	}
+	if !n.terminal {
+		n.terminal = true
+		t.size++
+	}
+}
+
+// Contains reports whether x was inserted as a member.
+func (t *Trie) Contains(x Seq) bool {
+	n := t.root
+	for _, it := range x {
+		child, ok := n.children[it]
+		if !ok {
+			return false
+		}
+		n = child
+	}
+	return n.terminal
+}
+
+// Size returns the number of member sequences.
+func (t *Trie) Size() int { return t.size }
+
+// Root returns the root node.
+func (t *Trie) Root() *TrieNode { return t.root }
+
+// Terminal reports whether the node is a member of X.
+func (n *TrieNode) Terminal() bool { return n.terminal }
+
+// Item returns the item on the edge leading to this node.
+func (n *TrieNode) Item() Item { return n.item }
+
+// Children returns the node's children ordered by item, for deterministic
+// traversal.
+func (n *TrieNode) Children() []*TrieNode {
+	out := make([]*TrieNode, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].item < out[j].item })
+	return out
+}
+
+// Height returns the number of items on the longest downward path from n.
+func (n *TrieNode) Height() int {
+	h := 0
+	for _, c := range n.children {
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// CountNodes returns the number of nodes in the subtree rooted at n,
+// including n itself.
+func (n *TrieNode) CountNodes() int {
+	total := 1
+	for _, c := range n.children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Walk visits every node in depth-first order (children by item order),
+// passing the sequence spelled from the root. Walk stops early if fn
+// returns false.
+func (t *Trie) Walk(fn func(prefix Seq, n *TrieNode) bool) {
+	var rec func(prefix Seq, n *TrieNode) bool
+	rec = func(prefix Seq, n *TrieNode) bool {
+		if !fn(prefix, n) {
+			return false
+		}
+		for _, c := range n.Children() {
+			if !rec(append(prefix.Clone(), c.item), c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(Seq{}, t.root)
+}
+
+// Members returns all member sequences in depth-first item order.
+func (t *Trie) Members() []Seq {
+	var out []Seq
+	t.Walk(func(prefix Seq, n *TrieNode) bool {
+		if n.terminal {
+			out = append(out, prefix.Clone())
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/msg"
+	"seqtx/internal/trace"
+)
+
+// Adversary resolves the environment's nondeterminism: at each step it
+// picks one of the enabled actions. The paper's channels "can arbitrarily
+// delay messages and cannot discriminate between deliverable messages"
+// (Property 1b); adversaries are particular deterministic or seeded
+// resolutions of that freedom.
+type Adversary interface {
+	// Name identifies the adversary for reports.
+	Name() string
+	// Choose picks one of the enabled actions (enabled is never empty:
+	// ticks are always available).
+	Choose(w *World, enabled []trace.Action) trace.Action
+}
+
+// Random picks uniformly among enabled actions, with a configurable
+// weight multiplier for drop actions (0 disables drops entirely).
+type Random struct {
+	rng        *rand.Rand
+	dropWeight int
+	name       string
+}
+
+var _ Adversary = (*Random)(nil)
+
+// NewRandom returns a seeded uniform adversary that never drops.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), dropWeight: 0, name: fmt.Sprintf("random(%d)", seed)}
+}
+
+// NewRandomDropper returns a seeded adversary that includes drop actions
+// with the given relative weight (1 = same as any other action).
+func NewRandomDropper(seed int64, dropWeight int) *Random {
+	return &Random{
+		rng:        rand.New(rand.NewSource(seed)),
+		dropWeight: dropWeight,
+		name:       fmt.Sprintf("random-drop(%d,w=%d)", seed, dropWeight),
+	}
+}
+
+// Name implements Adversary.
+func (a *Random) Name() string { return a.name }
+
+// Choose implements Adversary.
+func (a *Random) Choose(_ *World, enabled []trace.Action) trace.Action {
+	weighted := make([]trace.Action, 0, len(enabled))
+	for _, act := range enabled {
+		w := 1
+		if act.Kind == trace.ActDrop {
+			w = a.dropWeight
+		}
+		for i := 0; i < w; i++ {
+			weighted = append(weighted, act)
+		}
+	}
+	if len(weighted) == 0 {
+		// All actions were drops with weight 0; fall back to the raw set.
+		weighted = enabled
+	}
+	return weighted[a.rng.Intn(len(weighted))]
+}
+
+// RoundRobin is the friendly deterministic scheduler: it cycles
+// tickS → deliver S→R → tickR → deliver R→S, skipping phases with nothing
+// to do. Deliveries rotate through the sorted deliverable set (on dup
+// channels old messages stay deliverable forever, so always picking the
+// smallest would starve new ones). Deterministic, hence reproducible. It
+// never drops or duplicates.
+type RoundRobin struct {
+	phase   int
+	deliver map[channel.Dir]int
+}
+
+var _ Adversary = (*RoundRobin)(nil)
+
+// NewRoundRobin returns the deterministic fair scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Adversary.
+func (a *RoundRobin) Name() string { return "round-robin" }
+
+// Choose implements Adversary.
+func (a *RoundRobin) Choose(w *World, _ []trace.Action) trace.Action {
+	if a.deliver == nil {
+		a.deliver = make(map[channel.Dir]int)
+	}
+	for i := 0; i < 4; i++ {
+		phase := (a.phase + i) % 4
+		switch phase {
+		case 0:
+			a.phase = (phase + 1) % 4
+			return trace.TickS()
+		case 1:
+			if m, ok := a.nextDeliverable(w, channel.SToR); ok {
+				a.phase = (phase + 1) % 4
+				return trace.Deliver(channel.SToR, m)
+			}
+		case 2:
+			a.phase = (phase + 1) % 4
+			return trace.TickR()
+		case 3:
+			if m, ok := a.nextDeliverable(w, channel.RToS); ok {
+				a.phase = (phase + 1) % 4
+				return trace.Deliver(channel.RToS, m)
+			}
+		}
+	}
+	a.phase = 1
+	return trace.TickS()
+}
+
+func (a *RoundRobin) nextDeliverable(w *World, d channel.Dir) (msg.Msg, bool) {
+	sup := w.Link.Half(d).Deliverable().Support()
+	if len(sup) == 0 {
+		return "", false
+	}
+	sort.Slice(sup, func(i, j int) bool { return sup[i] < sup[j] })
+	m := sup[a.deliver[d]%len(sup)]
+	a.deliver[d]++
+	return m, true
+}
+
+// Scripted plays a fixed prefix of actions, then delegates to a fallback.
+// Actions in the script that are not currently enabled are skipped. Useful
+// for reproducing specific counterexample runs.
+type Scripted struct {
+	script   []trace.Action
+	pos      int
+	fallback Adversary
+}
+
+var _ Adversary = (*Scripted)(nil)
+
+// NewScripted returns an adversary playing script then fallback.
+func NewScripted(script []trace.Action, fallback Adversary) *Scripted {
+	return &Scripted{script: script, fallback: fallback}
+}
+
+// Name implements Adversary.
+func (a *Scripted) Name() string { return "scripted+" + a.fallback.Name() }
+
+// Choose implements Adversary.
+func (a *Scripted) Choose(w *World, enabled []trace.Action) trace.Action {
+	en := make(map[string]struct{}, len(enabled))
+	for _, act := range enabled {
+		en[act.Key()] = struct{}{}
+	}
+	for a.pos < len(a.script) {
+		act := a.script[a.pos]
+		a.pos++
+		if _, ok := en[act.Key()]; ok {
+			return act
+		}
+	}
+	return a.fallback.Choose(w, enabled)
+}
+
+// Replayer exercises duplication: it follows RoundRobin but every period
+// steps it re-delivers a random already-sent message on the S→R half.
+// Meaningful on dup channels, where old messages remain deliverable.
+type Replayer struct {
+	inner  *RoundRobin
+	rng    *rand.Rand
+	period int
+	count  int
+}
+
+var _ Adversary = (*Replayer)(nil)
+
+// NewReplayer returns a replaying adversary with the given period (>= 1).
+func NewReplayer(seed int64, period int) *Replayer {
+	if period < 1 {
+		period = 1
+	}
+	return &Replayer{inner: NewRoundRobin(), rng: rand.New(rand.NewSource(seed)), period: period}
+}
+
+// Name implements Adversary.
+func (a *Replayer) Name() string { return fmt.Sprintf("replayer(p=%d)", a.period) }
+
+// Choose implements Adversary.
+func (a *Replayer) Choose(w *World, enabled []trace.Action) trace.Action {
+	a.count++
+	if a.count%a.period == 0 {
+		sup := w.Link.Half(channel.SToR).Deliverable().Support()
+		if len(sup) > 0 {
+			return trace.Deliver(channel.SToR, sup[a.rng.Intn(len(sup))])
+		}
+	}
+	return a.inner.Choose(w, enabled)
+}
+
+// Withholder delays: for its first holdSteps steps it only ticks the
+// processes (no deliveries at all — Property 1b(i) iterated), after which
+// it behaves like RoundRobin. It exhibits the arbitrary-delay power of
+// the channel.
+type Withholder struct {
+	inner     *RoundRobin
+	initial   int
+	holdSteps int
+	tickS     bool
+}
+
+var _ Adversary = (*Withholder)(nil)
+
+// NewWithholder returns an adversary that stalls all deliveries for
+// holdSteps steps.
+func NewWithholder(holdSteps int) *Withholder {
+	return &Withholder{inner: NewRoundRobin(), initial: holdSteps, holdSteps: holdSteps}
+}
+
+// Name implements Adversary.
+func (a *Withholder) Name() string { return fmt.Sprintf("withholder(%d)", a.initial) }
+
+// Choose implements Adversary.
+func (a *Withholder) Choose(w *World, enabled []trace.Action) trace.Action {
+	if a.holdSteps > 0 {
+		a.holdSteps--
+		a.tickS = !a.tickS
+		if a.tickS {
+			return trace.TickS()
+		}
+		return trace.TickR()
+	}
+	return a.inner.Choose(w, enabled)
+}
+
+// BudgetDropper drops the first budget deliverable copies it sees (on del
+// or lossy-FIFO halves), then behaves like RoundRobin. With a finite
+// budget the resulting schedule is still fair-in-the-limit, so liveness
+// must survive it.
+type BudgetDropper struct {
+	inner   *RoundRobin
+	rng     *rand.Rand
+	initial int
+	budget  int
+}
+
+var _ Adversary = (*BudgetDropper)(nil)
+
+// NewBudgetDropper returns an adversary dropping up to budget copies.
+func NewBudgetDropper(seed int64, budget int) *BudgetDropper {
+	return &BudgetDropper{
+		inner:   NewRoundRobin(),
+		rng:     rand.New(rand.NewSource(seed)),
+		initial: budget,
+		budget:  budget,
+	}
+}
+
+// Name implements Adversary.
+func (a *BudgetDropper) Name() string { return fmt.Sprintf("budget-dropper(%d)", a.initial) }
+
+// Choose implements Adversary.
+func (a *BudgetDropper) Choose(w *World, enabled []trace.Action) trace.Action {
+	if a.budget > 0 {
+		var drops []trace.Action
+		for _, act := range enabled {
+			if act.Kind == trace.ActDrop {
+				drops = append(drops, act)
+			}
+		}
+		if len(drops) > 0 {
+			a.budget--
+			return drops[a.rng.Intn(len(drops))]
+		}
+	}
+	return a.inner.Choose(w, enabled)
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/trace"
+)
+
+// FinDelay wraps an adversary and enforces finite-delay fairness: every
+// message type that stays deliverable for budget consecutive steps is
+// force-delivered, and each process is force-ticked at least every budget
+// steps. This is the concrete form of the paper's fairness requirement
+// (F-liveness is only demanded on fair runs; at the end of §3 the paper
+// itself picks "every message that is sent is eventually delivered").
+//
+// On dup halves a message stays deliverable forever, so it will be
+// re-delivered roughly every budget steps — which is allowed behaviour on
+// a duplicating channel and keeps the schedule fair for any number of
+// logical sends of the same value. On del halves the wrapper cannot and
+// does not resurrect dropped copies: drops by the inner adversary remain
+// genuine faults; fairness applies to the copies that survive.
+type FinDelay struct {
+	inner  Adversary
+	budget int
+
+	age       map[string]int // dir|msg -> consecutive deliverable steps
+	sinceTick map[trace.ActKind]int
+}
+
+var _ Adversary = (*FinDelay)(nil)
+
+// NewFinDelay wraps inner with a finite-delay budget. Budgets below 4 are
+// clamped: one protocol round trip needs a sender tick, a delivery, a
+// receiver step, and a reply delivery, so a smaller budget would spend
+// every step on forced ticks and starve deliveries.
+func NewFinDelay(inner Adversary, budget int) *FinDelay {
+	if budget < 4 {
+		budget = 4
+	}
+	return &FinDelay{
+		inner:     inner,
+		budget:    budget,
+		age:       make(map[string]int),
+		sinceTick: map[trace.ActKind]int{trace.ActTickS: 0, trace.ActTickR: 0},
+	}
+}
+
+// Name implements Adversary.
+func (a *FinDelay) Name() string {
+	return fmt.Sprintf("fin-delay(%d)+%s", a.budget, a.inner.Name())
+}
+
+// Choose implements Adversary.
+func (a *FinDelay) Choose(w *World, enabled []trace.Action) trace.Action {
+	// Refresh ages from the current deliverable sets.
+	seen := make(map[string]struct{})
+	var overdue *trace.Action
+	worst := 0
+	for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
+		for _, m := range w.Link.Half(dir).Deliverable().Support() {
+			k := dir.String() + "|" + string(m)
+			seen[k] = struct{}{}
+			a.age[k]++
+			if a.age[k] >= a.budget && a.age[k] > worst {
+				worst = a.age[k]
+				act := trace.Deliver(dir, m)
+				overdue = &act
+			}
+		}
+	}
+	for k := range a.age {
+		if _, ok := seen[k]; !ok {
+			delete(a.age, k)
+		}
+	}
+	a.sinceTick[trace.ActTickS]++
+	a.sinceTick[trace.ActTickR]++
+
+	// Forced ticks take precedence over forced deliveries: on dup halves
+	// something is always deliverable, so delivery pressure alone would
+	// starve the processes of spontaneous steps.
+	var chosen trace.Action
+	switch {
+	case a.sinceTick[trace.ActTickS] >= a.budget:
+		chosen = trace.TickS()
+	case a.sinceTick[trace.ActTickR] >= a.budget:
+		chosen = trace.TickR()
+	case overdue != nil:
+		chosen = *overdue
+	default:
+		chosen = a.inner.Choose(w, enabled)
+	}
+	a.note(chosen)
+	return chosen
+}
+
+func (a *FinDelay) note(act trace.Action) {
+	switch act.Kind {
+	case trace.ActTickS, trace.ActTickR:
+		a.sinceTick[act.Kind] = 0
+	case trace.ActDeliver, trace.ActDeliverDup:
+		delete(a.age, act.Dir.String()+"|"+string(act.Msg))
+	}
+}

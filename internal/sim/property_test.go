@@ -1,0 +1,160 @@
+package sim
+
+// Conformance tests: the simulator satisfies the paper's Property 1 and
+// Property 2 (§2.2), which are the only assumptions the impossibility
+// proofs make about the environment. DESIGN.md §2 commits to these tests.
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol/alphaproto"
+	"seqtx/internal/seq"
+	"seqtx/internal/trace"
+)
+
+// TestProperty1aReceiverInitialStateUniform: in all initial global states
+// R's local state is the same (R does not know the input in advance).
+func TestProperty1aReceiverInitialStateUniform(t *testing.T) {
+	t.Parallel()
+	spec := alphaproto.MustNew(3)
+	var firstKey string
+	for i, input := range seq.RepetitionFree(3) {
+		link, err := channel.NewLinkOfKind(channel.KindDup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := New(spec, input, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstKey = w.R.Key()
+			continue
+		}
+		if w.R.Key() != firstKey {
+			t.Fatalf("initial receiver state differs across inputs: %q vs %q", w.R.Key(), firstKey)
+		}
+	}
+}
+
+// TestProperty1biNoDeliveryExtensionExists: from every reachable point
+// there is an extension in which no message is delivered (the ticks).
+func TestProperty1biNoDeliveryExtensionExists(t *testing.T) {
+	t.Parallel()
+	w := mustWorld(t, channel.KindDel, seq.FromInts(0, 1))
+	adv := NewRoundRobin()
+	for i := 0; i < 50; i++ {
+		acts := w.Enabled()
+		var ticks int
+		for _, a := range acts {
+			if a.Kind == trace.ActTickS || a.Kind == trace.ActTickR {
+				ticks++
+			}
+		}
+		if ticks < 2 {
+			t.Fatalf("step %d: tick actions missing from enabled set %v", i, acts)
+		}
+		if err := w.Apply(adv.Choose(w, acts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestProperty1biiEveryDeliverableHasDeliveryExtension: every message with
+// dlvrble > 0 can be delivered next in some extension.
+func TestProperty1biiEveryDeliverableHasDeliveryExtension(t *testing.T) {
+	t.Parallel()
+	w := mustWorld(t, channel.KindDel, seq.FromInts(1, 0, 2))
+	adv := NewRoundRobin()
+	for i := 0; i < 80; i++ {
+		enabled := make(map[string]struct{})
+		for _, a := range w.Enabled() {
+			enabled[a.Key()] = struct{}{}
+		}
+		for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
+			for _, m := range w.Link.Half(dir).Deliverable().Support() {
+				// The delivery must be enabled now...
+				if _, ok := enabled[trace.Deliver(dir, m).Key()]; !ok {
+					t.Fatalf("step %d: deliverable %s on %s not enabled", i, m, dir)
+				}
+				// ...and applying it on a clone must succeed.
+				c := w.Clone()
+				if err := c.Apply(trace.Deliver(dir, m)); err != nil {
+					t.Fatalf("step %d: delivering %s on %s failed: %v", i, m, dir, err)
+				}
+			}
+		}
+		if err := w.Apply(adv.Choose(w, w.Enabled())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestProperty1cDupNeverLoses: on dup channels, once sent a message stays
+// deliverable forever — the channel cannot delete (and the fair scheduler
+// eventually delivers every sent message at least as often as it was
+// sent, which TestRunRoundRobinCompletesOnAllKinds already exercises).
+func TestProperty1cDupNeverLoses(t *testing.T) {
+	t.Parallel()
+	w := mustWorld(t, channel.KindDup, seq.FromInts(0, 1, 2))
+	adv := NewRoundRobin()
+	everSent := map[string]struct{}{}
+	for i := 0; i < 120; i++ {
+		for _, m := range w.Link.Half(channel.SToR).Deliverable().Support() {
+			everSent[string(m)] = struct{}{}
+		}
+		for m := range everSent {
+			if !w.Link.Half(channel.SToR).CanDeliver(msg.Msg(m)) {
+				t.Fatalf("step %d: previously sent %q no longer deliverable on dup half", i, m)
+			}
+		}
+		if err := w.Apply(adv.Choose(w, w.Enabled())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestProperty2EveryPrefixExtendsToFairRun: from any reachable point the
+// fair round-robin scheduler completes the transmission — the executable
+// form of "every point extends to a fair run" for the protocols under
+// test (on drop-free channels where all runs can be made fair).
+func TestProperty2EveryPrefixExtendsToFairRun(t *testing.T) {
+	t.Parallel()
+	base := mustWorld(t, channel.KindReorder, seq.FromInts(2, 0, 1))
+	chaotic := NewRandom(13)
+	for i := 0; i < 60; i++ {
+		// Extend the current (possibly chaotic) prefix fairly.
+		ext := base.Clone()
+		res, err := Run(ext, NewRoundRobin(), Config{MaxSteps: 2000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OutputComplete {
+			t.Fatalf("step %d: fair extension did not complete (output %s)", i, res.Output)
+		}
+		if res.SafetyViolation != nil {
+			t.Fatalf("step %d: fair extension violated safety: %v", i, res.SafetyViolation)
+		}
+		if base.OutputComplete() {
+			break
+		}
+		if err := base.Apply(chaotic.Choose(base, base.Enabled())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustWorld(t *testing.T, kind channel.Kind, input seq.Seq) *World {
+	t.Helper()
+	link, err := channel.NewLinkOfKind(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(alphaproto.MustNew(3), input, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// Result summarizes one run.
+type Result struct {
+	// Steps is the number of scheduler steps taken.
+	Steps int
+	// Output is the final output tape Y.
+	Output seq.Seq
+	// OutputComplete reports whether Y = X (liveness achieved).
+	OutputComplete bool
+	// Quiescent reports whether the sender was done and the S→R half empty
+	// when the run stopped.
+	Quiescent bool
+	// SafetyViolation is the first "Y not a prefix of X" error, if any.
+	SafetyViolation error
+	// LearnTimes[i] is the step at which Y first had length i+1 (R wrote
+	// the (i+1)-th item) — an observable proxy for the paper's t_i (R
+	// knows x_i no later than it writes it; the epistemic package computes
+	// the exact t_i from explored run sets).
+	LearnTimes []int
+}
+
+// Config controls a run.
+type Config struct {
+	// MaxSteps bounds the run length (required, > 0).
+	MaxSteps int
+	// StopWhenComplete stops as soon as Y = X.
+	StopWhenComplete bool
+	// RecordTrace attaches a trace recorder to the world.
+	RecordTrace bool
+}
+
+// Run drives the world with the adversary until MaxSteps, completion
+// (when requested), or a safety violation. It returns an error only for
+// mechanical failures (a protocol escaping its alphabet, an adversary
+// picking an impossible action); protocol misbehaviour is reported in the
+// Result.
+func Run(w *World, adv Adversary, cfg Config) (Result, error) {
+	if cfg.MaxSteps <= 0 {
+		return Result{}, fmt.Errorf("sim: MaxSteps must be positive, got %d", cfg.MaxSteps)
+	}
+	if cfg.RecordTrace && w.Trace == nil {
+		w.StartTrace()
+	}
+	var res Result
+	for step := 0; step < cfg.MaxSteps; step++ {
+		if w.SafetyViolation != nil {
+			break
+		}
+		if cfg.StopWhenComplete && w.OutputComplete() {
+			break
+		}
+		before := len(w.Output)
+		enabled := w.Enabled()
+		act := adv.Choose(w, enabled)
+		if err := w.Apply(act); err != nil {
+			return res, fmt.Errorf("sim: step %d (%s): %w", step, act, err)
+		}
+		res.Steps++
+		for i := before; i < len(w.Output); i++ {
+			res.LearnTimes = append(res.LearnTimes, w.Time-1)
+		}
+	}
+	res.Output = w.Output.Clone()
+	res.OutputComplete = w.OutputComplete()
+	res.Quiescent = w.Quiescent()
+	res.SafetyViolation = w.SafetyViolation
+	return res, nil
+}
+
+// RunProtocol is the one-call convenience: build a world for spec × input
+// × channel kind, drive it with adv under cfg.
+func RunProtocol(spec protocol.Spec, input seq.Seq, kind channel.Kind, adv Adversary, cfg Config) (Result, error) {
+	link, err := channel.NewLinkOfKind(kind)
+	if err != nil {
+		return Result{}, err
+	}
+	w, err := New(spec, input, link)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(w, adv, cfg)
+}

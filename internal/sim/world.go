@@ -1,0 +1,204 @@
+// Package sim implements the runs model of the paper (§2.2): global
+// states (environment, sender, receiver), scheduler actions, adversaries
+// that resolve the environment's nondeterminism, and fairness policies.
+// A World is one global state; applying actions walks a run.
+package sim
+
+import (
+	"fmt"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+	"seqtx/internal/trace"
+)
+
+// World is a global state (s_E, s_S, s_R) plus the run bookkeeping: the
+// input tape X, the output tape Y written so far, and the step clock.
+type World struct {
+	Name   string
+	Input  seq.Seq
+	Output seq.Seq
+	Time   int
+
+	S    protocol.Sender
+	R    protocol.Receiver
+	Link *channel.Link
+
+	// SafetyViolation holds the first detected violation of "Y is a
+	// prefix of X" (nil while safe). The world keeps stepping after a
+	// violation so that counterexample traces show the damage.
+	SafetyViolation error
+
+	// Trace, when non-nil, records every applied action.
+	Trace *trace.Trace
+}
+
+// New assembles a world from a protocol spec, an input sequence, and a
+// link. The protocol alphabets are enforced on the link: a send outside
+// M^S or M^R is a hard error (the paper's finiteness assumption), except
+// for protocols that declare an empty alphabet (unbounded baselines).
+func New(spec protocol.Spec, input seq.Seq, link *channel.Link) (*World, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := spec.NewSender(input)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building sender: %w", err)
+	}
+	r, err := spec.NewReceiver()
+	if err != nil {
+		return nil, fmt.Errorf("sim: building receiver: %w", err)
+	}
+	if s.Alphabet().Size() > 0 || r.Alphabet().Size() > 0 {
+		link.EnforceAlphabets(s.Alphabet(), r.Alphabet())
+	}
+	return &World{
+		Name:  spec.Name,
+		Input: input.Clone(),
+		S:     s,
+		R:     r,
+		Link:  link,
+	}, nil
+}
+
+// StartTrace attaches an empty trace recorder.
+func (w *World) StartTrace() {
+	w.Trace = &trace.Trace{Name: w.Name, Input: w.Input.Clone()}
+}
+
+// Enabled enumerates every action the environment could take now:
+// spontaneous steps for both processes, a delivery of each deliverable
+// message on each half, FIFO duplications, and drops where the model
+// allows deletion. This is the paper's Property 1b made executable —
+// every deliverable message has a run in which it is delivered next, and
+// there is always a run in which nothing is delivered (the ticks).
+func (w *World) Enabled() []trace.Action {
+	acts := []trace.Action{trace.TickS(), trace.TickR()}
+	for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
+		half := w.Link.Half(dir)
+		for _, m := range half.Deliverable().Support() {
+			acts = append(acts, trace.Deliver(dir, m))
+			if f, ok := half.(*channel.FIFO); ok && f.AllowsDup() {
+				acts = append(acts, trace.DeliverDup(dir, m))
+			}
+			if half.CanDrop(m) {
+				acts = append(acts, trace.Drop(dir, m))
+			}
+		}
+	}
+	return acts
+}
+
+// Apply executes one scheduler action: it performs the channel operation,
+// steps the affected process, routes its sends onto the link, appends R's
+// writes to Y, checks safety online, and advances the clock.
+func (w *World) Apply(act trace.Action) error {
+	var (
+		sends  []msg.Msg
+		writes seq.Seq
+		err    error
+	)
+	switch act.Kind {
+	case trace.ActTickS:
+		sends = w.S.Step(protocol.TickEvent())
+		err = w.routeSender(sends)
+	case trace.ActTickR:
+		sends, writes = w.R.Step(protocol.TickEvent())
+		err = w.routeReceiver(sends, writes)
+	case trace.ActDeliver, trace.ActDeliverDup:
+		half := w.Link.Half(act.Dir)
+		if act.Kind == trace.ActDeliverDup {
+			f, ok := half.(*channel.FIFO)
+			if !ok {
+				return fmt.Errorf("sim: deliver+dup on non-FIFO half %s", act.Dir)
+			}
+			if derr := f.DeliverKeep(act.Msg); derr != nil {
+				return fmt.Errorf("sim: %w", derr)
+			}
+		} else if derr := half.Deliver(act.Msg); derr != nil {
+			return fmt.Errorf("sim: %w", derr)
+		}
+		if act.Dir == channel.SToR {
+			sends, writes = w.R.Step(protocol.RecvEvent(act.Msg))
+			err = w.routeReceiver(sends, writes)
+		} else {
+			sends = w.S.Step(protocol.RecvEvent(act.Msg))
+			err = w.routeSender(sends)
+		}
+	case trace.ActDrop:
+		if derr := w.Link.Half(act.Dir).Drop(act.Msg); derr != nil {
+			return fmt.Errorf("sim: %w", derr)
+		}
+	default:
+		return fmt.Errorf("sim: unknown action kind %d", int(act.Kind))
+	}
+	if err != nil {
+		return err
+	}
+	if w.Trace != nil {
+		w.Trace.Append(trace.Entry{Time: w.Time, Act: act, Sends: sends, Writes: writes.Clone()})
+	}
+	w.Time++
+	return nil
+}
+
+func (w *World) routeSender(sends []msg.Msg) error {
+	for _, m := range sends {
+		if err := w.Link.Send(channel.SToR, m); err != nil {
+			return fmt.Errorf("sim: sender step: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *World) routeReceiver(sends []msg.Msg, writes seq.Seq) error {
+	for _, m := range sends {
+		if err := w.Link.Send(channel.RToS, m); err != nil {
+			return fmt.Errorf("sim: receiver step: %w", err)
+		}
+	}
+	for _, item := range writes {
+		w.Output = append(w.Output, item)
+		if w.SafetyViolation == nil && !w.Output.IsPrefixOf(w.Input) {
+			w.SafetyViolation = fmt.Errorf(
+				"sim: safety violated at t=%d: Y = %s is not a prefix of X = %s",
+				w.Time, w.Output, w.Input)
+		}
+	}
+	return nil
+}
+
+// OutputComplete reports whether R has written all of X.
+func (w *World) OutputComplete() bool {
+	return len(w.Output) == len(w.Input) && w.SafetyViolation == nil
+}
+
+// Quiescent reports whether the sender declares itself done and no copies
+// remain in flight toward R, i.e. nothing further can change Y.
+func (w *World) Quiescent() bool {
+	return w.S.Done() && w.Link.Half(channel.SToR).Deliverable().Total() == 0
+}
+
+// Clone returns an independent deep copy of the world. The trace recorder
+// is not carried over (clones are exploration tools).
+func (w *World) Clone() *World {
+	return &World{
+		Name:            w.Name,
+		Input:           w.Input.Clone(),
+		Output:          w.Output.Clone(),
+		Time:            w.Time,
+		S:               w.S.Clone(),
+		R:               w.R.Clone(),
+		Link:            w.Link.Clone(),
+		SafetyViolation: w.SafetyViolation,
+	}
+}
+
+// Key returns a canonical encoding of the global state for deduplication:
+// both local states, both channel halves, and the output length (which is
+// all that matters for future safety, given the input).
+func (w *World) Key() string {
+	return fmt.Sprintf("S:%s|R:%s|L:%s|Y:%d", w.S.Key(), w.R.Key(), w.Link.Key(), len(w.Output))
+}

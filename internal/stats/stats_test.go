@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %f", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %f", s.P50)
+	}
+	if s.P90 != 5 {
+		t.Errorf("P90 = %f", s.P90)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("StdDev = %f", s.StdDev)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	t.Parallel()
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("N = %d", s.N)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.P50 != 7 || s.P90 != 7 || s.StdDev != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	t.Parallel()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.Max &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	t.Parallel()
+	a, b, err := LinearFit([]float64{1, 2, 3}, []float64{5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("fit = (%f, %f), want (3, 2)", a, b)
+	}
+}
+
+func TestLinearFitFlat(t *testing.T) {
+	t.Parallel()
+	_, b, err := LinearFit([]float64{1, 2, 3, 4}, []float64{6, 6, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b) > 1e-9 {
+		t.Errorf("slope = %f, want 0", b)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}

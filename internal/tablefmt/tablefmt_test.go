@@ -1,0 +1,77 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	t.Parallel()
+	tab := New("title", "col", "longer column")
+	tab.AddRow("a", "b")
+	tab.AddRow("longer cell", "c")
+	tab.AddNote("a note %d", 7)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col") || !strings.Contains(lines[1], "longer column") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	if !strings.Contains(out, "note: a note 7") {
+		t.Error("note missing")
+	}
+	// All data lines equally wide (alignment).
+	if len(lines[1]) < len("col  longer column") {
+		t.Error("header not padded")
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	t.Parallel()
+	tab := New("", "a", "b")
+	tab.AddRow("1")           // short: padded
+	tab.AddRow("1", "2", "3") // long: truncated
+	if len(tab.Rows[0]) != 2 || tab.Rows[0][1] != "" {
+		t.Errorf("short row = %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 2 {
+		t.Errorf("long row = %v", tab.Rows[1])
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	t.Parallel()
+	tab := New("", "x", "y")
+	tab.AddRowf("", 12, true)
+	if tab.Rows[0][0] != "12" || tab.Rows[0][1] != "true" {
+		t.Errorf("row = %v", tab.Rows[0])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	t.Parallel()
+	tab := New("Ti", "h1", "h2")
+	tab.AddRow("a", "b")
+	tab.AddNote("n")
+	md := tab.Markdown()
+	for _, want := range []string{"**Ti**", "| h1 | h2 |", "| --- | --- |", "| a | b |", "*note: n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	t.Parallel()
+	tab := New("", "α", "b")
+	tab.AddRow("ε", "x")
+	out := tab.String()
+	if !strings.Contains(out, "ε") {
+		t.Error("unicode cell lost")
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/seq"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	orig := sample()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || !back.Input.Equal(orig.Input) {
+		t.Fatalf("header mismatch: %q %s", back.Name, back.Input)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("entries: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Entries {
+		a, b := orig.Entries[i], back.Entries[i]
+		if a.Time != b.Time || a.Act.Key() != b.Act.Key() {
+			t.Errorf("entry %d: %v vs %v", i, a, b)
+		}
+		if len(a.Sends) != len(b.Sends) {
+			t.Errorf("entry %d sends: %v vs %v", i, a.Sends, b.Sends)
+		}
+		if !a.Writes.Equal(b.Writes) {
+			t.Errorf("entry %d writes: %v vs %v", i, a.Writes, b.Writes)
+		}
+	}
+	// Views survive the round trip.
+	if orig.ReceiverView(-1).Key() != back.ReceiverView(-1).Key() {
+		t.Error("receiver view changed across serialization")
+	}
+	if !orig.Output(-1).Equal(back.Output(-1)) {
+		t.Error("output changed across serialization")
+	}
+}
+
+func TestJSONWireFormatStable(t *testing.T) {
+	t.Parallel()
+	tr := &Trace{Name: "x", Input: seq.FromInts(1)}
+	tr.Append(Entry{Time: 0, Act: Deliver(channel.SToR, "d:1"), Writes: seq.FromInts(1)})
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind":"deliver"`, `"dir":"s2r"`, `"msg":"d:1"`, `"writes":[1]`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("wire format missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	var tr Trace
+	if err := json.Unmarshal([]byte(`{"entries":[{"act":{"kind":"teleport"}}]}`), &tr); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"entries":[{"act":{"kind":"deliver","dir":"up"}}]}`), &tr); err == nil {
+		t.Error("unknown direction accepted")
+	}
+	if err := json.Unmarshal([]byte(`{`), &tr); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestActionsReplayable(t *testing.T) {
+	t.Parallel()
+	tr := sample()
+	acts := tr.Actions()
+	if len(acts) != tr.Len() {
+		t.Fatalf("Actions() = %d, want %d", len(acts), tr.Len())
+	}
+	for i, a := range acts {
+		if a.Key() != tr.Entries[i].Act.Key() {
+			t.Errorf("action %d mismatch", i)
+		}
+	}
+}

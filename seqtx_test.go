@@ -1,0 +1,198 @@
+package seqtx_test
+
+import (
+	"testing"
+
+	"seqtx"
+	"seqtx/internal/trace"
+)
+
+func TestTransmitQuickstart(t *testing.T) {
+	t.Parallel()
+	spec := seqtx.TightProtocol(4)
+	input := seqtx.Sequence(2, 0, 3, 1)
+	res, err := seqtx.Transmit(spec, input, seqtx.ChannelDup, seqtx.FairRandom(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(input) {
+		t.Fatalf("Output = %s, want %s", res.Output, input)
+	}
+	if res.SafetyViolation != nil {
+		t.Fatal(res.SafetyViolation)
+	}
+}
+
+func TestAlphaFacade(t *testing.T) {
+	t.Parallel()
+	a, err := seqtx.Alpha(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 326 {
+		t.Errorf("Alpha(5) = %d, want 326", a)
+	}
+	if got := len(seqtx.RepetitionFreeSequences(3)); got != 16 {
+		t.Errorf("len(RepetitionFreeSequences(3)) = %d, want 16", got)
+	}
+}
+
+func TestAllProtocolConstructors(t *testing.T) {
+	t.Parallel()
+	input := seqtx.Sequence(0, 1)
+	cases := []struct {
+		name string
+		spec seqtx.Spec
+		kind seqtx.ChannelKind
+	}{
+		{"tight", seqtx.TightProtocol(2), seqtx.ChannelDup},
+		{"afwz", seqtx.AFWZProtocol(2), seqtx.ChannelDel},
+		{"hybrid", seqtx.HybridProtocol(2, 4), seqtx.ChannelDel},
+		{"abp", seqtx.ABProtocol(2), seqtx.ChannelFIFO},
+		{"stenning", seqtx.StenningProtocol(), seqtx.ChannelDel},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := seqtx.Transmit(c.spec, input, c.kind, seqtx.FairRoundRobin())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OutputComplete || res.SafetyViolation != nil {
+				t.Fatalf("complete=%v violation=%v output=%s", res.OutputComplete, res.SafetyViolation, res.Output)
+			}
+		})
+	}
+}
+
+func TestEncodedProtocolFacade(t *testing.T) {
+	t.Parallel()
+	x, err := seqtx.NewSeqSet(seqtx.Sequence(0, 0), seqtx.Sequence(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := seqtx.EncodedProtocol(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := seqtx.Transmit(spec, seqtx.Sequence(0, 0), seqtx.ChannelDel, seqtx.FairRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputComplete {
+		t.Fatalf("incomplete: %s", res.Output)
+	}
+}
+
+func TestRefuteSafetyFacade(t *testing.T) {
+	t.Parallel()
+	naive, err := seqtx.NaiveProtocol(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := seqtx.RefuteSafety(naive, seqtx.Sequence(0, 1), seqtx.Sequence(0, 1, 0),
+		seqtx.ChannelDup, seqtx.ExploreConfig{MaxDepth: 12, MaxStates: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("no violation found for the naive protocol")
+	}
+}
+
+func TestExploreFacade(t *testing.T) {
+	t.Parallel()
+	res, err := seqtx.Explore(seqtx.TightProtocol(2), seqtx.Sequence(0, 1), seqtx.ChannelDup,
+		seqtx.ExploreConfig{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("tight protocol violated safety: %v", res.Violation)
+	}
+}
+
+func TestCheckBoundedFacade(t *testing.T) {
+	t.Parallel()
+	rep, err := seqtx.CheckBounded(seqtx.TightProtocol(3), seqtx.Sequence(1, 2, 0),
+		seqtx.ChannelDel, seqtx.BoundedConfig{Budget: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded() {
+		t.Fatalf("tight protocol not bounded: %+v", rep)
+	}
+}
+
+func TestKnowledgeFacade(t *testing.T) {
+	t.Parallel()
+	spec := seqtx.TightProtocol(2)
+	a, err := seqtx.AnalyzeKnowledge(spec, seqtx.RepetitionFreeSequences(2), seqtx.ChannelDup,
+		seqtx.KnowledgeConfig{Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, knows, kerr := a.Knows(trace.View{}, 1); kerr != nil || knows {
+		t.Fatalf("initial knowledge: knows=%v err=%v", knows, kerr)
+	}
+	times, err := seqtx.LearnTimes(a, spec, seqtx.Sequence(0), seqtx.ChannelDup,
+		seqtx.FairRoundRobin(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 1 || times[0] < 0 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestAdversaryConstructorsHaveNames(t *testing.T) {
+	t.Parallel()
+	for _, adv := range []seqtx.Adversary{
+		seqtx.FairRoundRobin(), seqtx.FairRandom(1), seqtx.Replayer(1, 2),
+		seqtx.Dropper(1, 2), seqtx.Withholder(5),
+	} {
+		if adv.Name() == "" {
+			t.Error("adversary with empty name")
+		}
+	}
+}
+
+func TestSlidingWindowFacades(t *testing.T) {
+	t.Parallel()
+	input := seqtx.Sequence(0, 1, 0, 1)
+	for _, mk := range []func(int, int) (seqtx.Spec, error){
+		seqtx.GoBackNProtocol, seqtx.SelRepeatProtocol,
+	} {
+		spec, err := mk(2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := seqtx.Transmit(spec, input, seqtx.ChannelFIFO, seqtx.FairRoundRobin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OutputComplete || res.SafetyViolation != nil {
+			t.Fatalf("%s: complete=%v violation=%v", spec.Name, res.OutputComplete, res.SafetyViolation)
+		}
+	}
+	if _, err := seqtx.GoBackNProtocol(2, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMonteCarloFacade(t *testing.T) {
+	t.Parallel()
+	spec, err := seqtx.ModseqProtocol(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := seqtx.MonteCarlo(spec, seqtx.Sequence(0, 1, 0), seqtx.ChannelDup,
+		seqtx.MonteCarloConfig{Trials: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials != 10 || est.Violations != 0 {
+		t.Fatalf("estimate = %+v", est)
+	}
+}
