@@ -1,0 +1,126 @@
+package channel
+
+import (
+	"testing"
+
+	"seqtx/internal/msg"
+)
+
+// TestDupDelDeliverableIsSnapshot pins that Deliverable() hands out a
+// fresh copy: campaign code iterates and mutates these counts freely, and
+// a shared map would corrupt the half.
+func TestDupDelDeliverableIsSnapshot(t *testing.T) {
+	t.Parallel()
+	d := NewDupDel()
+	d.Send("a")
+	c := d.Deliverable()
+	c.Add("b", 3)
+	delete(c, "a")
+	if d.CanDeliver("b") {
+		t.Error("mutating the snapshot injected a message into the half")
+	}
+	if !d.CanDeliver("a") {
+		t.Error("mutating the snapshot erased a message from the half")
+	}
+}
+
+// fuzzKinds fixes the kind decode order for the fuzzer.
+var fuzzKinds = []Kind{KindDup, KindDel, KindReorder, KindFIFO, KindDupDel}
+
+// FuzzHalfCloneKeyConsistency drives every channel kind through an
+// arbitrary interleaving of Send/Deliver/Drop (plus FIFO duplication) and
+// checks the contracts the simulator and model checker lean on:
+//
+//   - a Clone and its original, fed identical operations, report
+//     identical Keys and identical operation outcomes (determinism);
+//   - mutating a clone never changes the original's Key (independence);
+//   - CanDeliver/CanDrop exactly predict Deliver/Drop success;
+//   - everything in Deliverable() is deliverable.
+//
+// Each op byte decodes as (message, operation); messages come from a
+// 4-letter alphabet so collisions (re-sends, double drops) are frequent.
+func FuzzHalfCloneKeyConsistency(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), []byte{0, 4, 8, 1, 5, 9})
+	f.Add(byte(3), []byte{0, 0, 4, 4, 8, 2, 6, 10})
+	f.Add(byte(4), []byte{3, 7, 11, 3, 7, 11, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, kindSel byte, ops []byte) {
+		kind := fuzzKinds[int(kindSel)%len(fuzzKinds)]
+		h, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror := h.Clone()
+		if mirror.Key() != h.Key() {
+			t.Fatalf("%s: fresh clone key %q != original %q", kind, mirror.Key(), h.Key())
+		}
+		for i, op := range ops {
+			m := msg.Msg(rune('a' + int(op)%4))
+			kindOp := (int(op) / 4) % 4
+			applied, err1 := applyFuzzOp(h, kindOp, m)
+			applied2, err2 := applyFuzzOp(mirror, kindOp, m)
+			if applied != applied2 || (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s: op %d (%s %q) diverged: original (%v, %v) vs clone (%v, %v)",
+					kind, i, opName(kindOp), m, applied, err1, applied2, err2)
+			}
+			if h.Key() != mirror.Key() {
+				t.Fatalf("%s: op %d (%s %q): keys diverged under identical ops:\n  %q\n  %q",
+					kind, i, opName(kindOp), m, h.Key(), mirror.Key())
+			}
+			// Independence: a throwaway clone's mutations must not leak back.
+			before := h.Key()
+			scratch := h.Clone()
+			scratch.Send("zz")
+			_ = scratch.Deliver("zz")
+			if h.Key() != before {
+				t.Fatalf("%s: op %d: mutating a clone changed the original key", kind, i)
+			}
+			// Every advertised deliverable must actually deliver on a probe
+			// clone.
+			for _, dm := range h.Deliverable().Support() {
+				if !h.CanDeliver(dm) {
+					t.Fatalf("%s: op %d: %q in Deliverable() but CanDeliver is false", kind, i, dm)
+				}
+				probe := h.Clone()
+				if err := probe.Deliver(dm); err != nil {
+					t.Fatalf("%s: op %d: advertised %q failed to deliver: %v", kind, i, dm, err)
+				}
+			}
+		}
+		if h.SentTotal() != mirror.SentTotal() {
+			t.Fatalf("%s: SentTotal diverged: %d vs %d", kind, h.SentTotal(), mirror.SentTotal())
+		}
+	})
+}
+
+// applyFuzzOp performs one decoded operation, gated on the Can* guards so
+// the guard itself is what the fuzzer validates: a guard that says yes
+// must be followed by success, one that says no skips (and a failure
+// after a yes fails the test via the returned error).
+func applyFuzzOp(h Half, kindOp int, m msg.Msg) (applied bool, err error) {
+	switch kindOp {
+	case 0:
+		h.Send(m)
+		return true, nil
+	case 1:
+		if !h.CanDeliver(m) {
+			return false, nil
+		}
+		return true, h.Deliver(m)
+	case 2:
+		if !h.CanDrop(m) {
+			return false, nil
+		}
+		return true, h.Drop(m)
+	default:
+		f, ok := h.(*FIFO)
+		if !ok || !f.AllowsDup() || !f.CanDeliver(m) {
+			return false, nil
+		}
+		return true, f.DeliverKeep(m)
+	}
+}
+
+func opName(kindOp int) string {
+	return [...]string{"send", "deliver", "drop", "deliver+dup"}[kindOp]
+}

@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqtx/internal/channel"
+)
+
+// Preset names and builds the stock fault plans of the soak harness. A
+// fresh plan is built per call (plans carry per-run state). The presets:
+//
+//	none            fault-free control
+//	burst-drop      drop every droppable S→R copy during steps 10..50
+//	partition-heal  two full partitions (10..70 and 120..180), healed
+//	corrupt         substitute every 7th S→R send (out-of-model)
+//	crash-sender    crash-restart S at steps 15 and 45 (out-of-model)
+//	crash-receiver  crash-restart R at steps 15 and 45 (out-of-model)
+//
+// The windows sit early so they land inside short campaign runs (a few
+// items complete in tens of steps under a fair schedule).
+func Preset(name string) (*Plan, error) {
+	build, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown preset %q (have %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return build(), nil
+}
+
+// PresetNames lists the preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var presets = map[string]func() *Plan{
+	"none": func() *Plan { return NewPlan("none") },
+	"burst-drop": func() *Plan {
+		return NewPlan("burst-drop").WithBurstDrop(channel.SToR, 10, 40)
+	},
+	"partition-heal": func() *Plan {
+		return NewPlan("partition-heal").
+			WithPartition(10, 60, channel.SToR, channel.RToS).
+			WithPartition(120, 60, channel.SToR, channel.RToS)
+	},
+	"corrupt": func() *Plan {
+		return NewPlan("corrupt").WithCorruption(channel.SToR, 7)
+	},
+	"crash-sender": func() *Plan {
+		return NewPlan("crash-sender").WithCrash(Sender, 15, 45)
+	},
+	"crash-receiver": func() *Plan {
+		return NewPlan("crash-receiver").WithCrash(Receiver, 15, 45)
+	},
+}

@@ -173,6 +173,20 @@ var adversaries = map[string]adversaryEntry{
 		describe: "stalls all deliveries for 10×Budget steps, then fair (uses Budget)",
 		build:    func(p Params) sim.Adversary { return sim.NewWithholder(10 * p.Budget) },
 	},
+	"starver": {
+		describe: "maximally delays the oldest undelivered message, under finite-delay fairness",
+		build:    func(Params) sim.Adversary { return sim.NewFinDelay(sim.NewStarver(), 12) },
+	},
+	"eclipse": {
+		describe: "isolates S→R for 10×Budget steps, then fair (uses Budget)",
+		build:    func(p Params) sim.Adversary { return sim.NewEclipse(channel.SToR, 10*max(1, p.Budget)) },
+	},
+	"phased": {
+		describe: "alternates 10×Budget-step healthy and partitioned phases forever (uses Budget)",
+		build: func(p Params) sim.Adversary {
+			return sim.NewPhasedPartition(10*max(1, p.Budget), 10*max(1, p.Budget))
+		},
+	},
 }
 
 // Adversary builds the named adversary with the given parameters.

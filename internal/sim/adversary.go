@@ -51,23 +51,35 @@ func NewRandomDropper(seed int64, dropWeight int) *Random {
 // Name implements Adversary.
 func (a *Random) Name() string { return a.name }
 
-// Choose implements Adversary.
+// Choose implements Adversary. It samples by cumulative weight in two
+// passes over enabled — no per-step materialization of a weighted slice.
+// The selection (and the consumed rng stream: one Intn of the total
+// weight) is identical to picking uniformly from the slice in which every
+// action is repeated weight-many times, so seeded runs are unchanged.
 func (a *Random) Choose(_ *World, enabled []trace.Action) trace.Action {
-	weighted := make([]trace.Action, 0, len(enabled))
+	total := 0
 	for _, act := range enabled {
-		w := 1
-		if act.Kind == trace.ActDrop {
-			w = a.dropWeight
-		}
-		for i := 0; i < w; i++ {
-			weighted = append(weighted, act)
-		}
+		total += a.weight(act)
 	}
-	if len(weighted) == 0 {
+	if total == 0 {
 		// All actions were drops with weight 0; fall back to the raw set.
-		weighted = enabled
+		return enabled[a.rng.Intn(len(enabled))]
 	}
-	return weighted[a.rng.Intn(len(weighted))]
+	r := a.rng.Intn(total)
+	for _, act := range enabled {
+		r -= a.weight(act)
+		if r < 0 {
+			return act
+		}
+	}
+	return enabled[len(enabled)-1]
+}
+
+func (a *Random) weight(act trace.Action) int {
+	if act.Kind == trace.ActDrop {
+		return a.dropWeight
+	}
+	return 1
 }
 
 // RoundRobin is the friendly deterministic scheduler: it cycles
@@ -158,6 +170,11 @@ func (a *Scripted) Choose(w *World, enabled []trace.Action) trace.Action {
 	for a.pos < len(a.script) {
 		act := a.script[a.pos]
 		a.pos++
+		// Crash-restarts are fault injections, never part of the enabled
+		// set; a replayed counterexample must still perform them.
+		if act.Kind == trace.ActCrashS || act.Kind == trace.ActCrashR {
+			return act
+		}
 		if _, ok := en[act.Key()]; ok {
 			return act
 		}

@@ -24,8 +24,20 @@ type FinDelay struct {
 	inner  Adversary
 	budget int
 
-	age       map[string]int // dir|msg -> consecutive deliverable steps
+	now       int
+	age       map[string]ageEntry // dir|msg -> deliverable-age bookkeeping
 	sinceTick map[trace.ActKind]int
+}
+
+// ageEntry tracks one deliverable message type: how many consecutive
+// steps it has been deliverable, and the last step it was observed. An
+// entry whose seenAt falls behind is stale (the type was delivered or
+// dropped); stale entries are reaped by a periodic sweep instead of a
+// full-map scan every step, so long del-channel runs neither grow the map
+// without bound nor pay O(|age|) per step.
+type ageEntry struct {
+	age    int
+	seenAt int
 }
 
 var _ Adversary = (*FinDelay)(nil)
@@ -41,7 +53,7 @@ func NewFinDelay(inner Adversary, budget int) *FinDelay {
 	return &FinDelay{
 		inner:     inner,
 		budget:    budget,
-		age:       make(map[string]int),
+		age:       make(map[string]ageEntry),
 		sinceTick: map[trace.ActKind]int{trace.ActTickS: 0, trace.ActTickR: 0},
 	}
 }
@@ -53,25 +65,39 @@ func (a *FinDelay) Name() string {
 
 // Choose implements Adversary.
 func (a *FinDelay) Choose(w *World, enabled []trace.Action) trace.Action {
-	// Refresh ages from the current deliverable sets.
-	seen := make(map[string]struct{})
+	// Refresh ages from the current deliverable sets. A type deliverable
+	// last step continues aging; one that vanished and came back restarts
+	// at 1 (the new copy is a fresh send).
+	a.now++
 	var overdue *trace.Action
 	worst := 0
 	for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
 		for _, m := range w.Link.Half(dir).Deliverable().Support() {
 			k := dir.String() + "|" + string(m)
-			seen[k] = struct{}{}
-			a.age[k]++
-			if a.age[k] >= a.budget && a.age[k] > worst {
-				worst = a.age[k]
+			e := a.age[k]
+			if e.seenAt == a.now-1 {
+				e.age++
+			} else {
+				e.age = 1
+			}
+			e.seenAt = a.now
+			a.age[k] = e
+			if e.age >= a.budget && e.age > worst {
+				worst = e.age
 				act := trace.Deliver(dir, m)
 				overdue = &act
 			}
 		}
 	}
-	for k := range a.age {
-		if _, ok := seen[k]; !ok {
-			delete(a.age, k)
+	if a.now%a.budget == 0 {
+		// Periodic sweep: reap entries for types no longer deliverable
+		// (delivered or dropped since last observed). Amortized O(1) per
+		// step, and the map never holds more than one sweep period of
+		// stale keys.
+		for k, e := range a.age {
+			if e.seenAt < a.now {
+				delete(a.age, k)
+			}
 		}
 	}
 	a.sinceTick[trace.ActTickS]++
@@ -94,6 +120,10 @@ func (a *FinDelay) Choose(w *World, enabled []trace.Action) trace.Action {
 	a.note(chosen)
 	return chosen
 }
+
+// ageSize exposes the bookkeeping-map size for the regression tests that
+// pin its boundedness on long del-channel runs.
+func (a *FinDelay) ageSize() int { return len(a.age) }
 
 func (a *FinDelay) note(act trace.Action) {
 	switch act.Kind {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"seqtx/internal/channel"
 	"seqtx/internal/protocol"
@@ -21,6 +22,17 @@ type Result struct {
 	Quiescent bool
 	// SafetyViolation is the first "Y not a prefix of X" error, if any.
 	SafetyViolation error
+	// Stalled reports that the progress watchdog fired: the run made no
+	// output progress for Config.ProgressDeadline consecutive steps while
+	// Y was still incomplete. On a fair schedule this is a liveness
+	// failure; on an unfair one it only measures the starvation.
+	Stalled bool
+	// StallStep is the step at which the watchdog fired (valid iff Stalled).
+	StallStep int
+	// WallClockExceeded reports the per-run wall-clock budget ran out. It
+	// is a harness safety net, not a model verdict: a run cut short this
+	// way is inconclusive and not reproducible by step count alone.
+	WallClockExceeded bool
 	// LearnTimes[i] is the step at which Y first had length i+1 (R wrote
 	// the (i+1)-th item) — an observable proxy for the paper's t_i (R
 	// knows x_i no later than it writes it; the epistemic package computes
@@ -36,13 +48,28 @@ type Config struct {
 	StopWhenComplete bool
 	// RecordTrace attaches a trace recorder to the world.
 	RecordTrace bool
+	// ProgressDeadline, when > 0, arms the progress watchdog: a run whose
+	// output tape does not grow for this many consecutive steps (while
+	// still incomplete) is halted with Result.Stalled set, so a stalling
+	// schedule is reported as a liveness failure instead of burning the
+	// whole step budget.
+	ProgressDeadline int
+	// MaxWallClock, when > 0, halts the run once it has consumed that much
+	// wall-clock time (checked every few steps). Deterministic replays are
+	// unaffected as long as the budget is generous; it exists so a soak
+	// campaign can never hang on one pathological run.
+	MaxWallClock time.Duration
 }
 
+// wallClockCheckEvery is how often (in steps) the wall-clock budget is
+// polled; a power of two keeps the modulo cheap.
+const wallClockCheckEvery = 256
+
 // Run drives the world with the adversary until MaxSteps, completion
-// (when requested), or a safety violation. It returns an error only for
-// mechanical failures (a protocol escaping its alphabet, an adversary
-// picking an impossible action); protocol misbehaviour is reported in the
-// Result.
+// (when requested), a safety violation, or a watchdog verdict. It returns
+// an error only for mechanical failures (a protocol escaping its
+// alphabet, an adversary picking an impossible action); protocol
+// misbehaviour is reported in the Result.
 func Run(w *World, adv Adversary, cfg Config) (Result, error) {
 	if cfg.MaxSteps <= 0 {
 		return Result{}, fmt.Errorf("sim: MaxSteps must be positive, got %d", cfg.MaxSteps)
@@ -51,11 +78,23 @@ func Run(w *World, adv Adversary, cfg Config) (Result, error) {
 		w.StartTrace()
 	}
 	var res Result
+	start := time.Now()
+	lastProgress := 0
 	for step := 0; step < cfg.MaxSteps; step++ {
 		if w.SafetyViolation != nil {
 			break
 		}
 		if cfg.StopWhenComplete && w.OutputComplete() {
+			break
+		}
+		if cfg.ProgressDeadline > 0 && !w.OutputComplete() && step-lastProgress >= cfg.ProgressDeadline {
+			res.Stalled = true
+			res.StallStep = step
+			break
+		}
+		if cfg.MaxWallClock > 0 && step%wallClockCheckEvery == wallClockCheckEvery-1 &&
+			time.Since(start) > cfg.MaxWallClock {
+			res.WallClockExceeded = true
 			break
 		}
 		before := len(w.Output)
@@ -65,6 +104,9 @@ func Run(w *World, adv Adversary, cfg Config) (Result, error) {
 			return res, fmt.Errorf("sim: step %d (%s): %w", step, act, err)
 		}
 		res.Steps++
+		if len(w.Output) > before {
+			lastProgress = step
+		}
 		for i := before; i < len(w.Output); i++ {
 			res.LearnTimes = append(res.LearnTimes, w.Time-1)
 		}

@@ -26,6 +26,11 @@ type World struct {
 	R    protocol.Receiver
 	Link *channel.Link
 
+	// spec keeps the constructors so crash-restart faults can rebuild a
+	// process in its initial state (zero value on hand-assembled worlds,
+	// which therefore reject crash actions).
+	spec protocol.Spec
+
 	// SafetyViolation holds the first detected violation of "Y is a
 	// prefix of X" (nil while safe). The world keeps stepping after a
 	// violation so that counterexample traces show the damage.
@@ -60,6 +65,7 @@ func New(spec protocol.Spec, input seq.Seq, link *channel.Link) (*World, error) 
 		S:     s,
 		R:     r,
 		Link:  link,
+		spec:  spec,
 	}, nil
 }
 
@@ -131,6 +137,27 @@ func (w *World) Apply(act trace.Action) error {
 		if derr := w.Link.Half(act.Dir).Drop(act.Msg); derr != nil {
 			return fmt.Errorf("sim: %w", derr)
 		}
+	case trace.ActCrashS, trace.ActCrashR:
+		// Crash-restart: the process loses its local state and restarts in
+		// its initial state. In-flight messages and the tapes survive. This
+		// fault is outside the paper's model (never in Enabled()); it is
+		// injected only by fault plans and replayed counterexamples.
+		if w.spec.NewSender == nil || w.spec.NewReceiver == nil {
+			return fmt.Errorf("sim: %s requires a spec-built world", act.Kind)
+		}
+		if act.Kind == trace.ActCrashS {
+			s, cerr := w.spec.NewSender(w.Input)
+			if cerr != nil {
+				return fmt.Errorf("sim: crash-restart of S: %w", cerr)
+			}
+			w.S = s
+		} else {
+			r, cerr := w.spec.NewReceiver()
+			if cerr != nil {
+				return fmt.Errorf("sim: crash-restart of R: %w", cerr)
+			}
+			w.R = r
+		}
 	default:
 		return fmt.Errorf("sim: unknown action kind %d", int(act.Kind))
 	}
@@ -192,6 +219,7 @@ func (w *World) Clone() *World {
 		S:               w.S.Clone(),
 		R:               w.R.Clone(),
 		Link:            w.Link.Clone(),
+		spec:            w.spec,
 		SafetyViolation: w.SafetyViolation,
 	}
 }

@@ -1,0 +1,164 @@
+package soak
+
+import (
+	"seqtx/internal/channel"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+)
+
+// zooEntry places one protocol in the campaign matrix: which channel
+// kinds it runs on and whether the model promises it survives there
+// (safe + live under fairness). Protocols run outside their safe kind
+// are MayFail cells — the campaign documents how they break rather than
+// asserting they don't.
+type zooEntry struct {
+	protocol string
+	params   registry.Params
+	input    seq.Seq
+	// kinds maps each kind the protocol runs on to the in-model
+	// expectation: true = must survive every in-model plan.
+	kinds map[channel.Kind]bool
+	// fragileTo lists fault plans that exceed what the protocol tolerates
+	// even on its safe kinds (documented restrictions, not bugs): cells
+	// with these plans become MayFail.
+	fragileTo map[string]bool
+}
+
+// zoo is the campaign matrix. Inputs are repetition-free where the
+// protocol requires it (alpha, afwz); domains are kept small so the
+// alpha(m) alphabet stays tractable.
+var zoo = []zooEntry{
+	{"alpha", registry.Params{M: 3}, seq.FromInts(2, 0, 1),
+		map[channel.Kind]bool{channel.KindDup: true, channel.KindDel: true}, nil},
+	{"stenning", registry.Params{}, seq.FromInts(0, 1, 2),
+		map[channel.Kind]bool{channel.KindDup: true, channel.KindDel: true}, nil},
+	// afwz keeps a single copy in flight and never retransmits: a deleted
+	// copy stalls it forever, safely (its package doc calls such runs
+	// unfair in the every-sent-copy-delivered sense). Drop plans are
+	// therefore expected stalls, not harness findings.
+	{"afwz", registry.Params{M: 3}, seq.FromInts(2, 0, 1),
+		map[channel.Kind]bool{channel.KindDel: true, channel.KindReorder: true},
+		map[string]bool{"burst-drop": true}},
+	{"hybrid", registry.Params{M: 2, Timeout: hybrid.DefaultTimeout}, seq.FromInts(0, 1),
+		map[channel.Kind]bool{channel.KindReorder: true}, nil},
+	{"abp", registry.Params{M: 2}, seq.FromInts(0, 1),
+		map[channel.Kind]bool{channel.KindFIFO: true, channel.KindReorder: false}, nil},
+	{"gobackn", registry.Params{M: 2, Window: 2}, seq.FromInts(0, 1),
+		map[channel.Kind]bool{channel.KindFIFO: true}, nil},
+	{"selrepeat", registry.Params{M: 2, Window: 2}, seq.FromInts(0, 1),
+		map[channel.Kind]bool{channel.KindFIFO: true}, nil},
+	{"naive", registry.Params{M: 2}, seq.FromInts(0, 1),
+		map[channel.Kind]bool{channel.KindDup: false}, nil},
+	{"flood", registry.Params{M: 2}, seq.FromInts(0, 1),
+		map[channel.Kind]bool{channel.KindDel: false}, nil},
+	{"modseq", registry.Params{M: 2, Window: 2}, seq.FromInts(0, 1),
+		map[channel.Kind]bool{channel.KindDup: false}, nil},
+}
+
+// schedEntry is one adversary × fault-plan schedule applied to every
+// matrix cell. fair records fairness in the limit (finite fault windows
+// heal, so the bursty schedules stay fair).
+type schedEntry struct {
+	adversary string
+	plan      string
+	fair      bool
+}
+
+// standardSchedules is the full fault menu: fair baselines, the
+// adaptive stress adversaries, the in-model fault plans, and the
+// out-of-model plans (corruption, crash-restart) that are expected to
+// produce counterexamples on the weaker protocols.
+var standardSchedules = []schedEntry{
+	{"roundrobin", "none", true},
+	{"random", "none", true},
+	{"starver", "none", true},
+	{"phased", "none", true},
+	{"eclipse", "none", true},
+	{"random", "burst-drop", true},
+	{"random", "partition-heal", true},
+	{"random", "corrupt", true},
+	{"random", "crash-sender", true},
+	{"random", "crash-receiver", true},
+}
+
+// smokeSchedules is the CI subset: one fair baseline, one in-model
+// fault, two out-of-model faults.
+var smokeSchedules = []schedEntry{
+	{"roundrobin", "none", true},
+	{"random", "burst-drop", true},
+	{"random", "corrupt", true},
+	{"random", "crash-receiver", true},
+}
+
+// kindOrder fixes the iteration order over a zoo entry's kinds so the
+// generated case list (and hence the report) is deterministic.
+var kindOrder = []channel.Kind{
+	channel.KindDup, channel.KindDel, channel.KindReorder, channel.KindFIFO, channel.KindDupDel,
+}
+
+// cases expands a zoo × schedules product into seeded cells.
+func cases(entries []zooEntry, schedules []schedEntry, seed int64, runsPerCell int) []Case {
+	if runsPerCell < 1 {
+		runsPerCell = 1
+	}
+	var out []Case
+	for _, z := range entries {
+		for _, kind := range kindOrder {
+			safe, run := z.kinds[kind]
+			if !run {
+				continue
+			}
+			for _, s := range schedules {
+				if s.plan == "burst-drop" && (kind == channel.KindDup || kind == channel.KindReorder) {
+					continue // nothing to drop: the burst would be a silent no-op
+				}
+				plan := s.plan
+				inModel := plan != "corrupt" && plan != "crash-sender" && plan != "crash-receiver"
+				for r := 0; r < runsPerCell; r++ {
+					p := z.params
+					p.Budget = 3 // eclipse/phased window scale
+					out = append(out, Case{
+						Protocol:  z.protocol,
+						Params:    p,
+						Input:     z.input,
+						Kind:      kind,
+						Adversary: s.adversary,
+						Plan:      plan,
+						Seed:      seed + int64(r),
+						Fair:      s.fair,
+						MayFail:   !safe || !inModel || z.fragileTo[plan],
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StandardCampaign is the full matrix: every zoo protocol on its kinds,
+// under every standard schedule, runsPerCell seeds each.
+func StandardCampaign(seed int64, runsPerCell int) *Campaign {
+	return &Campaign{
+		Name:  "standard",
+		Cases: cases(zoo, standardSchedules, seed, runsPerCell),
+	}
+}
+
+// SmokeCampaign is the CI subset: three representative protocols (the
+// tight one, the unbounded baseline, and an unsafe strawman), the smoke
+// schedules, one seed — small enough to finish in seconds.
+func SmokeCampaign(seed int64) *Campaign {
+	var smokeZoo []zooEntry
+	for _, z := range zoo {
+		switch z.protocol {
+		case "alpha", "stenning", "naive":
+			smokeZoo = append(smokeZoo, z)
+		}
+	}
+	return &Campaign{
+		Name:   "smoke",
+		Cases:  cases(smokeZoo, smokeSchedules, seed, 1),
+		Config: Config{MaxSteps: 2000},
+	}
+}

@@ -1,0 +1,64 @@
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"seqtx/internal/sim"
+)
+
+// TestSeedReproducibility pins the determinism contract the whole soak
+// subsystem leans on: for every protocol × channel kind in the campaign
+// zoo, running the seeded random schedule twice yields byte-identical
+// trace JSON. Any hidden nondeterminism (map iteration leaking into
+// choices, shared rng state, time dependence) breaks this immediately.
+func TestSeedReproducibility(t *testing.T) {
+	t.Parallel()
+	runTrace := func(c Case) []byte {
+		t.Helper()
+		w, adv, _, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID(), err)
+		}
+		w.StartTrace()
+		if _, err := sim.Run(w, adv, sim.Config{
+			MaxSteps:         1500,
+			StopWhenComplete: true,
+			ProgressDeadline: 400,
+		}); err != nil {
+			t.Fatalf("%s: %v", c.ID(), err)
+		}
+		data, err := json.Marshal(w.Trace)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID(), err)
+		}
+		return data
+	}
+	for _, z := range zoo {
+		for _, kind := range kindOrder {
+			if _, run := z.kinds[kind]; !run {
+				continue
+			}
+			c := Case{
+				Protocol:  z.protocol,
+				Params:    z.params,
+				Input:     z.input,
+				Kind:      kind,
+				Adversary: "random",
+				Plan:      "none",
+				Seed:      42,
+			}
+			a, b := runTrace(c), runTrace(c)
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s/%s: same seed, different traces", z.protocol, kind)
+			}
+			// A different seed must (for the random schedule) change the
+			// trace — otherwise the seed isn't actually threaded through.
+			c.Seed = 43
+			if d := runTrace(c); bytes.Equal(a, d) {
+				t.Logf("%s/%s: seeds 42 and 43 coincide (legal but suspicious)", z.protocol, kind)
+			}
+		}
+	}
+}

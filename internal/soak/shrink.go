@@ -1,0 +1,145 @@
+package soak
+
+import (
+	"seqtx/internal/channel"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+// Counterexample is a captured, minimized failing run.
+type Counterexample struct {
+	// OriginalSteps is the length of the captured failing trace.
+	OriginalSteps int `json:"original_steps"`
+	// ShrunkSteps is the length after ddmin.
+	ShrunkSteps int `json:"shrunk_steps"`
+	// Replays is how many oracle replays the minimization consumed.
+	Replays int `json:"replays"`
+	// ReplayOK confirms a final fresh replay of the shrunk actions still
+	// reproduces the violation.
+	ReplayOK bool `json:"replay_ok"`
+	// Trace is the shrunk run, replayable via Replay / the Scripted
+	// adversary.
+	Trace *trace.Trace `json:"trace"`
+}
+
+// Replay re-executes a recorded action sequence against a fresh build of
+// the case (fresh processes, fresh link, fresh fault wrappers) and
+// returns the resulting world. Actions that are not applicable in the
+// rebuilt world — a delivery whose copy no longer exists because ddmin
+// removed the send that produced it — are skipped, which keeps every
+// subsequence of a valid run itself replayable. The replay stops early
+// once safety is violated (the oracle needs nothing further).
+func Replay(c Case, actions []trace.Action) (*sim.World, error) {
+	w, _, _, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	w.StartTrace()
+	for _, act := range actions {
+		if !applicable(w, act) {
+			continue
+		}
+		if err := w.Apply(act); err != nil {
+			return w, err
+		}
+		if w.SafetyViolation != nil {
+			break
+		}
+	}
+	return w, nil
+}
+
+// applicable reports whether the world can legally apply act right now.
+// Ticks and crash-restarts are always applicable; channel actions need
+// the copy to actually be there.
+func applicable(w *sim.World, act trace.Action) bool {
+	switch act.Kind {
+	case trace.ActTickS, trace.ActTickR, trace.ActCrashS, trace.ActCrashR:
+		return true
+	case trace.ActDeliver:
+		return w.Link.Half(act.Dir).CanDeliver(act.Msg)
+	case trace.ActDeliverDup:
+		f, ok := w.Link.Half(act.Dir).(*channel.FIFO)
+		return ok && f.AllowsDup() && f.CanDeliver(act.Msg)
+	case trace.ActDrop:
+		return w.Link.Half(act.Dir).CanDrop(act.Msg)
+	default:
+		return false
+	}
+}
+
+// shrinkCase minimizes a failing trace and double-checks the result with
+// one final fresh replay.
+func shrinkCase(c Case, failing *trace.Trace, maxReplays int) *Counterexample {
+	actions := failing.Actions()
+	cex := &Counterexample{OriginalSteps: len(actions)}
+	oracle := func(cand []trace.Action) bool {
+		w, err := Replay(c, cand)
+		return err == nil && w.SafetyViolation != nil
+	}
+	shrunk, replays := ddmin(actions, oracle, maxReplays)
+	cex.ShrunkSteps = len(shrunk)
+	cex.Replays = replays
+
+	// Re-run the shrunk sequence once more against a fresh world and keep
+	// its recorded trace as the artifact: entries carry the sends/writes of
+	// the minimal run, not the original's.
+	w, err := Replay(c, shrunk)
+	if err == nil && w.SafetyViolation != nil {
+		cex.ReplayOK = true
+		cex.Trace = w.Trace
+	} else {
+		// Shrinking failed to preserve the violation (oracle budget hit on a
+		// flaky boundary); fall back to the unshrunk original, which did.
+		cex.ShrunkSteps = len(actions)
+		cex.Trace = failing
+		w, err := Replay(c, actions)
+		cex.ReplayOK = err == nil && w.SafetyViolation != nil
+	}
+	return cex
+}
+
+// ddmin is the classic delta-debugging minimization (Zeller & Hildebrandt)
+// over action sequences: partition the sequence into n chunks, try
+// removing each chunk, refine the granularity when nothing can be
+// removed, stop at 1-minimality or when the replay budget runs out. test
+// must hold for the input sequence; the result is a subsequence for which
+// it still holds.
+func ddmin(actions []trace.Action, test func([]trace.Action) bool, maxReplays int) ([]trace.Action, int) {
+	replays := 0
+	tryTest := func(cand []trace.Action) bool {
+		if replays >= maxReplays {
+			return false
+		}
+		replays++
+		return test(cand)
+	}
+	cur := actions
+	n := 2
+	for len(cur) >= 2 && n <= len(cur) && replays < maxReplays {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := min(start+chunk, len(cur))
+			cand := make([]trace.Action, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if tryTest(cand) {
+				cur = cand
+				n = max(2, n-1)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(len(cur), 2*n)
+		}
+	}
+	return cur, replays
+}

@@ -41,6 +41,18 @@ var kindNames = map[ActKind]string{
 	ActDeliver:    "deliver",
 	ActDeliverDup: "deliver+dup",
 	ActDrop:       "drop",
+	ActCrashS:     "crashS",
+	ActCrashR:     "crashR",
+}
+
+// hasDirMsg reports whether the kind carries a direction and message.
+func hasDirMsg(k ActKind) bool {
+	switch k {
+	case ActTickS, ActTickR, ActCrashS, ActCrashR:
+		return false
+	default:
+		return true
+	}
 }
 
 var kindValues = func() map[string]ActKind {
@@ -69,7 +81,7 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 		if ej.Act.Kind == "" {
 			return nil, fmt.Errorf("trace: unknown action kind %d", int(e.Act.Kind))
 		}
-		if e.Act.Kind != ActTickS && e.Act.Kind != ActTickR {
+		if hasDirMsg(e.Act.Kind) {
 			ej.Act.Dir = dirNames[e.Act.Dir]
 			ej.Act.Msg = string(e.Act.Msg)
 		}
@@ -97,7 +109,7 @@ func (t *Trace) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("trace: entry %d: unknown action kind %q", i, ej.Act.Kind)
 		}
 		act := Action{Kind: kind}
-		if kind != ActTickS && kind != ActTickR {
+		if hasDirMsg(kind) {
 			dir, ok := dirValues[ej.Act.Dir]
 			if !ok {
 				return fmt.Errorf("trace: entry %d: unknown direction %q", i, ej.Act.Dir)

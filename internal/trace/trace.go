@@ -32,6 +32,15 @@ const (
 	// ActDrop silently deletes one in-flight copy (del and lossy-FIFO
 	// channels only).
 	ActDrop
+	// ActCrashS resets the sender to its initial state (a crash-restart
+	// fault: local state is lost, the channel and the tapes survive). This
+	// is outside the paper's model — no adversary enumerates it from the
+	// enabled set; only fault plans (internal/faults) inject it.
+	ActCrashS
+	// ActCrashR resets the receiver to its initial state. Y survives (R's
+	// past writes are irrevocable), which is exactly what makes a receiver
+	// crash dangerous: R forgets how much it already wrote.
+	ActCrashR
 )
 
 // String names the kind.
@@ -47,6 +56,10 @@ func (k ActKind) String() string {
 		return "deliver+dup"
 	case ActDrop:
 		return "drop"
+	case ActCrashS:
+		return "crashS"
+	case ActCrashR:
+		return "crashR"
 	default:
 		return fmt.Sprintf("ActKind(%d)", int(k))
 	}
@@ -80,10 +93,16 @@ func Drop(d channel.Dir, m msg.Msg) Action {
 	return Action{Kind: ActDrop, Dir: d, Msg: m}
 }
 
+// CrashS returns the sender crash-restart action.
+func CrashS() Action { return Action{Kind: ActCrashS} }
+
+// CrashR returns the receiver crash-restart action.
+func CrashR() Action { return Action{Kind: ActCrashR} }
+
 // String renders the action compactly.
 func (a Action) String() string {
 	switch a.Kind {
-	case ActTickS, ActTickR:
+	case ActTickS, ActTickR, ActCrashS, ActCrashR:
 		return a.Kind.String()
 	default:
 		return fmt.Sprintf("%s[%s,%s]", a.Kind, a.Dir, a.Msg)

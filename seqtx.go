@@ -33,6 +33,7 @@ import (
 	"seqtx/internal/alpha"
 	"seqtx/internal/channel"
 	"seqtx/internal/epistemic"
+	"seqtx/internal/faults"
 	"seqtx/internal/mc"
 	"seqtx/internal/msg"
 	"seqtx/internal/prob"
@@ -48,6 +49,7 @@ import (
 	"seqtx/internal/protocol/stenning"
 	"seqtx/internal/seq"
 	"seqtx/internal/sim"
+	"seqtx/internal/soak"
 )
 
 // Core data types.
@@ -91,6 +93,20 @@ const (
 	// ChannelFIFO preserves order but may lose and duplicate (the classic
 	// alternating-bit substrate).
 	ChannelFIFO = channel.KindFIFO
+	// ChannelDupDel reorders, duplicates, AND deletes — the full fault
+	// menu of the paper's introduction.
+	ChannelDupDel = channel.KindDupDel
+)
+
+// Dir selects one direction of the bidirectional link.
+type Dir = channel.Dir
+
+// Link directions (for fault plans and the eclipse adversary).
+const (
+	// DirSToR is the data direction, sender to receiver.
+	DirSToR = channel.SToR
+	// DirRToS is the acknowledgement direction, receiver to sender.
+	DirRToS = channel.RToS
 )
 
 // Sequence builds a Seq from items.
@@ -179,6 +195,21 @@ func Dropper(seed int64, budget int) Adversary { return sim.NewBudgetDropper(see
 // holdSteps steps, then schedules fairly.
 func Withholder(holdSteps int) Adversary { return sim.NewWithholder(holdSteps) }
 
+// Starver returns the adaptive starvation adversary under finite-delay
+// fairness: it maximally delays the oldest undelivered message while
+// staying fair, realizing the worst legal delay on every message.
+func Starver() Adversary { return sim.NewFinDelay(sim.NewStarver(), 12) }
+
+// Eclipse returns an adversary that isolates one link direction for
+// holdSteps steps (a one-way partition), then schedules fairly.
+func Eclipse(dir Dir, holdSteps int) Adversary { return sim.NewEclipse(dir, holdSteps) }
+
+// PhasedPartition returns an adversary alternating healthy and fully
+// partitioned phases forever — fair in the limit, maximally bursty.
+func PhasedPartition(healthy, partitioned int) Adversary {
+	return sim.NewPhasedPartition(healthy, partitioned)
+}
+
 // Transmit runs spec on input over a fresh channel of the given kind,
 // driven by adv, stopping at completion, a safety violation, or a
 // generous step bound.
@@ -243,6 +274,54 @@ func AnalyzeKnowledge(spec Spec, inputs []Seq, kind ChannelKind, cfg KnowledgeCo
 func LearnTimes(a *KnowledgeAnalysis, spec Spec, input Seq, kind ChannelKind, adv Adversary, maxSteps int) ([]int, error) {
 	return epistemic.LearnTimes(a, spec, input, kind, adv, maxSteps)
 }
+
+// Fault injection and soak campaigns (the robustness harness; see
+// cmd/stpsoak for the CLI and docs/PAPER-MAP.md for the in-model /
+// out-of-model classification).
+type (
+	// FaultPlan is a composable bundle of fault injections: burst drops,
+	// partition-then-heal windows, within-alphabet corruption, and
+	// crash-restarts of either process.
+	FaultPlan = faults.Plan
+	// SoakCase is one campaign cell: protocol × channel × adversary ×
+	// fault plan, seeded.
+	SoakCase = soak.Case
+	// SoakConfig bounds every run of a campaign (steps, progress
+	// deadline, wall clock, workers, shrink budget).
+	SoakConfig = soak.Config
+	// SoakCampaign is a named batch of cases.
+	SoakCampaign = soak.Campaign
+	// SoakReport is the JSON campaign artifact.
+	SoakReport = soak.Report
+	// SoakRunReport is the audited outcome of one case.
+	SoakRunReport = soak.RunReport
+	// SoakCounterexample is a captured, ddmin-shrunk failing trace.
+	SoakCounterexample = soak.Counterexample
+)
+
+// NewFaultPlan returns an empty (fault-free) plan; chain its With*
+// methods to add injections.
+func NewFaultPlan(name string) *FaultPlan { return faults.NewPlan(name) }
+
+// FaultPreset builds one of the stock fault plans by name (see
+// FaultPresetNames).
+func FaultPreset(name string) (*FaultPlan, error) { return faults.Preset(name) }
+
+// FaultPresetNames lists the stock fault-plan names.
+func FaultPresetNames() []string { return faults.PresetNames() }
+
+// StandardSoak returns the full fault-injection campaign: the protocol
+// zoo × channel kinds × adversaries × fault plans, runsPerCell seeds per
+// cell.
+func StandardSoak(seed int64, runsPerCell int) *SoakCampaign {
+	return soak.StandardCampaign(seed, runsPerCell)
+}
+
+// SmokeSoak returns the small CI campaign (seconds, not minutes).
+func SmokeSoak(seed int64) *SoakCampaign { return soak.SmokeCampaign(seed) }
+
+// RunSoakCase executes a single campaign cell under cfg.
+func RunSoakCase(c SoakCase, cfg SoakConfig) SoakRunReport { return soak.RunCase(c, cfg) }
 
 // Monte-Carlo evaluation (§6 outlook).
 type (
