@@ -1,0 +1,129 @@
+package seqtx_test
+
+// Model-checker micro-benchmarks: the state-space engine's hot path
+// (world cloning, canonical state keys, exhaustive exploration, product
+// refutation). BENCH_mc.json records the baseline/after comparison for
+// the parallel-engine PR.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"seqtx"
+	"seqtx/internal/channel"
+	"seqtx/internal/sim"
+)
+
+// benchWorld drives the tight protocol a few steps in so the link and
+// the receiver state are non-trivial (mid-run keys, not initial ones).
+func benchWorld(b *testing.B) *sim.World {
+	b.Helper()
+	link, err := channel.NewLinkOfKind(channel.KindDel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := sim.New(seqtx.TightProtocol(3), seqtx.Sequence(0, 1, 2), link)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := sim.NewRoundRobin()
+	for i := 0; i < 12; i++ {
+		if err := w.Apply(adv.Choose(w, w.Enabled())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w
+}
+
+func BenchmarkWorldKey(b *testing.B) {
+	w := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(w.Key()) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkWorldEncodeKey(b *testing.B) {
+	w := benchWorld(b)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = w.EncodeKey(buf[:0])
+		if len(buf) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkWorldClone(b *testing.B) {
+	w := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.Clone() == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}
+
+// benchWorkerCounts are the pool sizes each engine benchmark runs as
+// sub-benchmarks: the sequential path and the full machine.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func benchExploreDepth(b *testing.B, depth int) {
+	spec := seqtx.TightProtocol(3)
+	input := seqtx.Sequence(0, 1, 2)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res, err := seqtx.Explore(spec, input, seqtx.ChannelDel,
+					seqtx.ExploreConfig{MaxDepth: depth, MaxStates: 1 << 20,
+						EngineConfig: seqtx.EngineConfig{Workers: workers}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += res.States
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
+func BenchmarkExploreDepth8(b *testing.B)  { benchExploreDepth(b, 8) }
+func BenchmarkExploreDepth12(b *testing.B) { benchExploreDepth(b, 12) }
+
+func BenchmarkRefute(b *testing.B) {
+	naive, err := seqtx.NaiveProtocol(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, rerr := seqtx.RefuteSafety(naive, seqtx.Sequence(0, 1), seqtx.Sequence(0, 1, 0),
+					seqtx.ChannelDup, seqtx.ExploreConfig{MaxDepth: 12, MaxStates: 1 << 15,
+						EngineConfig: seqtx.EngineConfig{Workers: workers}})
+				if rerr != nil {
+					b.Fatal(rerr)
+				}
+				if res.Violation == nil {
+					b.Fatal("violation vanished")
+				}
+			}
+		})
+	}
+}

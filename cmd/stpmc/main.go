@@ -49,6 +49,7 @@ func run() int {
 		states   = fs.Int("states", 1<<17, "state cap")
 		budget   = fs.Int("budget", 40, "recovery budget (bounded)")
 		weak     = fs.Bool("weak", false, "weak boundedness (old messages allowed)")
+		workers  = fs.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		faulty   = fs.Bool("faulty", true, "sample points from a one-loss run (bounded)")
 		outFile  = fs.String("o", "", "write the counterexample run as JSON (explore; replay with stpsim -replay)")
 	)
@@ -73,7 +74,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "stpmc:", perr)
 			return 2
 		}
-		res, eerr := mc.Explore(spec, x, kind, mc.ExploreConfig{MaxDepth: *depth, MaxStates: *states})
+		res, eerr := mc.Explore(spec, x, kind, mc.ExploreConfig{
+			MaxDepth: *depth, MaxStates: *states,
+			EngineConfig: mc.EngineConfig{Workers: *workers},
+		})
 		if eerr != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", eerr)
 			return 1
@@ -100,7 +104,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "stpmc: bad inputs:", e1, e2)
 			return 2
 		}
-		res, rerr := mc.Refute(spec, x1, x2, kind, mc.ExploreConfig{MaxDepth: *depth, MaxStates: *states})
+		res, rerr := mc.Refute(spec, x1, x2, kind, mc.ExploreConfig{
+			MaxDepth: *depth, MaxStates: *states,
+			EngineConfig: mc.EngineConfig{Workers: *workers},
+		})
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", rerr)
 			return 1
@@ -119,7 +126,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "stpmc:", perr)
 			return 2
 		}
-		cfg := mc.BoundedConfig{Budget: *budget, OldMessagesAllowed: *weak}
+		cfg := mc.BoundedConfig{
+			Budget: *budget, OldMessagesAllowed: *weak,
+			EngineConfig: mc.EngineConfig{Workers: *workers},
+		}
 		if *faulty && !*weak {
 			cfg.Sampler = sim.NewBudgetDropper(1, 1)
 		}

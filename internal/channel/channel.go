@@ -89,6 +89,13 @@ type Half interface {
 	// Key returns a canonical encoding of the half's state, equal for
 	// behaviourally identical states.
 	Key() string
+	// EncodeKey appends a canonical, self-delimiting binary encoding of
+	// the half's state to buf and returns the extended slice. It must
+	// induce exactly the same equivalence on states as Key — equal bytes
+	// iff equal Key strings — while allocating nothing beyond buf growth.
+	// This is the model checker's fast path; Key stays as the
+	// human-readable debug view.
+	EncodeKey(buf []byte) []byte
 }
 
 // compile-time conformance checks live with each implementation.

@@ -102,3 +102,10 @@ func (d *Del) Clone() Half {
 func (d *Del) Key() string {
 	return d.Kind().String() + "{" + d.inflight.Key() + "}"
 }
+
+// EncodeKey appends the binary counterpart of Key: the kind tag and the
+// canonical in-flight multiset.
+func (d *Del) EncodeKey(buf []byte) []byte {
+	buf = append(buf, byte(d.Kind()))
+	return d.inflight.EncodeKey(buf)
+}

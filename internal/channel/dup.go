@@ -1,8 +1,9 @@
 package channel
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"seqtx/internal/msg"
@@ -17,7 +18,12 @@ import (
 // erase a message type — "all copies deleted" — realizing the full fault
 // menu of the paper's introduction (delay, reorder, lose, duplicate).
 type Dup struct {
-	sent      map[msg.Msg]struct{}
+	// sent is the set of messages ever sent, kept sorted. A sorted slice
+	// beats a map here: the model checker clones a half on every explored
+	// transition and keys it right after, so cloning must be one copy and
+	// canonical iteration must be free. Membership tests are binary
+	// searches over a set bounded by the protocol alphabet size.
+	sent      []msg.Msg
 	allowDrop bool
 	sentTotal int
 	dropped   int
@@ -27,13 +33,13 @@ var _ Half = (*Dup)(nil)
 
 // NewDup returns an empty dup half.
 func NewDup() *Dup {
-	return &Dup{sent: make(map[msg.Msg]struct{})}
+	return &Dup{}
 }
 
 // NewDupDel returns an empty combined half: reordering, duplication, and
 // deletion all at once.
 func NewDupDel() *Dup {
-	return &Dup{sent: make(map[msg.Msg]struct{}), allowDrop: true}
+	return &Dup{allowDrop: true}
 }
 
 // Kind returns KindDup or KindDupDel.
@@ -46,14 +52,16 @@ func (d *Dup) Kind() Kind {
 
 // Send records that m has been sent; from now on m is deliverable forever.
 func (d *Dup) Send(m msg.Msg) {
-	d.sent[m] = struct{}{}
+	if i, ok := slices.BinarySearch(d.sent, m); !ok {
+		d.sent = slices.Insert(d.sent, i, m)
+	}
 	d.sentTotal++
 }
 
 // Deliverable returns a 0/1 vector over the messages ever sent.
 func (d *Dup) Deliverable() msg.Counts {
 	c := make(msg.Counts, len(d.sent))
-	for m := range d.sent {
+	for _, m := range d.sent {
 		c[m] = 1
 	}
 	return c
@@ -61,7 +69,7 @@ func (d *Dup) Deliverable() msg.Counts {
 
 // CanDeliver reports whether m was ever sent.
 func (d *Dup) CanDeliver(m msg.Msg) bool {
-	_, ok := d.sent[m]
+	_, ok := slices.BinarySearch(d.sent, m)
 	return ok
 }
 
@@ -84,10 +92,11 @@ func (d *Dup) Drop(m msg.Msg) error {
 	if !d.allowDrop {
 		return fmt.Errorf("channel: dup channels cannot delete messages (%q)", m)
 	}
-	if !d.CanDeliver(m) {
+	i, ok := slices.BinarySearch(d.sent, m)
+	if !ok {
 		return fmt.Errorf("channel: dup+del: %q is not deliverable", m)
 	}
-	delete(d.sent, m)
+	d.sent = slices.Delete(d.sent, i, i+1)
 	d.dropped++
 	return nil
 }
@@ -100,25 +109,28 @@ func (d *Dup) SentTotal() int { return d.sentTotal }
 
 // Clone returns an independent copy.
 func (d *Dup) Clone() Half {
-	cp := &Dup{
-		sent:      make(map[msg.Msg]struct{}, len(d.sent)),
-		allowDrop: d.allowDrop,
-		sentTotal: d.sentTotal,
-		dropped:   d.dropped,
-	}
-	for m := range d.sent {
-		cp.sent[m] = struct{}{}
-	}
-	return cp
+	cp := *d
+	cp.sent = slices.Clone(d.sent)
+	return &cp
 }
 
 // Key returns the sorted sent-set. sentTotal is deliberately excluded:
 // two dup halves with the same sent-set behave identically forever.
 func (d *Dup) Key() string {
-	msgs := make([]string, 0, len(d.sent))
-	for m := range d.sent {
-		msgs = append(msgs, string(m))
+	msgs := make([]string, len(d.sent))
+	for i, m := range d.sent {
+		msgs[i] = string(m)
 	}
-	sort.Strings(msgs)
 	return d.Kind().String() + "{" + strings.Join(msgs, ",") + "}"
+}
+
+// EncodeKey appends the binary counterpart of Key: the kind tag and the
+// sorted sent-set, each message length-prefixed.
+func (d *Dup) EncodeKey(buf []byte) []byte {
+	buf = append(buf, byte(d.Kind()))
+	buf = binary.AppendUvarint(buf, uint64(len(d.sent)))
+	for _, m := range d.sent {
+		buf = msg.AppendMsg(buf, m)
+	}
+	return buf
 }

@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -125,4 +126,15 @@ func (f *FIFO) Key() string {
 		parts[i] = string(m)
 	}
 	return "fifo[" + strings.Join(parts, ",") + "]"
+}
+
+// EncodeKey appends the binary counterpart of Key: the kind tag and the
+// queue contents in order, each message length-prefixed.
+func (f *FIFO) EncodeKey(buf []byte) []byte {
+	buf = append(buf, byte(KindFIFO))
+	buf = binary.AppendUvarint(buf, uint64(len(f.queue)))
+	for _, m := range f.queue {
+		buf = msg.AppendMsg(buf, m)
+	}
+	return buf
 }

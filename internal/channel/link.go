@@ -116,3 +116,11 @@ func (l *Link) Clone() *Link {
 func (l *Link) Key() string {
 	return l.sToR.Key() + "|" + l.rToS.Key()
 }
+
+// EncodeKey appends the binary counterpart of Key: both halves' canonical
+// encodings in direction order. Each half encoding is self-delimiting, so
+// the concatenation stays unambiguous.
+func (l *Link) EncodeKey(buf []byte) []byte {
+	buf = l.sToR.EncodeKey(buf)
+	return l.rToS.EncodeKey(buf)
+}

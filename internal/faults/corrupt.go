@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/channel"
@@ -88,4 +89,14 @@ func (c *Corrupt) Clone() channel.Half {
 // next corruption is equally far away.
 func (c *Corrupt) Key() string {
 	return fmt.Sprintf("corrupt(%d,%d,%s)@%s", c.everyN, c.sends%c.everyN, c.prev, c.inner.Key())
+}
+
+// EncodeKey appends the binary counterpart of Key: the corruption
+// parameters and phase followed by the wrapped half's encoding.
+func (c *Corrupt) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'c')
+	buf = binary.AppendUvarint(buf, uint64(c.everyN))
+	buf = binary.AppendUvarint(buf, uint64(c.sends%c.everyN))
+	buf = msg.AppendMsg(buf, c.prev)
+	return c.inner.EncodeKey(buf)
 }

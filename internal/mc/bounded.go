@@ -56,6 +56,9 @@ type BoundedConfig struct {
 	// FAULTY run — e.g. sim.NewBudgetDropper — is the stronger test: it
 	// is exactly where unbounded protocols fail to recover.
 	Sampler sim.Adversary
+	// EngineConfig selects the worker count for each per-point recovery
+	// search (results are identical for every setting).
+	EngineConfig
 }
 
 func (c *BoundedConfig) normalize() error {
@@ -165,37 +168,62 @@ func (f freshState) key() string {
 	return f[channel.SToR].Key() + "/" + f[channel.RToS].Key()
 }
 
+// encodeKey appends the binary counterpart of key: both directions'
+// self-delimiting multiset encodings.
+func (f freshState) encodeKey(buf []byte) []byte {
+	buf = f[channel.SToR].EncodeKey(buf)
+	return f[channel.RToS].EncodeKey(buf)
+}
+
 type recNode struct {
 	w     *sim.World
 	fresh freshState
 	depth int
 }
 
+// recoveryCand is one expanded extension step awaiting the level merge.
+// Recovery is decided per level: every node of a level sits at the same
+// depth, so "some candidate of this level recovered" determines the
+// return value independently of candidate order.
+type recoveryCand struct {
+	node      *recNode
+	key       []byte
+	hash      uint64
+	recovered bool
+	skip      bool // apply error or safety-violating "recovery"
+}
+
 // recoverySearch BFS-es extensions of the point until R writes another
 // item, returning the number of steps or -1 if Budget/MaxStates exhaust.
+// Like Explore, it expands each level across cfg.Workers goroutines with
+// a deterministic merge, so the result is worker-count independent.
 func recoverySearch(point *sim.World, cfg BoundedConfig) int {
 	start := &recNode{
 		w:     point,
 		fresh: freshState{channel.SToR: msg.Counts{}, channel.RToS: msg.Counts{}},
 	}
 	target := len(point.Output)
-	seen := map[string]struct{}{start.w.Key() + "#" + start.fresh.key(): {}}
-	frontier := []*recNode{start}
+	workers := cfg.workerCount()
+	scratch := newScratch(workers)
+	idx := newStateIndex()
+	rootKey := start.fresh.encodeKey(start.w.EncodeKey(scratch[0].keyBuf))
+	idx.insert(hashBytes(rootKey), stableCopy(rootKey))
 	states := 1
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
-		if cur.depth >= cfg.Budget {
-			continue
-		}
-		for _, act := range recoveryActions(cur, cfg) {
-			next := cur.w.Clone()
-			next.StartTrace() // observe this step's sends
-			if err := next.Apply(act); err != nil {
-				continue // impossible action (should not happen); skip
+
+	frontier := []*recNode{start}
+	var next []*recNode
+
+	expand := func(ws *workerScratch, cur *recNode, emit func(recoveryCand)) {
+		ws.acts = appendRecoveryActions(ws.acts[:0], cur, cfg)
+		for _, act := range ws.acts {
+			nw := cur.w.Clone()
+			nw.StartTrace() // observe this step's sends
+			if err := nw.Apply(act); err != nil {
+				emit(recoveryCand{skip: true}) // impossible action; skip
+				continue
 			}
 			nf := cur.fresh.clone()
-			entry := next.Trace.Entries[len(next.Trace.Entries)-1]
+			entry := nw.Trace.Entries[len(nw.Trace.Entries)-1]
 			sendDir := channel.SToR
 			if act.Kind == trace.ActTickR || (act.Kind == trace.ActDeliver && act.Dir == channel.SToR) || (act.Kind == trace.ActDeliverDup && act.Dir == channel.SToR) {
 				sendDir = channel.RToS
@@ -206,35 +234,89 @@ func recoverySearch(point *sim.World, cfg BoundedConfig) int {
 			if act.Kind == trace.ActDeliver && !cfg.OldMessagesAllowed {
 				nf[act.Dir].Add(act.Msg, -1)
 			}
-			if len(next.Output) > target {
-				if next.SafetyViolation != nil {
-					// A "recovery" that breaks safety does not count.
-					continue
-				}
-				return cur.depth + 1
-			}
-			next.Trace = nil
-			key := next.Key() + "#" + nf.key()
-			if _, ok := seen[key]; ok {
+			if len(nw.Output) > target {
+				// A "recovery" that breaks safety does not count.
+				emit(recoveryCand{recovered: nw.SafetyViolation == nil, skip: true})
 				continue
 			}
-			if states >= cfg.MaxStates {
-				continue
-			}
-			seen[key] = struct{}{}
-			states++
-			frontier = append(frontier, &recNode{w: next, fresh: nf, depth: cur.depth + 1})
+			nw.Trace = nil
+			ws.keyBuf = nf.encodeKey(nw.EncodeKey(ws.keyBuf[:0]))
+			emit(recoveryCand{
+				node: &recNode{w: nw, fresh: nf, depth: cur.depth + 1},
+				key:  ws.keyBuf,
+				hash: hashBytes(ws.keyBuf),
+			})
 		}
+	}
+
+	recovered := false
+	merge := func(c recoveryCand) {
+		if c.recovered {
+			recovered = true
+		}
+		if c.skip || recovered {
+			return
+		}
+		if idx.contains(c.hash, c.key) {
+			return
+		}
+		if states >= cfg.MaxStates {
+			return
+		}
+		idx.insert(c.hash, stableCopy(c.key))
+		states++
+		next = append(next, c.node)
+	}
+
+	for depth := 0; len(frontier) > 0 && depth < cfg.Budget; depth++ {
+		next = next[:0]
+		if workers == 1 {
+			for _, cur := range frontier {
+				expand(&scratch[0], cur, merge)
+				if recovered {
+					return depth + 1
+				}
+			}
+		} else {
+			bounds := chunkBounds(len(frontier), workers*chunksPerWorker)
+			results := make([][]recoveryCand, len(bounds))
+			runChunks(workers, bounds, func(worker, chunk int) {
+				ws := &scratch[worker]
+				out := results[chunk]
+				for _, cur := range frontier[bounds[chunk][0]:bounds[chunk][1]] {
+					expand(ws, cur, func(c recoveryCand) {
+						if c.key != nil {
+							c.key = ws.arena.hold(c.key)
+						}
+						out = append(out, c)
+					})
+				}
+				results[chunk] = out
+			})
+			for _, chunk := range results {
+				for _, c := range chunk {
+					merge(c)
+				}
+			}
+			for i := range scratch {
+				scratch[i].arena.reset()
+			}
+			if recovered {
+				return depth + 1
+			}
+		}
+		frontier, next = next, frontier
 	}
 	return -1
 }
 
-// recoveryActions enumerates extension moves: ticks always; deliveries of
-// any message under the weak variant, or only messages with fresh copies
-// under Definition 2. Duplicating FIFO deliveries of fresh heads are
-// included; drops never help recovery and are omitted.
-func recoveryActions(cur *recNode, cfg BoundedConfig) []trace.Action {
-	acts := []trace.Action{trace.TickS(), trace.TickR()}
+// appendRecoveryActions enumerates extension moves: ticks always;
+// deliveries of any message under the weak variant, or only messages with
+// fresh copies under Definition 2. Duplicating FIFO deliveries of fresh
+// heads are included; drops never help recovery and are omitted. It
+// appends to acts (a reused per-worker buffer) and returns the extension.
+func appendRecoveryActions(acts []trace.Action, cur *recNode, cfg BoundedConfig) []trace.Action {
+	acts = append(acts, trace.TickS(), trace.TickR())
 	for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
 		half := cur.w.Link.Half(dir)
 		for _, m := range half.Deliverable().Support() {

@@ -1,0 +1,192 @@
+package mc
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"seqtx/internal/trace"
+)
+
+// EngineConfig selects how the exploration engines (Explore, Refute, and
+// the recovery search behind CheckBounded) expand each BFS level.
+//
+// The engines are level-synchronized: every node of the current depth is
+// expanded before any node of the next, the frontier is split into
+// contiguous chunks handed to a worker pool, and the per-chunk results
+// are merged by a single goroutine in frontier×action order — the exact
+// order the sequential engine processes children in. Results (state
+// counts, depth, truncation, the first violation) are therefore identical
+// for every worker count; parallelism changes wall-clock time only.
+type EngineConfig struct {
+	// Workers is the number of goroutines expanding each BFS level.
+	// 0 means GOMAXPROCS; 1 selects the in-line sequential path (no
+	// goroutines, no chunk staging).
+	Workers int
+}
+
+func (e EngineConfig) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// hashBytes is FNV-1a 64 over the canonical binary state key.
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// indexShards is the shard count of stateIndex (a power of two).
+const indexShards = 64
+
+// stateIndex deduplicates explored states by their canonical binary keys.
+// States are bucketed by key hash and verified by byte equality, so hash
+// collisions cannot merge distinct states.
+//
+// Concurrency contract (the level-synchronized engines guarantee it):
+// contains may be called from many goroutines at once, but only while no
+// insert is running; insert is called by the single merge goroutine
+// between expansion phases. A WaitGroup barrier separates the phases, so
+// no locks are needed.
+type stateIndex struct {
+	shards [indexShards]map[uint64][][]byte
+}
+
+func newStateIndex() *stateIndex {
+	ix := &stateIndex{}
+	for i := range ix.shards {
+		ix.shards[i] = make(map[uint64][][]byte)
+	}
+	return ix
+}
+
+func (ix *stateIndex) contains(h uint64, key []byte) bool {
+	for _, rec := range ix.shards[h%indexShards][h] {
+		if bytes.Equal(rec, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// insert records key under h. The caller must have checked contains and
+// must pass a stable slice (never mutated afterwards).
+func (ix *stateIndex) insert(h uint64, key []byte) {
+	shard := ix.shards[h%indexShards]
+	shard[h] = append(shard[h], key)
+}
+
+// stableCopy returns an exact-size private copy of key for the index.
+func stableCopy(key []byte) []byte {
+	return append(make([]byte, 0, len(key)), key...)
+}
+
+// arenaBlock is the keyArena block size.
+const arenaBlock = 64 << 10
+
+// keyArena hands out stable byte slices for candidate keys that must
+// survive until the level merge, without one allocation per candidate.
+// reset recycles the current block; the engines call it once per level,
+// after the merge has copied every admitted key out of the arena.
+type keyArena struct {
+	block []byte
+}
+
+func (a *keyArena) reset() {
+	a.block = a.block[:0]
+}
+
+func (a *keyArena) hold(b []byte) []byte {
+	if len(b) > arenaBlock {
+		return stableCopy(b)
+	}
+	if len(a.block)+len(b) > cap(a.block) {
+		// The outgrown block stays alive while this level's candidates
+		// reference it; it is garbage after the merge.
+		a.block = make([]byte, 0, arenaBlock)
+	}
+	start := len(a.block)
+	a.block = append(a.block, b...)
+	return a.block[start : start+len(b) : start+len(b)]
+}
+
+// workerScratch is the per-worker reusable state: a key encoding buffer,
+// an enabled-action buffer, and the candidate-key arena. Reusing them
+// across transitions is where the engine sheds most of its allocations.
+type workerScratch struct {
+	keyBuf []byte
+	acts   []trace.Action
+	pacts  []ProductAction
+	arena  keyArena
+}
+
+func newScratch(workers int) []workerScratch {
+	return make([]workerScratch, workers)
+}
+
+// chunkBounds splits n items into at most k contiguous [lo, hi) ranges of
+// near-equal size, in order.
+func chunkBounds(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	bounds := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if lo < hi {
+			bounds = append(bounds, [2]int{lo, hi})
+		}
+	}
+	return bounds
+}
+
+// chunksPerWorker oversplits levels for load balancing: chunks are claimed
+// dynamically, so a worker stuck on a heavy chunk sheds the rest.
+const chunksPerWorker = 4
+
+// runChunks expands the chunks of one BFS level across the worker pool.
+// Worker w owns scratch index w exclusively; chunks are claimed through an
+// atomic cursor, and run must only write state owned by its chunk. The
+// call returns when every chunk is done (the phase barrier that makes the
+// index's lock-free contains sound).
+func runChunks(workers int, bounds [][2]int, run func(worker, chunk int)) {
+	if workers > len(bounds) {
+		workers = len(bounds)
+	}
+	if workers <= 1 {
+		for c := range bounds {
+			run(0, c)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= len(bounds) {
+					return
+				}
+				run(w, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

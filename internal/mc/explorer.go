@@ -22,6 +22,7 @@ package mc
 
 import (
 	"fmt"
+	"strings"
 
 	"seqtx/internal/channel"
 	"seqtx/internal/protocol"
@@ -56,11 +57,12 @@ type Witness struct {
 
 // String renders the witness run.
 func (w *Witness) String() string {
-	s := fmt.Sprintf("input %s, output %s: %v\n", w.Input, w.Output, w.Err)
+	var b strings.Builder
+	fmt.Fprintf(&b, "input %s, output %s: %v\n", w.Input, w.Output, w.Err)
 	for i, a := range w.Actions {
-		s += fmt.Sprintf("  %3d. %s\n", i+1, a)
+		fmt.Fprintf(&b, "  %3d. %s\n", i+1, a)
 	}
-	return s
+	return b.String()
 }
 
 // ExploreConfig bounds an exploration.
@@ -69,6 +71,9 @@ type ExploreConfig struct {
 	MaxDepth int
 	// MaxStates caps the visited-state count (0 = 1<<20).
 	MaxStates int
+	// EngineConfig selects the worker count (see its doc; results are
+	// identical for every setting).
+	EngineConfig
 }
 
 func (c *ExploreConfig) normalize() error {
@@ -99,8 +104,18 @@ func (n *node) path() []trace.Action {
 	return acts
 }
 
+// exploreCand is one expanded transition awaiting the in-order merge.
+type exploreCand struct {
+	child *node
+	key   []byte // canonical binary key; stable until the merge
+	hash  uint64
+	err   error
+}
+
 // Explore runs exhaustive BFS from the initial state of (spec, input,
-// kind), checking the safety property in every state.
+// kind), checking the safety property in every state. Levels are expanded
+// across cfg.Workers goroutines and merged deterministically; the result
+// is identical for every worker count (Workers == 1 runs in-line).
 func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreConfig) (*ExploreResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -113,49 +128,121 @@ func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreCo
 	if err != nil {
 		return nil, err
 	}
-	res := &ExploreResult{}
-	seen := map[string]struct{}{w.Key(): {}}
+	res := &ExploreResult{States: 1}
+	workers := cfg.workerCount()
+	scratch := newScratch(workers)
+	idx := newStateIndex()
+	rootKey := w.EncodeKey(scratch[0].keyBuf)
+	idx.insert(hashBytes(rootKey), stableCopy(rootKey))
+
 	frontier := []*node{{w: w}}
-	res.States = 1
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
-		if cur.depth >= cfg.MaxDepth {
-			res.Truncated = true
-			continue
+	depth := 0
+	var next []*node
+
+	// merge admits one candidate, replicating the sequential child
+	// processing exactly: violation and completion checks come before
+	// dedup, dedup before the state cap, and a capped-out NEW child sets
+	// Truncated without being inserted.
+	merge := func(c exploreCand) error {
+		if c.err != nil {
+			return c.err
 		}
-		for _, act := range cur.w.Enabled() {
-			next := cur.w.Clone()
-			if aerr := next.Apply(act); aerr != nil {
-				return nil, fmt.Errorf("mc: applying %s: %w", act, aerr)
+		cw := c.child.w
+		if cw.SafetyViolation != nil && res.Violation == nil {
+			res.Violation = &Witness{
+				Input:   input.Clone(),
+				Actions: c.child.path(),
+				Output:  cw.Output.Clone(),
+				Err:     cw.SafetyViolation,
 			}
-			child := &node{w: next, parent: cur, act: act, depth: cur.depth + 1}
-			if next.SafetyViolation != nil && res.Violation == nil {
-				res.Violation = &Witness{
-					Input:   input.Clone(),
-					Actions: child.path(),
-					Output:  next.Output.Clone(),
-					Err:     next.SafetyViolation,
+		}
+		if cw.OutputComplete() {
+			res.CompletedState = true
+		}
+		if idx.contains(c.hash, c.key) {
+			return nil
+		}
+		if res.States >= cfg.MaxStates {
+			res.Truncated = true
+			return nil
+		}
+		idx.insert(c.hash, stableCopy(c.key))
+		res.States++
+		if c.child.depth > res.Depth {
+			res.Depth = c.child.depth
+		}
+		next = append(next, c.child)
+		return nil
+	}
+
+	// expand produces the candidates of one frontier node in action order.
+	expand := func(ws *workerScratch, cur *node, emit func(exploreCand) error) error {
+		ws.acts = cur.w.AppendEnabled(ws.acts[:0])
+		for _, act := range ws.acts {
+			nw := cur.w.Clone()
+			if aerr := nw.Apply(act); aerr != nil {
+				return emit(exploreCand{err: fmt.Errorf("mc: applying %s: %w", act, aerr)})
+			}
+			ws.keyBuf = nw.EncodeKey(ws.keyBuf[:0])
+			if err := emit(exploreCand{
+				child: &node{w: nw, parent: cur, act: act, depth: cur.depth + 1},
+				key:   ws.keyBuf,
+				hash:  hashBytes(ws.keyBuf),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for len(frontier) > 0 {
+		if depth >= cfg.MaxDepth {
+			res.Truncated = true
+			break
+		}
+		next = next[:0]
+		if workers == 1 {
+			// Sequential path: candidates are merged as they are produced,
+			// so keys never need a stable staging copy.
+			for _, cur := range frontier {
+				if err := expand(&scratch[0], cur, merge); err != nil {
+					return nil, err
 				}
 			}
-			if next.OutputComplete() {
-				res.CompletedState = true
+		} else {
+			bounds := chunkBounds(len(frontier), workers*chunksPerWorker)
+			results := make([][]exploreCand, len(bounds))
+			runChunks(workers, bounds, func(worker, chunk int) {
+				ws := &scratch[worker]
+				out := results[chunk]
+				for _, cur := range frontier[bounds[chunk][0]:bounds[chunk][1]] {
+					stop := expand(ws, cur, func(c exploreCand) error {
+						c.key = ws.arena.hold(c.key)
+						out = append(out, c)
+						if c.err != nil {
+							return c.err // halt this chunk; the merge stops here
+						}
+						return nil
+					})
+					if stop != nil {
+						break
+					}
+				}
+				results[chunk] = out
+			})
+			for _, chunk := range results {
+				for _, c := range chunk {
+					if err := merge(c); err != nil {
+						return nil, err
+					}
+				}
 			}
-			key := next.Key()
-			if _, ok := seen[key]; ok {
-				continue
+			for i := range scratch {
+				scratch[i].arena.reset()
 			}
-			if res.States >= cfg.MaxStates {
-				res.Truncated = true
-				continue
-			}
-			seen[key] = struct{}{}
-			res.States++
-			if child.depth > res.Depth {
-				res.Depth = child.depth
-			}
-			frontier = append(frontier, child)
 		}
+		frontier, next = next, frontier
+		depth++
 	}
 	return res, nil
 }

@@ -142,49 +142,124 @@ func Refute(spec protocol.Spec, x1, x2 seq.Seq, kind channel.Kind, cfg ExploreCo
 		return nil, err
 	}
 	res := &ProductResult{States: 1}
-	key := func(a, b *sim.World) string { return a.Key() + "||" + b.Key() }
-	seen := map[string]struct{}{key(w1, w2): {}}
+	workers := cfg.workerCount()
+	scratch := newScratch(workers)
+	idx := newStateIndex()
+	rootKey := productKey(scratch[0].keyBuf, w1, w2)
+	idx.insert(hashBytes(rootKey), stableCopy(rootKey))
+
 	frontier := []*productNode{{w1: w1, w2: w2}}
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
-		if cur.depth >= cfg.MaxDepth {
+	depth := 0
+	var next []*productNode
+
+	merge := func(c productCand) error {
+		if c.err != nil {
+			return c.err
+		}
+		if res.Violation == nil {
+			if v := violationOf(c.child.w1, c.child.w2, x1, x2); v != nil {
+				v.Actions = c.child.path()
+				res.Violation = v
+			}
+		}
+		if idx.contains(c.hash, c.key) {
+			return nil
+		}
+		if res.States >= cfg.MaxStates {
 			res.Truncated = true
-			continue
+			return nil
 		}
-		acts, aerr := productActions(cur.w1, cur.w2)
-		if aerr != nil {
-			return nil, aerr
+		idx.insert(c.hash, stableCopy(c.key))
+		res.States++
+		if c.child.depth > res.Depth {
+			res.Depth = c.child.depth
 		}
-		for _, pa := range acts {
+		next = append(next, c.child)
+		return nil
+	}
+
+	expand := func(ws *workerScratch, cur *productNode, emit func(productCand) error) error {
+		ws.pacts = appendProductActions(ws.pacts[:0], cur.w1, cur.w2)
+		for _, pa := range ws.pacts {
 			n1, n2, perr := applyProduct(cur.w1, cur.w2, pa)
 			if perr != nil {
-				return nil, perr
+				return emit(productCand{err: perr})
 			}
-			child := &productNode{w1: n1, w2: n2, parent: cur, act: pa, depth: cur.depth + 1}
-			if res.Violation == nil {
-				if v := violationOf(n1, n2, x1, x2); v != nil {
-					v.Actions = child.path()
-					res.Violation = v
+			ws.keyBuf = productKey(ws.keyBuf[:0], n1, n2)
+			if err := emit(productCand{
+				child: &productNode{w1: n1, w2: n2, parent: cur, act: pa, depth: cur.depth + 1},
+				key:   ws.keyBuf,
+				hash:  hashBytes(ws.keyBuf),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for len(frontier) > 0 {
+		if depth >= cfg.MaxDepth {
+			res.Truncated = true
+			break
+		}
+		next = next[:0]
+		if workers == 1 {
+			for _, cur := range frontier {
+				if err := expand(&scratch[0], cur, merge); err != nil {
+					return nil, err
 				}
 			}
-			k := key(n1, n2)
-			if _, ok := seen[k]; ok {
-				continue
+		} else {
+			bounds := chunkBounds(len(frontier), workers*chunksPerWorker)
+			results := make([][]productCand, len(bounds))
+			runChunks(workers, bounds, func(worker, chunk int) {
+				ws := &scratch[worker]
+				out := results[chunk]
+				for _, cur := range frontier[bounds[chunk][0]:bounds[chunk][1]] {
+					stop := expand(ws, cur, func(c productCand) error {
+						c.key = ws.arena.hold(c.key)
+						out = append(out, c)
+						if c.err != nil {
+							return c.err
+						}
+						return nil
+					})
+					if stop != nil {
+						break
+					}
+				}
+				results[chunk] = out
+			})
+			for _, chunk := range results {
+				for _, c := range chunk {
+					if err := merge(c); err != nil {
+						return nil, err
+					}
+				}
 			}
-			if res.States >= cfg.MaxStates {
-				res.Truncated = true
-				continue
+			for i := range scratch {
+				scratch[i].arena.reset()
 			}
-			seen[k] = struct{}{}
-			res.States++
-			if child.depth > res.Depth {
-				res.Depth = child.depth
-			}
-			frontier = append(frontier, child)
 		}
+		frontier, next = next, frontier
+		depth++
 	}
 	return res, nil
+}
+
+// productCand is one expanded product transition awaiting the merge.
+type productCand struct {
+	child *productNode
+	key   []byte
+	hash  uint64
+	err   error
+}
+
+// productKey appends the canonical binary key of the product state: both
+// worlds' self-delimiting encodings back to back.
+func productKey(buf []byte, a, b *sim.World) []byte {
+	buf = a.EncodeKey(buf)
+	return b.EncodeKey(buf)
 }
 
 func violationOf(w1, w2 *sim.World, x1, x2 seq.Seq) *ProductWitness {
@@ -204,11 +279,11 @@ func violationOf(w1, w2 *sim.World, x1, x2 seq.Seq) *ProductWitness {
 	}
 }
 
-// productActions enumerates the product moves: sender-side actions on
-// either run alone (invisible to R) and receiver-visible events applied
-// to both runs.
-func productActions(w1, w2 *sim.World) ([]ProductAction, error) {
-	var acts []ProductAction
+// appendProductActions enumerates the product moves: sender-side actions
+// on either run alone (invisible to R) and receiver-visible events applied
+// to both runs. It appends to acts (exploration loops pass a reused
+// buffer) and returns the extended slice.
+func appendProductActions(acts []ProductAction, w1, w2 *sim.World) []ProductAction {
 	sides := []struct {
 		side Side
 		w    *sim.World
@@ -243,7 +318,7 @@ func productActions(w1, w2 *sim.World) ([]ProductAction, error) {
 			}
 		}
 	}
-	return acts, nil
+	return acts
 }
 
 // feedWays lists the ways run w can deliver message m to R right now.

@@ -68,9 +68,8 @@ func CheckProgressFrom(w *sim.World, cfg ExploreConfig) (*ProgressResult, error)
 	worlds := []*sim.World{w}
 	depths := []int{0}
 	frontier := []int{0}
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
+	for head := 0; head < len(frontier); head++ {
+		cur := frontier[head]
 		if depths[cur] >= cfg.MaxDepth {
 			res.Truncated = true
 			continue
@@ -110,9 +109,8 @@ func CheckProgressFrom(w *sim.World, cfg ExploreConfig) (*ProgressResult, error)
 			queue = append(queue, n.id)
 		}
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		for _, p := range nodes[cur].parents {
 			if !canComplete[p] {
 				canComplete[p] = true

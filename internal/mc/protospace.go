@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
@@ -59,6 +60,11 @@ func (s *fsmSender) Done() bool             { return false }
 func (s *fsmSender) Clone() protocol.Sender { cp := *s; return &cp }
 func (s *fsmSender) Key() string            { return fmt.Sprintf("fS%d", s.state) }
 
+func (s *fsmSender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'P')
+	return binary.AppendUvarint(buf, uint64(s.state))
+}
+
 // fsmReceiver is a table-driven receiver FSM over M^R = {k}, writing items
 // of the one-element domain D = {0}.
 type fsmReceiver struct {
@@ -99,6 +105,11 @@ func (r *fsmReceiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 func (r *fsmReceiver) Alphabet() msg.Alphabet   { return msg.MustNewAlphabet("k") }
 func (r *fsmReceiver) Clone() protocol.Receiver { cp := *r; return &cp }
 func (r *fsmReceiver) Key() string              { return fmt.Sprintf("fR%d", r.state) }
+
+func (r *fsmReceiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'p')
+	return binary.AppendUvarint(buf, uint64(r.state))
+}
 
 // enumerateSenderTables yields every sender table with exactly n states.
 func enumerateSenderTables(n int) []fsmSenderTable {
@@ -167,6 +178,10 @@ type SearchConfig struct {
 	// space (default: GOMAXPROCS). The tally is independent of the worker
 	// count — receivers are judged in isolation.
 	Parallelism int
+	// Engine configures the per-candidate safety explorations. Workers
+	// defaults to 1 here, not GOMAXPROCS: the receiver pool above already
+	// saturates the cores, so nested level parallelism only adds overhead.
+	Engine EngineConfig
 }
 
 // SearchResult tallies the outcome.
@@ -195,6 +210,9 @@ func SearchProtocols(cfg SearchConfig) (*SearchResult, error) {
 	}
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = 1
 	}
 	// Hardest input first: most receivers die on 0.0 without paying for
 	// the rest.
@@ -306,9 +324,8 @@ func receiverCanWrite(rt fsmReceiverTable, want int) bool {
 	type cfg struct{ state, writes int }
 	seen := map[cfg]struct{}{{0, 0}: {}}
 	frontier := []cfg{{0, 0}}
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
+	for head := 0; head < len(frontier); head++ {
+		cur := frontier[head]
 		if cur.writes >= want {
 			return true
 		}
@@ -353,7 +370,7 @@ func candidateWorks(st fsmSenderTable, rt fsmReceiverTable, input seq.Seq, cfg S
 		return false, nil
 	}
 	// Exhaustive safety to depth.
-	ex, err := Explore(spec, input, cfg.Kind, ExploreConfig{MaxDepth: cfg.Depth, MaxStates: 1 << 16})
+	ex, err := Explore(spec, input, cfg.Kind, ExploreConfig{MaxDepth: cfg.Depth, MaxStates: 1 << 16, EngineConfig: cfg.Engine})
 	if err != nil {
 		return false, err
 	}

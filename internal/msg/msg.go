@@ -8,6 +8,7 @@
 package msg
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -146,6 +147,49 @@ func (c Counts) Support() []Msg {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// AppendMsg appends a self-delimiting binary encoding of m to buf: the
+// byte length as a uvarint followed by the raw bytes. Because the length
+// prefix makes every message left-to-right parseable, concatenations of
+// AppendMsg encodings are unambiguous — two different message sequences
+// never produce the same bytes.
+func AppendMsg(buf []byte, m Msg) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	return append(buf, m...)
+}
+
+// EncodeKey appends a canonical, self-delimiting binary encoding of the
+// multiset to buf and returns the extended slice: the entry count, then
+// the (message, count) pairs in ascending message order. Equal multisets
+// produce equal bytes and vice versa (the binary counterpart of Key).
+//
+// The sorted order is established without allocating: entries are
+// emitted by repeated minimum-selection over the map, which is O(k²) map
+// scans for k distinct messages — in this codebase k is bounded by the
+// protocol alphabet size, so the quadratic term stays far cheaper than a
+// sort.Slice call and keeps the model checker's per-transition key
+// construction allocation-free.
+func (c Counts) EncodeKey(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(c)))
+	var last Msg
+	for i := 0; i < len(c); i++ {
+		var best Msg
+		found := false
+		for m := range c {
+			if i > 0 && m <= last {
+				continue
+			}
+			if found && m >= best {
+				continue
+			}
+			best, found = m, true
+		}
+		last = best
+		buf = AppendMsg(buf, best)
+		buf = binary.AppendVarint(buf, int64(c[best]))
+	}
+	return buf
 }
 
 // Key returns a canonical string encoding of the multiset, suitable for

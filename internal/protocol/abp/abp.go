@@ -14,6 +14,7 @@
 package abp
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/msg"
@@ -98,10 +99,17 @@ func (s *sender) Alphabet() msg.Alphabet {
 func (s *sender) Done() bool { return s.idx >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
-	return &sender{m: s.m, input: s.input.Clone(), idx: s.idx}
+	// The input tape is never mutated after construction, so clones share
+	// it: the model checker clones on every explored transition.
+	return &sender{m: s.m, input: s.input, idx: s.idx}
 }
 
 func (s *sender) Key() string { return fmt.Sprintf("abpS{%d}", s.idx) }
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'B')
+	return binary.AppendUvarint(buf, uint64(s.idx))
+}
 
 // receiver accepts data whose bit matches its expectation, acknowledging
 // every data message with the bit it carried.
@@ -138,3 +146,8 @@ func (r *receiver) Clone() protocol.Receiver {
 }
 
 func (r *receiver) Key() string { return fmt.Sprintf("abpR{%d}", r.written) }
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'b')
+	return binary.AppendUvarint(buf, uint64(r.written))
+}

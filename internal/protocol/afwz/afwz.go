@@ -41,6 +41,7 @@
 package afwz
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -137,10 +138,18 @@ func (s *sender) Alphabet() msg.Alphabet {
 func (s *sender) Done() bool { return s.acks > len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
-	return &sender{m: s.m, input: s.input.Clone(), acks: s.acks, sent: s.sent}
+	// The input tape is never mutated after construction, so clones share
+	// it: the model checker clones on every explored transition.
+	return &sender{m: s.m, input: s.input, acks: s.acks, sent: s.sent}
 }
 
 func (s *sender) Key() string { return fmt.Sprintf("afwzS{a=%d,s=%d}", s.acks, s.sent) }
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'F')
+	buf = binary.AppendUvarint(buf, uint64(s.acks))
+	return binary.AppendUvarint(buf, uint64(s.sent))
+}
 
 // receiver buffers reverse-order arrivals and commits them on "end".
 type receiver struct {
@@ -189,4 +198,18 @@ func (r *receiver) Key() string {
 		parts[i] = fmt.Sprintf("%d", int(v))
 	}
 	return fmt.Sprintf("afwzR{%s,done=%v}", strings.Join(parts, "."), r.done)
+}
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'f')
+	buf = r.buffer.EncodeKey(buf)
+	return append(buf, boolByte(r.done))
+}
+
+// boolByte encodes a flag as a single key byte.
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -28,6 +28,7 @@
 package alphaproto
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -127,12 +128,19 @@ func (s *sender) Alphabet() msg.Alphabet { return senderAlphabet(s.m) }
 func (s *sender) Done() bool             { return s.idx >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
-	return &sender{m: s.m, input: s.input.Clone(), idx: s.idx}
+	// The input tape is never mutated after construction, so clones share
+	// it: the model checker clones on every explored transition.
+	return &sender{m: s.m, input: s.input, idx: s.idx}
 }
 
 func (s *sender) Key() string {
 	// The input is fixed per run; idx fully determines behaviour.
 	return fmt.Sprintf("alphaS{idx=%d}", s.idx)
+}
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'A')
+	return binary.AppendUvarint(buf, uint64(s.idx))
 }
 
 // receiver is R: write each never-before-seen value, acknowledge every
@@ -179,4 +187,9 @@ func (r *receiver) Key() string {
 		parts[i] = fmt.Sprintf("%d", int(v))
 	}
 	return "alphaR{" + strings.Join(parts, ".") + "}"
+}
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'a')
+	return r.written.EncodeKey(buf)
 }

@@ -1,6 +1,7 @@
 package alphaproto
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -104,6 +105,11 @@ func (s *encSender) Clone() protocol.Sender {
 
 func (s *encSender) Key() string { return fmt.Sprintf("encS{idx=%d}", s.idx) }
 
+func (s *encSender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'E')
+	return binary.AppendUvarint(buf, uint64(s.idx))
+}
+
 // encReceiver accumulates new code symbols in arrival order, acknowledges
 // everything, and writes data items whenever the accumulated code string
 // matches a member's full code.
@@ -165,4 +171,13 @@ func (r *encReceiver) Clone() protocol.Receiver {
 
 func (r *encReceiver) Key() string {
 	return fmt.Sprintf("encR{%s|w=%d}", codeKey(r.codeSoFar), r.written)
+}
+
+func (r *encReceiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'e')
+	buf = binary.AppendUvarint(buf, uint64(len(r.codeSoFar)))
+	for _, m := range r.codeSoFar {
+		buf = msg.AppendMsg(buf, m)
+	}
+	return binary.AppendUvarint(buf, uint64(r.written))
 }

@@ -17,6 +17,7 @@
 package gobackn
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/msg"
@@ -143,13 +144,21 @@ func (s *sender) Alphabet() msg.Alphabet {
 func (s *sender) Done() bool { return s.base >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
+	// The input tape is never mutated after construction, so the clone
+	// shares it: the model checker clones on every explored transition.
 	cp := *s
-	cp.input = s.input.Clone()
 	return &cp
 }
 
 func (s *sender) Key() string {
 	return fmt.Sprintf("gbnS{b=%d,n=%d,st=%d}", s.base, s.next, s.stalled)
+}
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'G')
+	buf = binary.AppendUvarint(buf, uint64(s.base))
+	buf = binary.AppendUvarint(buf, uint64(s.next))
+	return binary.AppendUvarint(buf, uint64(s.stalled))
 }
 
 // receiver accepts in-order frames only, acking cumulatively with the
@@ -196,3 +205,8 @@ func (r *receiver) Clone() protocol.Receiver {
 }
 
 func (r *receiver) Key() string { return fmt.Sprintf("gbnR{%d}", r.next) }
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'g')
+	return binary.AppendUvarint(buf, uint64(r.next))
+}

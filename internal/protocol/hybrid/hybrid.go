@@ -60,6 +60,7 @@
 package hybrid
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/msg"
@@ -282,14 +283,26 @@ func (s *sender) Alphabet() msg.Alphabet {
 func (s *sender) Done() bool { return s.finDone }
 
 func (s *sender) Clone() protocol.Sender {
+	// The input tape is never mutated after construction, so the clone
+	// shares it: the model checker clones on every explored transition.
 	cp := *s
-	cp.input = s.input.Clone()
 	return &cp
 }
 
 func (s *sender) Key() string {
 	return fmt.Sprintf("hyS{p=%d,hi=%d,b=%d,lo=%d,ph=%d,st=%d,fd=%v}",
 		s.p, s.hi, s.b, s.lo, s.phase, s.stalled, s.finDone)
+}
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'H')
+	buf = binary.AppendUvarint(buf, uint64(s.p))
+	buf = binary.AppendUvarint(buf, uint64(s.hi))
+	buf = binary.AppendUvarint(buf, uint64(s.b))
+	buf = binary.AppendUvarint(buf, uint64(s.lo))
+	buf = binary.AppendUvarint(buf, uint64(s.phase))
+	buf = binary.AppendUvarint(buf, uint64(s.stalled))
+	return append(buf, boolByte(s.finDone))
 }
 
 // receiver is mode-less: it reacts to whichever stream's messages arrive.
@@ -360,4 +373,19 @@ func (r *receiver) Clone() protocol.Receiver {
 
 func (r *receiver) Key() string {
 	return fmt.Sprintf("hyR{w=%d,buf=%s,fin=%v}", r.written, r.buffer, r.finished)
+}
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'h')
+	buf = binary.AppendUvarint(buf, uint64(r.written))
+	buf = r.buffer.EncodeKey(buf)
+	return append(buf, boolByte(r.finished))
+}
+
+// boolByte encodes a flag as a single key byte.
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }

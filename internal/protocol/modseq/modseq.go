@@ -21,6 +21,7 @@
 package modseq
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/msg"
@@ -115,12 +116,18 @@ func (s *sender) Alphabet() msg.Alphabet {
 func (s *sender) Done() bool { return s.next >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
+	// The input tape is never mutated after construction, so the clone
+	// shares it: the model checker clones on every explored transition.
 	cp := *s
-	cp.input = s.input.Clone()
 	return &cp
 }
 
 func (s *sender) Key() string { return fmt.Sprintf("modseqS{%d}", s.next) }
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'M')
+	return binary.AppendUvarint(buf, uint64(s.next))
+}
 
 // receiver writes a data message whose number matches its expectation
 // modulo the window; anything else is re-acknowledged as stale. The
@@ -164,3 +171,8 @@ func (r *receiver) Clone() protocol.Receiver {
 }
 
 func (r *receiver) Key() string { return fmt.Sprintf("modseqR{%d}", r.next) }
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'm')
+	return binary.AppendUvarint(buf, uint64(r.next))
+}

@@ -6,6 +6,7 @@
 package naive
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/msg"
@@ -81,10 +82,17 @@ func (s *posSender) Alphabet() msg.Alphabet {
 func (s *posSender) Done() bool { return s.idx >= len(s.input) }
 
 func (s *posSender) Clone() protocol.Sender {
-	return &posSender{m: s.m, input: s.input.Clone(), idx: s.idx}
+	// The input tape is never mutated after construction, so clones share
+	// it: the model checker clones on every explored transition.
+	return &posSender{m: s.m, input: s.input, idx: s.idx}
 }
 
 func (s *posSender) Key() string { return fmt.Sprintf("naiveS{idx=%d}", s.idx) }
+
+func (s *posSender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'N')
+	return binary.AppendUvarint(buf, uint64(s.idx))
+}
 
 // trustingReceiver writes every data message's value on receipt.
 type trustingReceiver struct {
@@ -120,6 +128,11 @@ func (r *trustingReceiver) Clone() protocol.Receiver {
 }
 
 func (r *trustingReceiver) Key() string { return fmt.Sprintf("naiveR{w=%d}", r.written) }
+
+func (r *trustingReceiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'n')
+	return binary.AppendUvarint(buf, uint64(r.written))
+}
 
 // NewFlood returns the ack-free protocol over domain size m: the sender
 // just emits each item once per tick position with no feedback channel at
@@ -175,7 +188,14 @@ func (s *floodSender) Alphabet() msg.Alphabet {
 func (s *floodSender) Done() bool { return s.idx >= len(s.input) }
 
 func (s *floodSender) Clone() protocol.Sender {
-	return &floodSender{m: s.m, input: s.input.Clone(), idx: s.idx}
+	// The input tape is never mutated after construction, so clones share
+	// it: the model checker clones on every explored transition.
+	return &floodSender{m: s.m, input: s.input, idx: s.idx}
 }
 
 func (s *floodSender) Key() string { return fmt.Sprintf("floodS{idx=%d}", s.idx) }
+
+func (s *floodSender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'O')
+	return binary.AppendUvarint(buf, uint64(s.idx))
+}

@@ -12,6 +12,7 @@
 package protocol
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/msg"
@@ -96,6 +97,34 @@ type Receiver interface {
 	Clone() Receiver
 	// Key returns a canonical encoding of the local state s_R.
 	Key() string
+}
+
+// KeyAppender is optionally implemented by Sender and Receiver states
+// that can append a canonical binary encoding of their local state
+// directly into a caller-provided buffer. The contract mirrors Key: two
+// states of the same type produce equal bytes exactly when their Key
+// strings are equal. Implementations must be self-delimiting (length-
+// prefix every variable-length atom) so that concatenations of encodings
+// remain unambiguous, and must not allocate beyond growing buf.
+//
+// The model checker keys every explored state; EncodeKey is its fast
+// path, while Key stays as the human-readable debug view. Every protocol
+// in this repository implements it; external or test states may omit it
+// and fall back to the Key string via AppendKey.
+type KeyAppender interface {
+	EncodeKey(buf []byte) []byte
+}
+
+// AppendKey appends state's canonical encoding to buf: the binary fast
+// path when state implements KeyAppender, otherwise the Key string,
+// length-prefixed to keep the result self-delimiting.
+func AppendKey(buf []byte, state interface{ Key() string }) []byte {
+	if ka, ok := state.(KeyAppender); ok {
+		return ka.EncodeKey(buf)
+	}
+	s := state.Key()
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
 }
 
 // Spec packages a protocol family: constructors plus metadata. The

@@ -19,6 +19,7 @@
 package selrepeat
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -152,8 +153,9 @@ func (s *sender) Alphabet() msg.Alphabet {
 func (s *sender) Done() bool { return s.base >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
+	// The input tape is never mutated after construction, so the clone
+	// shares it: the model checker clones on every explored transition.
 	cp := *s
-	cp.input = s.input.Clone()
 	cp.acked = make(map[int]bool, len(s.acked))
 	for k, v := range s.acked {
 		cp.acked[k] = v
@@ -169,6 +171,25 @@ func (s *sender) Key() string {
 		}
 	}
 	return fmt.Sprintf("srS{b=%d,n=%d,a=%s,st=%d}", s.base, s.next, strings.Join(acked, "."), s.stalled)
+}
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'S')
+	buf = binary.AppendUvarint(buf, uint64(s.base))
+	buf = binary.AppendUvarint(buf, uint64(s.next))
+	count := 0
+	for p := s.base; p < s.next; p++ {
+		if s.acked[p] {
+			count++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(count))
+	for p := s.base; p < s.next; p++ {
+		if s.acked[p] {
+			buf = binary.AppendUvarint(buf, uint64(p))
+		}
+	}
+	return binary.AppendUvarint(buf, uint64(s.stalled))
 }
 
 // receiver accepts any frame inside its window, buffers it, acknowledges
@@ -247,4 +268,17 @@ func (r *receiver) Key() string {
 		}
 	}
 	return fmt.Sprintf("srR{%d|%s}", r.next, strings.Join(buf, ","))
+}
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'V')
+	buf = binary.AppendUvarint(buf, uint64(r.next))
+	buf = binary.AppendUvarint(buf, uint64(len(r.buffered)))
+	for p := r.next; p < r.next+r.window; p++ {
+		if v, ok := r.buffered[p]; ok {
+			buf = binary.AppendUvarint(buf, uint64(p))
+			buf = binary.AppendVarint(buf, int64(v))
+		}
+	}
+	return buf
 }

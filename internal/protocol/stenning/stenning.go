@@ -12,6 +12,7 @@
 package stenning
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/msg"
@@ -72,10 +73,17 @@ func (s *sender) Alphabet() msg.Alphabet { return msg.Alphabet{} }
 func (s *sender) Done() bool { return s.next >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
-	return &sender{input: s.input.Clone(), next: s.next}
+	// The input tape is never mutated after construction, so clones share
+	// it: the model checker clones on every explored transition.
+	return &sender{input: s.input, next: s.next}
 }
 
 func (s *sender) Key() string { return fmt.Sprintf("stenS{%d}", s.next) }
+
+func (s *sender) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 'T')
+	return binary.AppendUvarint(buf, uint64(s.next))
+}
 
 // receiver writes position next when it arrives; every receipt of a
 // position <= next is acknowledged (re-acks repair lost acknowledgements).
@@ -119,3 +127,8 @@ func (r *receiver) Clone() protocol.Receiver {
 }
 
 func (r *receiver) Key() string { return fmt.Sprintf("stenR{%d}", r.next) }
+
+func (r *receiver) EncodeKey(buf []byte) []byte {
+	buf = append(buf, 't')
+	return binary.AppendUvarint(buf, uint64(r.next))
+}

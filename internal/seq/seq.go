@@ -10,6 +10,7 @@
 package seq
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 )
@@ -157,6 +158,19 @@ func (s Seq) Format(d Domain) string {
 
 // Key returns a canonical map key for s.
 func (s Seq) Key() string { return s.String() }
+
+// EncodeKey appends a self-delimiting binary encoding of s to buf and
+// returns the extended slice: the length as a uvarint followed by the
+// items as varints. Equal sequences produce equal bytes and vice versa —
+// the allocation-free counterpart of Key for the model checker's state
+// index.
+func (s Seq) EncodeKey(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	for _, v := range s {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return buf
+}
 
 // PaperLength returns the paper's |X|: k+1 for a sequence of k items
 // (so the empty sequence has length 1). The paper uses this convention so

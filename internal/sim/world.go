@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"seqtx/internal/channel"
@@ -81,7 +82,15 @@ func (w *World) StartTrace() {
 // every deliverable message has a run in which it is delivered next, and
 // there is always a run in which nothing is delivered (the ticks).
 func (w *World) Enabled() []trace.Action {
-	acts := []trace.Action{trace.TickS(), trace.TickR()}
+	return w.AppendEnabled(nil)
+}
+
+// AppendEnabled is Enabled with a caller-provided buffer: it appends the
+// enabled actions to acts (in the same canonical order) and returns the
+// extended slice. Exploration loops pass a reused buffer to avoid one
+// allocation per expanded state.
+func (w *World) AppendEnabled(acts []trace.Action) []trace.Action {
+	acts = append(acts, trace.TickS(), trace.TickR())
 	for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
 		half := w.Link.Half(dir)
 		for _, m := range half.Deliverable().Support() {
@@ -211,9 +220,11 @@ func (w *World) Quiescent() bool {
 // Clone returns an independent deep copy of the world. The trace recorder
 // is not carried over (clones are exploration tools).
 func (w *World) Clone() *World {
+	// The input tape is read-only after New (which clones it), so clones
+	// share it; the output tape is appended to and must stay deep-copied.
 	return &World{
 		Name:            w.Name,
-		Input:           w.Input.Clone(),
+		Input:           w.Input,
 		Output:          w.Output.Clone(),
 		Time:            w.Time,
 		S:               w.S.Clone(),
@@ -229,4 +240,16 @@ func (w *World) Clone() *World {
 // all that matters for future safety, given the input).
 func (w *World) Key() string {
 	return fmt.Sprintf("S:%s|R:%s|L:%s|Y:%d", w.S.Key(), w.R.Key(), w.Link.Key(), len(w.Output))
+}
+
+// EncodeKey appends the binary counterpart of Key to buf: both local
+// states (via their EncodeKey fast path, falling back to the Key string),
+// both channel halves, and the output length. Each component encoding is
+// self-delimiting, so the concatenation identifies global states exactly
+// as the Key string does — the model checker's dedup relies on that.
+func (w *World) EncodeKey(buf []byte) []byte {
+	buf = protocol.AppendKey(buf, w.S)
+	buf = protocol.AppendKey(buf, w.R)
+	buf = w.Link.EncodeKey(buf)
+	return binary.AppendUvarint(buf, uint64(len(w.Output)))
 }
