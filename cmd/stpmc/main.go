@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"seqtx/internal/mc"
+	"seqtx/internal/obs"
 	"seqtx/internal/protocol/hybrid"
 	"seqtx/internal/registry"
 	"seqtx/internal/seq"
@@ -37,24 +38,44 @@ func run() int {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		proto    = fs.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
-		m        = fs.Int("m", 2, "domain size parameter")
-		timeout  = fs.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout")
-		window   = fs.Int("window", 4, "modseq sequence-number window")
-		input    = fs.String("input", "0,1", "input sequence (explore/bounded)")
-		x1s      = fs.String("x1", "0,1", "first input (refute)")
-		x2s      = fs.String("x2", "0,1,0", "second input (refute)")
-		kindName = fs.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
-		depth    = fs.Int("depth", 12, "exploration depth")
-		states   = fs.Int("states", 1<<17, "state cap")
-		budget   = fs.Int("budget", 40, "recovery budget (bounded)")
-		weak     = fs.Bool("weak", false, "weak boundedness (old messages allowed)")
-		workers  = fs.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		faulty   = fs.Bool("faulty", true, "sample points from a one-loss run (bounded)")
-		outFile  = fs.String("o", "", "write the counterexample run as JSON (explore; replay with stpsim -replay)")
+		proto      = fs.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m          = fs.Int("m", 2, "domain size parameter")
+		timeout    = fs.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout")
+		window     = fs.Int("window", 4, "modseq sequence-number window")
+		input      = fs.String("input", "0,1", "input sequence (explore/bounded)")
+		x1s        = fs.String("x1", "0,1", "first input (refute)")
+		x2s        = fs.String("x2", "0,1,0", "second input (refute)")
+		kindName   = fs.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
+		depth      = fs.Int("depth", 12, "exploration depth")
+		states     = fs.Int("states", 1<<17, "state cap")
+		budget     = fs.Int("budget", 40, "recovery budget (bounded)")
+		weak       = fs.Bool("weak", false, "weak boundedness (old messages allowed)")
+		workers    = fs.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		faulty     = fs.Bool("faulty", true, "sample points from a one-loss run (bounded)")
+		outFile    = fs.String("o", "", "write the counterexample run as JSON (explore; replay with stpsim -replay)")
+		metrics    = fs.String("metrics", "", "write a metrics snapshot to this file after the run (- = stdout)")
+		metricsFmt = fs.String("metrics-format", obs.FormatProm, "metrics snapshot format: prom|json")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return 2
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	// emitMetrics writes the snapshot (no-op without -metrics) and turns a
+	// write failure into a usage-style exit without masking the verdict.
+	emitMetrics := func(code int) int {
+		if *metrics == "" {
+			return code
+		}
+		if merr := obs.WriteSnapshotFile(reg, *metrics, *metricsFmt); merr != nil {
+			fmt.Fprintln(os.Stderr, "stpmc:", merr)
+			if code == 0 {
+				return 2
+			}
+		}
+		return code
 	}
 	spec, err := registry.Protocol(*proto, registry.Params{M: *m, Timeout: *timeout, Window: *window})
 	if err != nil {
@@ -76,11 +97,11 @@ func run() int {
 		}
 		res, eerr := mc.Explore(spec, x, kind, mc.ExploreConfig{
 			MaxDepth: *depth, MaxStates: *states,
-			EngineConfig: mc.EngineConfig{Workers: *workers},
+			EngineConfig: mc.EngineConfig{Workers: *workers, Obs: reg},
 		})
 		if eerr != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", eerr)
-			return 1
+			return emitMetrics(1)
 		}
 		fmt.Printf("explored %d states to depth %d (truncated %v)\n", res.States, res.Depth, res.Truncated)
 		if res.Violation != nil {
@@ -88,14 +109,14 @@ func run() int {
 			if *outFile != "" {
 				if werr := writeWitness(*outFile, spec.Name, res.Violation); werr != nil {
 					fmt.Fprintln(os.Stderr, "stpmc:", werr)
-					return 1
+					return emitMetrics(1)
 				}
 				fmt.Printf("witness written to %s\n", *outFile)
 			}
-			return 1
+			return emitMetrics(1)
 		}
 		fmt.Println("safety holds in every explored state")
-		return 0
+		return emitMetrics(0)
 
 	case "refute":
 		x1, e1 := parseSeq(*x1s)
@@ -106,19 +127,19 @@ func run() int {
 		}
 		res, rerr := mc.Refute(spec, x1, x2, kind, mc.ExploreConfig{
 			MaxDepth: *depth, MaxStates: *states,
-			EngineConfig: mc.EngineConfig{Workers: *workers},
+			EngineConfig: mc.EngineConfig{Workers: *workers, Obs: reg},
 		})
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", rerr)
-			return 1
+			return emitMetrics(1)
 		}
 		fmt.Printf("explored %d product states (truncated %v)\n", res.States, res.Truncated)
 		if res.Violation == nil {
 			fmt.Println("no receiver-indistinguishable counterexample within bounds")
-			return 0
+			return emitMetrics(0)
 		}
 		fmt.Printf("COUNTEREXAMPLE (the paper's Lemma 1/3 adversary):\n%s", res.Violation)
-		return 1
+		return emitMetrics(1)
 
 	case "bounded":
 		x, perr := parseSeq(*input)
@@ -128,7 +149,7 @@ func run() int {
 		}
 		cfg := mc.BoundedConfig{
 			Budget: *budget, OldMessagesAllowed: *weak,
-			EngineConfig: mc.EngineConfig{Workers: *workers},
+			EngineConfig: mc.EngineConfig{Workers: *workers, Obs: reg},
 		}
 		if *faulty && !*weak {
 			cfg.Sampler = sim.NewBudgetDropper(1, 1)
@@ -136,7 +157,7 @@ func run() int {
 		rep, berr := mc.CheckBounded(spec, x, kind, cfg)
 		if berr != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", berr)
-			return 1
+			return emitMetrics(1)
 		}
 		variant := "Definition 2 (fresh messages only)"
 		if *weak {
@@ -144,7 +165,7 @@ func run() int {
 		}
 		fmt.Printf("variant     %s\nsamples     %d\nmax recovery %d steps\nunrecovered %d\nbounded     %v\n",
 			variant, rep.Samples, rep.MaxRecovery, rep.Unrecovered, rep.Bounded())
-		return 0
+		return emitMetrics(0)
 
 	default:
 		usage()

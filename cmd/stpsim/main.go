@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"seqtx/internal/channel"
+	"seqtx/internal/obs"
 	"seqtx/internal/protocol/hybrid"
 	"seqtx/internal/registry"
 	"seqtx/internal/seq"
@@ -30,18 +31,20 @@ func main() {
 
 func run() int {
 	var (
-		proto     = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
-		m         = flag.Int("m", 4, "domain / sender-alphabet size parameter")
-		timeout   = flag.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout (ticks)")
-		window    = flag.Int("window", 4, "modseq sequence-number window")
-		input     = flag.String("input", "0,1", "comma-separated data items")
-		kindName  = flag.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
-		advName   = flag.String("adversary", "roundrobin", "adversary: "+strings.Join(registry.AdversaryNames(), "|"))
-		seed      = flag.Int64("seed", 1, "adversary seed")
-		budget    = flag.Int("budget", 2, "dropper budget / replayer period / withholder hold")
-		maxSteps  = flag.Int("max-steps", 5000, "step bound")
-		showTrace = flag.Bool("trace", false, "print the full trace")
-		replay    = flag.String("replay", "", "JSON witness file (from stpmc -o): replay its schedule, then round-robin")
+		proto      = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m          = flag.Int("m", 4, "domain / sender-alphabet size parameter")
+		timeout    = flag.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout (ticks)")
+		window     = flag.Int("window", 4, "modseq sequence-number window")
+		input      = flag.String("input", "0,1", "comma-separated data items")
+		kindName   = flag.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
+		advName    = flag.String("adversary", "roundrobin", "adversary: "+strings.Join(registry.AdversaryNames(), "|"))
+		seed       = flag.Int64("seed", 1, "adversary seed")
+		budget     = flag.Int("budget", 2, "dropper budget / replayer period / withholder hold")
+		maxSteps   = flag.Int("max-steps", 5000, "step bound")
+		showTrace  = flag.Bool("trace", false, "print the full trace")
+		replay     = flag.String("replay", "", "JSON witness file (from stpmc -o): replay its schedule, then round-robin")
+		metrics    = flag.String("metrics", "", "write a metrics snapshot to this file after the run (- = stdout)")
+		metricsFmt = flag.String("metrics-format", obs.FormatProm, "metrics snapshot format: prom|json")
 	)
 	flag.Parse()
 
@@ -99,6 +102,11 @@ func run() int {
 		w.StartTrace()
 	}
 	cfg := sim.Config{MaxSteps: *maxSteps, StopWhenComplete: true}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
 	if *replay != "" {
 		// Replay the whole witness schedule: the violating action is often
 		// the very last one, after the output already looks complete.
@@ -111,6 +119,12 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpsim:", err)
 		return 1
+	}
+	if *metrics != "" {
+		if merr := obs.WriteSnapshotFile(reg, *metrics, *metricsFmt); merr != nil {
+			fmt.Fprintln(os.Stderr, "stpsim:", merr)
+			return 2
+		}
 	}
 	if *showTrace {
 		fmt.Print(w.Trace)

@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"seqtx/internal/obs"
 	"seqtx/internal/soak"
 )
 
@@ -30,19 +31,32 @@ func main() {
 
 func run() int {
 	var (
-		campaign  = flag.String("campaign", "standard", "campaign: standard|smoke")
-		seed      = flag.Int64("seed", 1, "base seed (run r of a cell uses seed+r)")
-		runs      = flag.Int("runs", 1, "seeded runs per matrix cell")
-		maxSteps  = flag.Int("max-steps", 0, "per-run step bound (0 = campaign default)")
-		deadline  = flag.Int("deadline", 0, "progress-watchdog deadline in steps (0 = default)")
-		wallClock = flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = default)")
-		budget    = flag.Duration("budget", 0, "whole-campaign wall-clock budget: cases not started in time are dropped (0 = unlimited)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		noShrink  = flag.Bool("no-shrink", false, "skip counterexample minimization")
-		out       = flag.String("o", "", "write the JSON report to this file (default stdout)")
-		quiet     = flag.Bool("q", false, "suppress the human summary on stderr")
+		campaign   = flag.String("campaign", "standard", "campaign: standard|smoke")
+		seed       = flag.Int64("seed", 1, "base seed (run r of a cell uses seed+r)")
+		runs       = flag.Int("runs", 1, "seeded runs per matrix cell")
+		maxSteps   = flag.Int("max-steps", 0, "per-run step bound (0 = campaign default)")
+		deadline   = flag.Int("deadline", 0, "progress-watchdog deadline in steps (0 = default)")
+		wallClock  = flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = default)")
+		budget     = flag.Duration("budget", 0, "whole-campaign wall-clock budget: cases not started in time are dropped (0 = unlimited)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		noShrink   = flag.Bool("no-shrink", false, "skip counterexample minimization")
+		out        = flag.String("o", "", "write the JSON report to this file (default stdout)")
+		quiet      = flag.Bool("q", false, "suppress the human summary on stderr")
+		metrics    = flag.String("metrics", "", "write a metrics snapshot to this file after the campaign (- = stdout)")
+		metricsFmt = flag.String("metrics-format", obs.FormatProm, "metrics snapshot format: prom|json")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the campaign's duration")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpsoak:", err)
+			return 2
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "stpsoak: pprof listening on http://%s/debug/pprof/\n", addr)
+	}
 
 	var cmp *soak.Campaign
 	switch *campaign {
@@ -67,6 +81,23 @@ func run() int {
 		cmp.Config.Workers = *workers
 	}
 	cmp.Config.DisableShrink = *noShrink
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cmp.Config.Obs = reg
+	}
+	snapshot := func(code int) int {
+		if *metrics == "" {
+			return code
+		}
+		if merr := obs.WriteSnapshotFile(reg, *metrics, *metricsFmt); merr != nil {
+			fmt.Fprintln(os.Stderr, "stpsoak:", merr)
+			if code == 0 {
+				return 2
+			}
+		}
+		return code
+	}
 
 	if *budget > 0 {
 		// Trim the case list to what plausibly fits the budget: run the
@@ -89,9 +120,9 @@ func run() int {
 		}
 		cmp.Cases = all[:len(runsOut)]
 		rep := &soak.Report{Campaign: cmp.Name, Runs: runsOut}
-		return emit(rep, *out, *quiet)
+		return snapshot(emit(rep, *out, *quiet))
 	}
-	return emit(cmp.Run(), *out, *quiet)
+	return snapshot(emit(cmp.Run(), *out, *quiet))
 }
 
 // emit finalizes, renders, and scores the report.

@@ -205,6 +205,8 @@ func recoverySearch(point *sim.World, cfg BoundedConfig) int {
 	target := len(point.Output)
 	workers := cfg.workerCount()
 	scratch := newScratch(workers)
+	em := newEngineMetrics(cfg.Obs, "recovery", workers, false)
+	em.noteMerge(true) // the sample point itself
 	idx := newStateIndex()
 	rootKey := start.fresh.encodeKey(start.w.EncodeKey(scratch[0].keyBuf))
 	idx.insert(hashBytes(rootKey), stableCopy(rootKey))
@@ -258,11 +260,13 @@ func recoverySearch(point *sim.World, cfg BoundedConfig) int {
 			return
 		}
 		if idx.contains(c.hash, c.key) {
+			em.noteMerge(false)
 			return
 		}
 		if states >= cfg.MaxStates {
 			return
 		}
+		em.noteMerge(true)
 		idx.insert(c.hash, stableCopy(c.key))
 		states++
 		next = append(next, c.node)
@@ -272,8 +276,10 @@ func recoverySearch(point *sim.World, cfg BoundedConfig) int {
 		next = next[:0]
 		if workers == 1 {
 			for _, cur := range frontier {
+				em.noteExpand(0)
 				expand(&scratch[0], cur, merge)
 				if recovered {
+					em.flush()
 					return depth + 1
 				}
 			}
@@ -284,6 +290,7 @@ func recoverySearch(point *sim.World, cfg BoundedConfig) int {
 				ws := &scratch[worker]
 				out := results[chunk]
 				for _, cur := range frontier[bounds[chunk][0]:bounds[chunk][1]] {
+					em.noteExpand(worker)
 					expand(ws, cur, func(c recoveryCand) {
 						if c.key != nil {
 							c.key = ws.arena.hold(c.key)
@@ -302,11 +309,14 @@ func recoverySearch(point *sim.World, cfg BoundedConfig) int {
 				scratch[i].arena.reset()
 			}
 			if recovered {
+				em.flush()
 				return depth + 1
 			}
 		}
+		em.noteLevel(depth, len(frontier))
 		frontier, next = next, frontier
 	}
+	em.flush()
 	return -1
 }
 

@@ -2,10 +2,14 @@ package mc
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"seqtx/internal/obs"
 	"seqtx/internal/trace"
 )
 
@@ -24,6 +28,12 @@ type EngineConfig struct {
 	// 0 means GOMAXPROCS; 1 selects the in-line sequential path (no
 	// goroutines, no chunk staging).
 	Workers int
+	// Obs, when non-nil, receives engine metrics (states visited, dedup
+	// hit rate, frontier sizes, per-worker expansion counts, states/sec)
+	// and per-level BFS events. Metrics are accumulated in engine-local
+	// scalars and flushed once per run, so they cannot affect exploration
+	// order or results; nil disables them for the cost of a few branches.
+	Obs *obs.Registry
 }
 
 func (e EngineConfig) workerCount() int {
@@ -157,6 +167,101 @@ func chunkBounds(n, k int) [][2]int {
 // chunksPerWorker oversplits levels for load balancing: chunks are claimed
 // dynamically, so a worker stuck on a heavy chunk sheds the rest.
 const chunksPerWorker = 4
+
+// engineMetrics accumulates one exploration run's observability in plain
+// engine-local scalars and flushes them into the registry when the run
+// ends. The merge goroutine owns the dedup/state counters; expansion
+// counts are per-worker slots owned exclusively by their worker (the same
+// ownership discipline as workerScratch), read only after the phase
+// barrier. A nil *engineMetrics (observability off) makes every method a
+// single-branch no-op.
+type engineMetrics struct {
+	reg         *obs.Registry
+	scope       string // "explore", "refute", "recovery"
+	start       time.Time
+	frontier    *obs.Histogram
+	levelEvents bool
+	states      int64
+	dedupHits   int64
+	dedupMiss   int64
+	levels      int64
+	expansions  []int64 // nodes expanded, per worker
+}
+
+// newEngineMetrics returns nil when reg is nil — the disabled fast path.
+// levelEvents enables the per-level event stream; the recovery engine
+// turns it off (one bounded check runs thousands of tiny searches, which
+// would flood the bounded event buffer with no narrative value).
+func newEngineMetrics(reg *obs.Registry, scope string, workers int, levelEvents bool) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		reg:         reg,
+		scope:       scope,
+		start:       time.Now(),
+		frontier:    reg.Histogram("mc_"+scope+"_frontier_size", obs.StepBuckets),
+		levelEvents: levelEvents,
+		expansions:  make([]int64, workers),
+	}
+}
+
+// noteExpand records that worker expanded one frontier node.
+func (m *engineMetrics) noteExpand(worker int) {
+	if m == nil {
+		return
+	}
+	m.expansions[worker]++
+}
+
+// noteMerge records one candidate's dedup verdict and, for fresh states,
+// the growing state count.
+func (m *engineMetrics) noteMerge(fresh bool) {
+	if m == nil {
+		return
+	}
+	if fresh {
+		m.dedupMiss++
+		m.states++
+	} else {
+		m.dedupHits++
+	}
+}
+
+// noteLevel records a completed BFS level and emits its event.
+func (m *engineMetrics) noteLevel(depth, frontierSize int) {
+	if m == nil {
+		return
+	}
+	m.levels++
+	m.frontier.Observe(float64(frontierSize))
+	if m.levelEvents {
+		m.reg.Emit("mc.bfs.level",
+			"scope", m.scope,
+			"depth", strconv.Itoa(depth),
+			"frontier", strconv.Itoa(frontierSize),
+			"states", strconv.FormatInt(m.states, 10))
+	}
+}
+
+// flush publishes the accumulated run into the registry.
+func (m *engineMetrics) flush() {
+	if m == nil {
+		return
+	}
+	r, scope := m.reg, m.scope
+	r.Counter("mc_" + scope + "_runs_total").Inc()
+	r.Counter("mc_" + scope + "_states_total").Add(m.states)
+	r.Counter("mc_" + scope + "_levels_total").Add(m.levels)
+	r.Counter("mc_" + scope + "_dedup_hits_total").Add(m.dedupHits)
+	r.Counter("mc_" + scope + "_dedup_misses_total").Add(m.dedupMiss)
+	if elapsed := time.Since(m.start).Seconds(); elapsed > 0 {
+		r.Gauge("mc_" + scope + "_states_per_sec").Set(float64(m.states) / elapsed)
+	}
+	for w, n := range m.expansions {
+		r.Counter(fmt.Sprintf(`mc_worker_expansions_total{scope=%q,worker="%d"}`, scope, w)).Add(n)
+	}
+}
 
 // runChunks expands the chunks of one BFS level across the worker pool.
 // Worker w owns scratch index w exclusively; chunks are claimed through an

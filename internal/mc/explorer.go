@@ -131,6 +131,8 @@ func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreCo
 	res := &ExploreResult{States: 1}
 	workers := cfg.workerCount()
 	scratch := newScratch(workers)
+	em := newEngineMetrics(cfg.Obs, "explore", workers, true)
+	em.noteMerge(true) // the root state
 	idx := newStateIndex()
 	rootKey := w.EncodeKey(scratch[0].keyBuf)
 	idx.insert(hashBytes(rootKey), stableCopy(rootKey))
@@ -160,12 +162,14 @@ func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreCo
 			res.CompletedState = true
 		}
 		if idx.contains(c.hash, c.key) {
+			em.noteMerge(false)
 			return nil
 		}
 		if res.States >= cfg.MaxStates {
 			res.Truncated = true
 			return nil
 		}
+		em.noteMerge(true)
 		idx.insert(c.hash, stableCopy(c.key))
 		res.States++
 		if c.child.depth > res.Depth {
@@ -205,6 +209,7 @@ func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreCo
 			// Sequential path: candidates are merged as they are produced,
 			// so keys never need a stable staging copy.
 			for _, cur := range frontier {
+				em.noteExpand(0)
 				if err := expand(&scratch[0], cur, merge); err != nil {
 					return nil, err
 				}
@@ -216,6 +221,7 @@ func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreCo
 				ws := &scratch[worker]
 				out := results[chunk]
 				for _, cur := range frontier[bounds[chunk][0]:bounds[chunk][1]] {
+					em.noteExpand(worker)
 					stop := expand(ws, cur, func(c exploreCand) error {
 						c.key = ws.arena.hold(c.key)
 						out = append(out, c)
@@ -241,8 +247,10 @@ func Explore(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg ExploreCo
 				scratch[i].arena.reset()
 			}
 		}
+		em.noteLevel(depth, len(frontier))
 		frontier, next = next, frontier
 		depth++
 	}
+	em.flush()
 	return res, nil
 }

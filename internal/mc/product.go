@@ -144,6 +144,8 @@ func Refute(spec protocol.Spec, x1, x2 seq.Seq, kind channel.Kind, cfg ExploreCo
 	res := &ProductResult{States: 1}
 	workers := cfg.workerCount()
 	scratch := newScratch(workers)
+	em := newEngineMetrics(cfg.Obs, "refute", workers, true)
+	em.noteMerge(true) // the root product state
 	idx := newStateIndex()
 	rootKey := productKey(scratch[0].keyBuf, w1, w2)
 	idx.insert(hashBytes(rootKey), stableCopy(rootKey))
@@ -163,12 +165,14 @@ func Refute(spec protocol.Spec, x1, x2 seq.Seq, kind channel.Kind, cfg ExploreCo
 			}
 		}
 		if idx.contains(c.hash, c.key) {
+			em.noteMerge(false)
 			return nil
 		}
 		if res.States >= cfg.MaxStates {
 			res.Truncated = true
 			return nil
 		}
+		em.noteMerge(true)
 		idx.insert(c.hash, stableCopy(c.key))
 		res.States++
 		if c.child.depth > res.Depth {
@@ -205,6 +209,7 @@ func Refute(spec protocol.Spec, x1, x2 seq.Seq, kind channel.Kind, cfg ExploreCo
 		next = next[:0]
 		if workers == 1 {
 			for _, cur := range frontier {
+				em.noteExpand(0)
 				if err := expand(&scratch[0], cur, merge); err != nil {
 					return nil, err
 				}
@@ -216,6 +221,7 @@ func Refute(spec protocol.Spec, x1, x2 seq.Seq, kind channel.Kind, cfg ExploreCo
 				ws := &scratch[worker]
 				out := results[chunk]
 				for _, cur := range frontier[bounds[chunk][0]:bounds[chunk][1]] {
+					em.noteExpand(worker)
 					stop := expand(ws, cur, func(c productCand) error {
 						c.key = ws.arena.hold(c.key)
 						out = append(out, c)
@@ -241,9 +247,11 @@ func Refute(spec protocol.Spec, x1, x2 seq.Seq, kind channel.Kind, cfg ExploreCo
 				scratch[i].arena.reset()
 			}
 		}
+		em.noteLevel(depth, len(frontier))
 		frontier, next = next, frontier
 		depth++
 	}
+	em.flush()
 	return res, nil
 }
 

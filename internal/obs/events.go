@@ -1,0 +1,72 @@
+package obs
+
+// Structured run events: the narrative channel next to the numeric
+// metrics. Emitters record what happened (run started/finished, watchdog
+// fired, violation captured, shrink converged, BFS level completed) with
+// small string fields; the buffer is bounded, so a runaway emitter can
+// degrade the log (oldest events drop, counted) but never memory.
+
+// Event is one structured occurrence. Fields are flat string pairs so
+// the JSON artifact stays diff-able and deterministic (encoding/json
+// sorts map keys).
+type Event struct {
+	// Seq is the 1-based emission index (monotonic per Registry, including
+	// dropped events).
+	Seq int64 `json:"seq"`
+	// Kind names the occurrence, dot-scoped: "soak.run.finished",
+	// "sim.watchdog.fired", "mc.bfs.level", "soak.shrink.converged", ...
+	Kind   string            `json:"kind"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// maxBufferedEvents bounds the per-Registry event buffer.
+const maxBufferedEvents = 4096
+
+// eventLog is a bounded FIFO of events, guarded by the Registry mutex.
+type eventLog struct {
+	buf     []Event
+	seq     int64
+	dropped int64
+}
+
+func (l *eventLog) append(e Event) {
+	l.seq++
+	e.Seq = l.seq
+	if len(l.buf) >= maxBufferedEvents {
+		copy(l.buf, l.buf[1:])
+		l.buf = l.buf[:len(l.buf)-1]
+		l.dropped++
+	}
+	l.buf = append(l.buf, e)
+}
+
+func (l *eventLog) snapshot() []Event {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	return append([]Event(nil), l.buf...)
+}
+
+func (l *eventLog) reset() {
+	l.buf = l.buf[:0]
+	l.seq = 0
+	l.dropped = 0
+}
+
+// Emit records an event with alternating key, value field pairs (a
+// trailing unpaired key is ignored). A nil Registry drops it.
+func (r *Registry) Emit(kind string, kv ...string) {
+	if r == nil {
+		return
+	}
+	e := Event{Kind: kind}
+	if len(kv) >= 2 {
+		e.Fields = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			e.Fields[kv[i]] = kv[i+1]
+		}
+	}
+	r.mu.Lock()
+	r.events.append(e)
+	r.mu.Unlock()
+}

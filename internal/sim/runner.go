@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"seqtx/internal/channel"
+	"seqtx/internal/obs"
 	"seqtx/internal/protocol"
 	"seqtx/internal/seq"
 )
@@ -31,8 +33,16 @@ type Result struct {
 	StallStep int
 	// WallClockExceeded reports the per-run wall-clock budget ran out. It
 	// is a harness safety net, not a model verdict: a run cut short this
-	// way is inconclusive and not reproducible by step count alone.
+	// way is inconclusive (never a liveness failure), and only CutStep —
+	// not the wall-clock budget — makes the prefix replayable.
 	WallClockExceeded bool
+	// CutStep is the step at which the wall-clock watchdog cut the run
+	// (valid iff WallClockExceeded). Because the budget is only polled
+	// every wallClockCheckEvery steps, the run may have overshot the
+	// budget by up to wallClockCheckEvery-1 steps before the cut; CutStep
+	// records where it actually stopped, so a replay with MaxSteps =
+	// CutStep reproduces the exact prefix.
+	CutStep int
 	// LearnTimes[i] is the step at which Y first had length i+1 (R wrote
 	// the (i+1)-th item) — an observable proxy for the paper's t_i (R
 	// knows x_i no later than it writes it; the epistemic package computes
@@ -59,6 +69,12 @@ type Config struct {
 	// unaffected as long as the budget is generous; it exists so a soak
 	// campaign can never hang on one pathological run.
 	MaxWallClock time.Duration
+	// Obs, when non-nil, receives run metrics (steps, output growth,
+	// verdicts, the LearnTimes histogram — the paper's t_i) and watchdog
+	// events. All instrumentation happens outside the step loop, so a nil
+	// registry costs one branch per run and an enabled one cannot perturb
+	// the run itself (see the obs package doc).
+	Obs *obs.Registry
 }
 
 // wallClockCheckEvery is how often (in steps) the wall-clock budget is
@@ -95,6 +111,7 @@ func Run(w *World, adv Adversary, cfg Config) (Result, error) {
 		if cfg.MaxWallClock > 0 && step%wallClockCheckEvery == wallClockCheckEvery-1 &&
 			time.Since(start) > cfg.MaxWallClock {
 			res.WallClockExceeded = true
+			res.CutStep = step
 			break
 		}
 		before := len(w.Output)
@@ -115,7 +132,44 @@ func Run(w *World, adv Adversary, cfg Config) (Result, error) {
 	res.OutputComplete = w.OutputComplete()
 	res.Quiescent = w.Quiescent()
 	res.SafetyViolation = w.SafetyViolation
+	observeRun(cfg.Obs, cfg, res)
 	return res, nil
+}
+
+// observeRun flushes one run's metrics and watchdog events into the
+// registry. It runs after the step loop, on already-computed results, so
+// enabling it can never change a run; with r == nil it is a no-op.
+func observeRun(r *obs.Registry, cfg Config, res Result) {
+	if r == nil {
+		return
+	}
+	r.Counter("sim_runs_total").Inc()
+	r.Counter("sim_steps_total").Add(int64(res.Steps))
+	r.Counter("sim_output_items_total").Add(int64(len(res.Output)))
+	learn := r.Histogram("sim_learn_time_steps", obs.StepBuckets)
+	for _, t := range res.LearnTimes {
+		learn.Observe(float64(t))
+	}
+	switch {
+	case res.SafetyViolation != nil:
+		r.Counter("sim_runs_safety_violation_total").Inc()
+	case res.Stalled:
+		r.Counter("sim_runs_stalled_total").Inc()
+		r.Emit("sim.watchdog.fired", "watchdog", "progress",
+			"step", strconv.Itoa(res.StallStep),
+			"deadline", strconv.Itoa(cfg.ProgressDeadline))
+	case res.WallClockExceeded:
+		r.Counter("sim_runs_wallclock_cut_total").Inc()
+		r.Emit("sim.watchdog.fired", "watchdog", "wall-clock",
+			"cut_step", strconv.Itoa(res.CutStep),
+			"budget", cfg.MaxWallClock.String())
+	case res.OutputComplete:
+		r.Counter("sim_runs_complete_total").Inc()
+	case res.Quiescent:
+		r.Counter("sim_runs_quiescent_total").Inc()
+	default:
+		r.Counter("sim_runs_maxsteps_total").Inc()
+	}
 }
 
 // RunProtocol is the one-call convenience: build a world for spec × input

@@ -123,6 +123,46 @@ func TestRunRoundRobinCompletesOnAllKinds(t *testing.T) {
 	}
 }
 
+// TestRunWallClockCutRecordsCutStep pins the wall-clock watchdog's
+// contract: the budget is polled every wallClockCheckEvery steps, so an
+// exhausted budget cuts the run at the first poll (step 255), records
+// that step in CutStep, and is never misreported as a stall. A replay
+// with MaxSteps = CutStep reproduces the exact observed prefix.
+func TestRunWallClockCutRecordsCutStep(t *testing.T) {
+	t.Parallel()
+	run := func(maxSteps int) Result {
+		w := newWorld(t, 3, seq.FromInts(0, 1, 2), channel.KindDup)
+		res, err := Run(w, NewRoundRobin(), Config{
+			MaxSteps:         maxSteps,
+			ProgressDeadline: 400,
+			MaxWallClock:     1, // 1ns: exhausted by the first poll
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(10_000)
+	if !res.WallClockExceeded {
+		t.Fatal("wall-clock watchdog never fired")
+	}
+	if res.Stalled {
+		t.Fatal("wall-clock cut misclassified as a stall")
+	}
+	if res.CutStep != wallClockCheckEvery-1 {
+		t.Errorf("CutStep = %d, want %d (first poll)", res.CutStep, wallClockCheckEvery-1)
+	}
+	if res.Steps != res.CutStep {
+		t.Errorf("Steps = %d, CutStep = %d: cut must happen before the step is taken", res.Steps, res.CutStep)
+	}
+	// Replayability: MaxSteps = CutStep reproduces the same prefix.
+	replay := run(res.CutStep)
+	if !replay.Output.Equal(res.Output) || replay.Steps != res.Steps {
+		t.Errorf("replay with MaxSteps=CutStep diverged: steps %d vs %d, output %s vs %s",
+			replay.Steps, res.Steps, replay.Output, res.Output)
+	}
+}
+
 func TestRunRejectsNonPositiveMaxSteps(t *testing.T) {
 	t.Parallel()
 	w := newWorld(t, 1, seq.FromInts(0), channel.KindDup)

@@ -24,9 +24,13 @@ type RunReport struct {
 	Violation string `json:"violation,omitempty"`
 	// Expected reports whether this outcome is acceptable for the cell: a
 	// clean run always is; a violation only on MayFail cells.
-	Expected bool   `json:"expected"`
-	Steps    int    `json:"steps"`
-	Output   string `json:"output,omitempty"`
+	Expected bool `json:"expected"`
+	Steps    int  `json:"steps"`
+	// CutStep is the step at which the wall-clock watchdog cut the run
+	// (set only for OutcomeWallClock): a replay of the same case with
+	// MaxSteps = CutStep reproduces the exact prefix that was observed.
+	CutStep int    `json:"cut_step,omitempty"`
+	Output  string `json:"output,omitempty"`
 	// Audit is the conservation auditor's verdict: "ok", "skipped", or the
 	// first violation found.
 	Audit string `json:"audit,omitempty"`

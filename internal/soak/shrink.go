@@ -1,7 +1,10 @@
 package soak
 
 import (
+	"strconv"
+
 	"seqtx/internal/channel"
+	"seqtx/internal/obs"
 	"seqtx/internal/sim"
 	"seqtx/internal/trace"
 )
@@ -69,8 +72,8 @@ func applicable(w *sim.World, act trace.Action) bool {
 }
 
 // shrinkCase minimizes a failing trace and double-checks the result with
-// one final fresh replay.
-func shrinkCase(c Case, failing *trace.Trace, maxReplays int) *Counterexample {
+// one final fresh replay. reg (nil allowed) records the shrink effort.
+func shrinkCase(c Case, failing *trace.Trace, maxReplays int, reg *obs.Registry) *Counterexample {
 	actions := failing.Actions()
 	cex := &Counterexample{OriginalSteps: len(actions)}
 	oracle := func(cand []trace.Action) bool {
@@ -95,6 +98,18 @@ func shrinkCase(c Case, failing *trace.Trace, maxReplays int) *Counterexample {
 		cex.Trace = failing
 		w, err := Replay(c, actions)
 		cex.ReplayOK = err == nil && w.SafetyViolation != nil
+	}
+	if reg != nil {
+		reg.Counter("soak_shrinks_total").Inc()
+		reg.Histogram("soak_shrink_replays", obs.StepBuckets).Observe(float64(cex.Replays))
+		reg.Histogram("soak_shrink_removed_steps", obs.StepBuckets).
+			Observe(float64(cex.OriginalSteps - cex.ShrunkSteps))
+		reg.Emit("soak.shrink.converged",
+			"case", c.ID(),
+			"from", strconv.Itoa(cex.OriginalSteps),
+			"to", strconv.Itoa(cex.ShrunkSteps),
+			"replays", strconv.Itoa(cex.Replays),
+			"replay_ok", strconv.FormatBool(cex.ReplayOK))
 	}
 	return cex
 }

@@ -17,12 +17,14 @@ package soak
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"seqtx/internal/channel"
 	"seqtx/internal/check"
 	"seqtx/internal/faults"
+	"seqtx/internal/obs"
 	"seqtx/internal/protocol"
 	"seqtx/internal/registry"
 	"seqtx/internal/seq"
@@ -45,7 +47,10 @@ type Case struct {
 	Adversary string
 	// Plan names a faults preset ("" means "none").
 	Plan string
-	// Seed makes the run reproducible (threaded into Params.Seed).
+	// Seed makes the run reproducible. It is never used directly:
+	// build derives one independent sub-seed per randomness consumer
+	// (protocol internals, adversary scheduling) so the streams are
+	// decorrelated while replays stay seed-exact.
 	Seed int64
 	// Fair records whether the schedule is fair in the limit; only fair
 	// runs owe liveness, so only their stalls count as violations.
@@ -74,6 +79,32 @@ func (c Case) planName() string {
 	return c.Plan
 }
 
+// Stream tags for subSeed: arbitrary fixed 64-bit constants, one per
+// randomness consumer, so each draws from its own decorrelated stream.
+const (
+	streamProtocol  uint64 = 0x70726f746f636f6c // "protocol"
+	streamAdversary uint64 = 0x6164766572736172 // "adversar(y)"
+)
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA
+// 2014) — the standard mixer for expanding one seed into independent
+// streams. Changing it breaks seed-exact replay of recorded campaigns;
+// repro_test.go pins its outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// subSeed derives the tagged stream's seed from the case seed. Threading
+// the raw case seed into two consumers would hand the protocol's RNG and
+// the adversary's scheduler identical streams — correlated randomness
+// that silently narrows what a campaign explores.
+func subSeed(seed int64, tag uint64) int64 {
+	return int64(splitmix64(uint64(seed) ^ tag))
+}
+
 // build assembles the world, the plan-wrapped adversary, and the plan for
 // one fresh execution of the case. Every call returns independent state,
 // so a case can be run, re-run, and replayed without interference.
@@ -81,7 +112,7 @@ func (c Case) build() (*sim.World, sim.Adversary, *faults.Plan, error) {
 	spec := c.Spec
 	if spec.NewSender == nil {
 		p := c.Params
-		p.Seed = c.Seed
+		p.Seed = subSeed(c.Seed, streamProtocol)
 		var err error
 		spec, err = registry.Protocol(c.Protocol, p)
 		if err != nil {
@@ -101,7 +132,7 @@ func (c Case) build() (*sim.World, sim.Adversary, *faults.Plan, error) {
 		return nil, nil, nil, err
 	}
 	p := c.Params
-	p.Seed = c.Seed
+	p.Seed = subSeed(c.Seed, streamAdversary)
 	adv, err := registry.Adversary(c.Adversary, p)
 	if err != nil {
 		return nil, nil, nil, err
@@ -123,6 +154,11 @@ type Config struct {
 	DisableShrink bool
 	// MaxShrinkReplays bounds the ddmin oracle budget (default 400).
 	MaxShrinkReplays int
+	// Obs, when non-nil, receives campaign metrics (cells by verdict,
+	// shrink effort) and run events, and is threaded into every sim.Run.
+	// All updates are atomic and flushed outside run loops, so a shared
+	// registry is safe across the worker pool and a nil one is free.
+	Obs *obs.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -157,6 +193,8 @@ type Campaign struct {
 // reproducible function of (cases, config).
 func (cmp *Campaign) Run() *Report {
 	cfg := cmp.Config.withDefaults()
+	cfg.Obs.Emit("soak.campaign.started",
+		"campaign", cmp.Name, "cases", strconv.Itoa(len(cmp.Cases)))
 	runs := make([]RunReport, len(cmp.Cases))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -176,6 +214,11 @@ func (cmp *Campaign) Run() *Report {
 	wg.Wait()
 	rep := &Report{Campaign: cmp.Name, Runs: runs}
 	rep.summarize()
+	cfg.Obs.Emit("soak.campaign.finished",
+		"campaign", cmp.Name,
+		"total", strconv.Itoa(rep.Summary.Total),
+		"complete", strconv.Itoa(rep.Summary.Complete),
+		"unexpected", strconv.Itoa(rep.Summary.UnexpectedViolations))
 	return rep
 }
 
@@ -233,15 +276,20 @@ func RunCase(c Case, cfg Config) RunReport {
 		return rep
 	}
 	rep.InModel = plan.InModel()
+	cfg.Obs.Emit("soak.run.started", "case", c.ID())
 	w.StartTrace()
 	res, runErr := sim.Run(w, adv, sim.Config{
 		MaxSteps:         cfg.MaxSteps,
 		StopWhenComplete: true,
 		ProgressDeadline: cfg.ProgressDeadline,
 		MaxWallClock:     cfg.MaxWallClock,
+		Obs:              cfg.Obs,
 	})
 	rep.Steps = res.Steps
 	rep.Output = res.Output.String()
+	if res.WallClockExceeded {
+		rep.CutStep = res.CutStep
+	}
 
 	switch {
 	case runErr != nil:
@@ -277,10 +325,36 @@ func RunCase(c Case, cfg Config) RunReport {
 	}
 	rep.Expected = rep.Violation == "" || (c.MayFail && rep.Violation != ViolationMechanical)
 
-	if rep.Violation == ViolationSafety && !cfg.DisableShrink && w.Trace != nil {
-		rep.Counterexample = shrinkCase(c, w.Trace, cfg.MaxShrinkReplays)
+	if rep.Violation != "" {
+		cfg.Obs.Emit("soak.violation.captured",
+			"case", c.ID(), "class", rep.Violation, "expected", strconv.FormatBool(rep.Expected))
 	}
+	if rep.Violation == ViolationSafety && !cfg.DisableShrink && w.Trace != nil {
+		rep.Counterexample = shrinkCase(c, w.Trace, cfg.MaxShrinkReplays, cfg.Obs)
+	}
+	observeRunReport(cfg.Obs, rep)
 	return rep
+}
+
+// observeRunReport flushes one classified cell into the registry,
+// mirroring the Summary buckets so the metrics cross-check the report.
+func observeRunReport(r *obs.Registry, rep RunReport) {
+	if r == nil {
+		return
+	}
+	r.Counter("soak_cells_total").Inc()
+	switch {
+	case rep.Violation != "" && rep.Expected:
+		r.Counter("soak_cells_expected_violation_total").Inc()
+	case rep.Violation != "":
+		r.Counter("soak_cells_unexpected_violation_total").Inc()
+	case rep.Outcome == OutcomeComplete:
+		r.Counter("soak_cells_complete_total").Inc()
+	default:
+		r.Counter("soak_cells_inconclusive_total").Inc()
+	}
+	r.Emit("soak.run.finished",
+		"case", rep.ID(), "outcome", rep.Outcome, "steps", strconv.Itoa(rep.Steps))
 }
 
 const (

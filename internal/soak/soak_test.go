@@ -234,6 +234,58 @@ func TestWatchdogReportsLivenessStall(t *testing.T) {
 	}
 }
 
+// TestWallClockCutIsInconclusive pins the watchdog ordering end to end:
+// a run cut by the wall-clock budget — even on a fair schedule with a
+// protocol that would eventually have been convicted of a liveness stall
+// — is classified inconclusive, never a liveness verdict. The budget is
+// polled every 256 steps, so with ProgressDeadline > 255 the wall-clock
+// cut (step 255) always lands before the stall watchdog could fire.
+func TestWallClockCutIsInconclusive(t *testing.T) {
+	t.Parallel()
+	c := Case{
+		Spec:      silentSpec(),
+		Input:     seq.FromInts(0, 1),
+		Kind:      channel.KindDup,
+		Adversary: "roundrobin",
+		Plan:      "none",
+		Seed:      1,
+		Fair:      true, // fair: a stall verdict WOULD be a liveness violation
+	}
+	cfg := testConfig()
+	cfg.MaxWallClock = 1 // 1ns: exhausted by the first poll
+	rep := RunCase(c, cfg)
+	if rep.Outcome != OutcomeWallClock {
+		t.Fatalf("outcome = %s (%s), want %s", rep.Outcome, rep.Error, OutcomeWallClock)
+	}
+	if rep.Violation != "" {
+		t.Fatalf("wall-clock cut charged a violation: %q", rep.Violation)
+	}
+	if !rep.Expected {
+		t.Fatal("inconclusive cut must be expected (not a campaign failure)")
+	}
+	if rep.CutStep != 255 {
+		t.Fatalf("CutStep = %d, want 255 (first wall-clock poll)", rep.CutStep)
+	}
+	// Through the report: the cut lands in the inconclusive bucket and
+	// does not fail the campaign — Ok() is what drives stpsoak's exit 0.
+	report := Report{Campaign: "wallclock-probe", Runs: []RunReport{rep}}
+	report.Finalize()
+	if report.Summary.Inconclusive != 1 || report.Summary.UnexpectedViolations != 0 {
+		t.Fatalf("summary = %+v, want 1 inconclusive, 0 unexpected", report.Summary)
+	}
+	if !report.Ok() {
+		t.Fatal("Ok() = false: a wall-clock cut must not fail the campaign")
+	}
+	// The cut step survives the JSON artifact (replay contract).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"cut_step": 255`)) && !bytes.Contains(data, []byte(`"cut_step":255`)) {
+		t.Fatalf("cut_step missing from JSON: %s", data)
+	}
+}
+
 // TestMechanicalErrorsSurface pins that unknown names come back as
 // mechanical errors, never as panics or silent successes.
 func TestMechanicalErrorsSurface(t *testing.T) {

@@ -15,7 +15,11 @@ type Summary struct {
 	Min, Max float64
 	Mean     float64
 	P50, P90 float64
-	StdDev   float64
+	P99      float64
+	// StdDev is the sample standard deviation (Bessel-corrected, ÷(n−1)):
+	// the observations are samples of a run distribution, not the whole
+	// population. A single observation has StdDev 0.
+	StdDev float64
 }
 
 // Summarize computes a Summary. An empty sample yields the zero Summary.
@@ -35,16 +39,19 @@ func Summarize(xs []float64) Summary {
 		}
 	}
 	s.Mean = sum / float64(len(xs))
-	var sq float64
-	for _, x := range xs {
-		d := x - s.Mean
-		sq += d * d
+	if len(xs) > 1 {
+		var sq float64
+		for _, x := range xs {
+			d := x - s.Mean
+			sq += d * d
+		}
+		s.StdDev = math.Sqrt(sq / float64(len(xs)-1))
 	}
-	s.StdDev = math.Sqrt(sq / float64(len(xs)))
 	sorted := append([]float64{}, xs...)
 	sort.Float64s(sorted)
 	s.P50 = percentile(sorted, 0.50)
 	s.P90 = percentile(sorted, 0.90)
+	s.P99 = percentile(sorted, 0.99)
 	return s
 }
 
@@ -65,8 +72,8 @@ func percentile(sorted []float64, p float64) float64 {
 
 // String renders the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.1f p50=%.0f p90=%.0f min=%.0f max=%.0f",
-		s.N, s.Mean, s.P50, s.P90, s.Min, s.Max)
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.0f p90=%.0f p99=%.0f min=%.0f max=%.0f",
+		s.N, s.Mean, s.P50, s.P90, s.P99, s.Min, s.Max)
 }
 
 // LinearFit fits y = a + b*x by least squares and returns (a, b). It
@@ -79,6 +86,19 @@ func LinearFit(xs, ys []float64) (a, b float64, err error) {
 	}
 	if len(xs) < 2 {
 		return 0, 0, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	// All-equal xs make the normal equations singular; catch them exactly
+	// rather than trusting den == 0, which floating-point cancellation can
+	// miss (n*sxx - sx*sx may land on a tiny nonzero for large equal xs).
+	allEqual := true
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return 0, 0, fmt.Errorf("stats: degenerate x values (all equal to %g)", xs[0])
 	}
 	var sx, sy, sxx, sxy float64
 	for i := range xs {

@@ -21,11 +21,64 @@ func TestSummarizeBasics(t *testing.T) {
 	if s.P90 != 5 {
 		t.Errorf("P90 = %f", s.P90)
 	}
-	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
-		t.Errorf("StdDev = %f", s.StdDev)
+	// Sample standard deviation: sum of squares 10 over n-1 = 4.
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("StdDev = %f, want sqrt(2.5)", s.StdDev)
 	}
 	if s.String() == "" {
 		t.Error("empty String()")
+	}
+}
+
+// TestSummarizeTable pins the sample (Bessel-corrected) estimator and the
+// percentile trio across representative shapes.
+func TestSummarizeTable(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name          string
+		xs            []float64
+		stdDev        float64
+		p50, p90, p99 float64
+	}{
+		{"two-points", []float64{2, 4}, math.Sqrt2, 2, 4, 4},
+		{"constant", []float64{5, 5, 5, 5}, 0, 5, 5, 5},
+		{"one-to-ten", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			math.Sqrt(82.5 / 9.0), 5, 9, 10},
+		// 49 zeros + one spike: only P99 (nearest rank 50) sees the tail.
+		{"heavy-tail", append(make([]float64, 49), 1000),
+			100 * math.Sqrt2, 0, 0, 1000},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.xs)
+			if math.Abs(s.StdDev-tc.stdDev) > 1e-9 {
+				t.Errorf("StdDev = %v, want %v", s.StdDev, tc.stdDev)
+			}
+			if s.P50 != tc.p50 || s.P90 != tc.p90 || s.P99 != tc.p99 {
+				t.Errorf("P50/P90/P99 = %v/%v/%v, want %v/%v/%v",
+					s.P50, s.P90, s.P99, tc.p50, tc.p90, tc.p99)
+			}
+		})
+	}
+}
+
+// TestPercentileTable pins nearest-rank semantics, P99 included.
+func TestPercentileTable(t *testing.T) {
+	t.Parallel()
+	sorted := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 50}, {0.90, 90}, {0.99, 100}, {0.01, 10}, {1.0, 100},
+	}
+	for _, tc := range tests {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
 	}
 }
 
