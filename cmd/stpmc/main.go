@@ -14,14 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"seqtx/internal/cliutil"
 	"seqtx/internal/mc"
-	"seqtx/internal/obs"
 	"seqtx/internal/protocol/hybrid"
 	"seqtx/internal/registry"
-	"seqtx/internal/seq"
 	"seqtx/internal/sim"
 	"seqtx/internal/trace"
 )
@@ -37,45 +35,45 @@ func run() int {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var metricsFlags cliutil.Metrics
 	var (
-		proto      = fs.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
-		m          = fs.Int("m", 2, "domain size parameter")
-		timeout    = fs.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout")
-		window     = fs.Int("window", 4, "modseq sequence-number window")
-		input      = fs.String("input", "0,1", "input sequence (explore/bounded)")
-		x1s        = fs.String("x1", "0,1", "first input (refute)")
-		x2s        = fs.String("x2", "0,1,0", "second input (refute)")
-		kindName   = fs.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
-		depth      = fs.Int("depth", 12, "exploration depth")
-		states     = fs.Int("states", 1<<17, "state cap")
-		budget     = fs.Int("budget", 40, "recovery budget (bounded)")
-		weak       = fs.Bool("weak", false, "weak boundedness (old messages allowed)")
-		workers    = fs.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		faulty     = fs.Bool("faulty", true, "sample points from a one-loss run (bounded)")
-		outFile    = fs.String("o", "", "write the counterexample run as JSON (explore; replay with stpsim -replay)")
-		metrics    = fs.String("metrics", "", "write a metrics snapshot to this file after the run (- = stdout)")
-		metricsFmt = fs.String("metrics-format", obs.FormatProm, "metrics snapshot format: prom|json")
+		proto    = fs.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m        = fs.Int("m", 2, "domain size parameter")
+		timeout  = fs.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout")
+		window   = fs.Int("window", 4, "modseq sequence-number window")
+		input    = fs.String("input", "0,1", "input sequence (explore/bounded)")
+		x1s      = fs.String("x1", "0,1", "first input (refute)")
+		x2s      = fs.String("x2", "0,1,0", "second input (refute)")
+		kindName = fs.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
+		depth    = fs.Int("depth", 12, "exploration depth")
+		states   = fs.Int("states", 1<<17, "state cap")
+		budget   = fs.Int("budget", 40, "recovery budget (bounded)")
+		weak     = fs.Bool("weak", false, "weak boundedness (old messages allowed)")
+		workers  = fs.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		faulty   = fs.Bool("faulty", true, "sample points from a one-loss run (bounded)")
+		outFile  = fs.String("o", "", "write the counterexample run as JSON (explore; replay with stpsim -replay)")
 	)
+	metricsFlags.AddFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return 2
 	}
-	var reg *obs.Registry
-	if *metrics != "" {
-		reg = obs.NewRegistry()
+	for _, check := range []error{
+		cliutil.NonNegative("m", *m),
+		cliutil.NonNegative("workers", *workers),
+		cliutil.NonNegative("budget", *budget),
+		cliutil.Positive("depth", *depth),
+		cliutil.Positive("states", *states),
+	} {
+		if check != nil {
+			fmt.Fprintln(os.Stderr, "stpmc:", check)
+			return 2
+		}
 	}
+	reg := metricsFlags.Registry()
 	// emitMetrics writes the snapshot (no-op without -metrics) and turns a
 	// write failure into a usage-style exit without masking the verdict.
 	emitMetrics := func(code int) int {
-		if *metrics == "" {
-			return code
-		}
-		if merr := obs.WriteSnapshotFile(reg, *metrics, *metricsFmt); merr != nil {
-			fmt.Fprintln(os.Stderr, "stpmc:", merr)
-			if code == 0 {
-				return 2
-			}
-		}
-		return code
+		return metricsFlags.Finish("stpmc", code, os.Stderr)
 	}
 	spec, err := registry.Protocol(*proto, registry.Params{M: *m, Timeout: *timeout, Window: *window})
 	if err != nil {
@@ -90,7 +88,7 @@ func run() int {
 
 	switch cmd {
 	case "explore":
-		x, perr := parseSeq(*input)
+		x, perr := cliutil.ParseSeq(*input)
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", perr)
 			return 2
@@ -119,8 +117,8 @@ func run() int {
 		return emitMetrics(0)
 
 	case "refute":
-		x1, e1 := parseSeq(*x1s)
-		x2, e2 := parseSeq(*x2s)
+		x1, e1 := cliutil.ParseSeq(*x1s)
+		x2, e2 := cliutil.ParseSeq(*x2s)
 		if e1 != nil || e2 != nil {
 			fmt.Fprintln(os.Stderr, "stpmc: bad inputs:", e1, e2)
 			return 2
@@ -142,7 +140,7 @@ func run() int {
 		return emitMetrics(1)
 
 	case "bounded":
-		x, perr := parseSeq(*input)
+		x, perr := cliutil.ParseSeq(*input)
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", perr)
 			return 2
@@ -189,20 +187,4 @@ func writeWitness(path, name string, w *mc.Witness) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
-}
-
-func parseSeq(arg string) (seq.Seq, error) {
-	arg = strings.TrimSpace(arg)
-	if arg == "" {
-		return seq.Seq{}, nil
-	}
-	var s seq.Seq
-	for _, f := range strings.Split(arg, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, fmt.Errorf("bad item %q: %w", f, err)
-		}
-		s = append(s, seq.Item(v))
-	}
-	return s, nil
 }

@@ -1,0 +1,265 @@
+// Command stpserve runs STP protocols as live communicating processes:
+// N concurrent sender/receiver sessions multiplexed over an in-process or
+// UDP-loopback transport, with optional link impairments replayed from
+// the shared fault presets. It exits 0 iff no session violated safety
+// (and, with -require-complete, every session finished its tape).
+//
+// Usage:
+//
+//	stpserve -transport inproc -sessions 64 -impair burst-drop
+//	stpserve -transport udp -sessions 8 -duration 10s
+//	stpserve -transport det -impair dup-replay -seed 7   # sim cross-check
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/cliutil"
+	"seqtx/internal/obs"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var metrics cliutil.Metrics
+	var (
+		proto     = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m         = flag.Int("m", 8, "domain / sender-alphabet size parameter")
+		timeout   = flag.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout (ticks)")
+		window    = flag.Int("window", 4, "modseq sequence-number window")
+		sessions  = flag.Int("sessions", 8, "number of concurrent sessions")
+		items     = flag.Int("items", 6, "input items per session (repetition-free, so at most -m)")
+		transport = flag.String("transport", "inproc", "transport: inproc|udp|det")
+		impair    = flag.String("impair", "none", "impairment: "+strings.Join(wire.ImpairPresetNames(), "|"))
+		seed      = flag.Int64("seed", 1, "base seed (session i uses seed+i)")
+		tick      = flag.Duration("tick", wire.DefaultTick, "per-process pacing tick")
+		duration  = flag.Duration("duration", 0, "overall wall-clock cap (0 = until sessions settle)")
+		deadline  = flag.Duration("deadline", 30*time.Second, "per-session deadline (0 = none)")
+		require   = flag.Bool("require-complete", false, "also fail if any session did not finish its tape")
+		verbose   = flag.Bool("v", false, "print one line per session")
+	)
+	metrics.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	for _, check := range []error{
+		cliutil.Positive("sessions", *sessions),
+		cliutil.Positive("items", *items),
+		cliutil.Positive("m", *m),
+		cliutil.NonNegative("timeout", *timeout),
+	} {
+		if check != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", check)
+			return 2
+		}
+	}
+	if *tick <= 0 {
+		fmt.Fprintf(os.Stderr, "stpserve: -tick must be > 0, got %v\n", *tick)
+		return 2
+	}
+	if *duration < 0 || *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "stpserve: -duration and -deadline must be >= 0")
+		return 2
+	}
+	if *items > *m {
+		fmt.Fprintf(os.Stderr, "stpserve: -items %d exceeds -m %d (inputs are repetition-free); raise -m\n", *items, *m)
+		return 2
+	}
+
+	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed}
+	opts, err := wire.ImpairPreset(*impair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 2
+	}
+
+	inputs := make([]seq.Seq, *sessions)
+	for i := range inputs {
+		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		x, err := seq.RandomRepetitionFree(rng, *m, *items)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 2
+		}
+		inputs[i] = x
+	}
+
+	var code int
+	switch *transport {
+	case "det":
+		code = runDet(*proto, params, inputs, *seed, opts, *verbose)
+	case "inproc", "udp":
+		code = runLive(*transport, *proto, params, inputs, opts, metrics.Registry(),
+			*tick, *duration, *deadline, *require, *verbose)
+	default:
+		fmt.Fprintf(os.Stderr, "stpserve: unknown transport %q (have det, inproc, udp)\n", *transport)
+		return 2
+	}
+	return metrics.Finish("stpserve", code, os.Stderr)
+}
+
+// runLive drives the sessions over a real transport.
+func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
+	opts wire.Options, reg *obs.Registry, tick, duration, deadline time.Duration,
+	require, verbose bool) int {
+
+	var (
+		tr  wire.Transport
+		err error
+	)
+	switch transport {
+	case "udp":
+		tr, err = wire.NewUDP(reg)
+	default:
+		tr = wire.NewInproc(0, reg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 1
+	}
+	if tr, err = wire.NewImpairment(tr, opts, reg); err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 1
+	}
+
+	cfgs := make([]wire.SessionConfig, len(inputs))
+	for i, x := range inputs {
+		s, r, err := registry.Pair(proto, params, x)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 2
+		}
+		cfgs[i] = wire.SessionConfig{
+			ID:       uint64(i + 1),
+			Sender:   s,
+			Receiver: r,
+			Input:    x,
+			Tick:     tick,
+			Deadline: deadline,
+		}
+	}
+
+	ctx := context.Background()
+	if duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, duration)
+		defer cancel()
+	}
+	reports, err := wire.Serve(ctx, wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 1
+	}
+
+	complete, violations := 0, 0
+	for _, rep := range reports {
+		if rep.Complete {
+			complete++
+		}
+		if rep.SafetyViolation != nil {
+			violations++
+			fmt.Fprintln(os.Stderr, "stpserve:", rep.SafetyViolation)
+		}
+		if verbose {
+			fmt.Printf("session %3d: complete=%-5v items=%d/%d frames=%d acks=%d retransmits=%d elapsed=%v goodput=%.1f items/s\n",
+				rep.ID, rep.Complete, len(rep.Output), len(rep.Input),
+				rep.FramesTx, rep.AcksTx, rep.Retransmits,
+				rep.Elapsed.Round(time.Millisecond), rep.GoodputItemsPerSec)
+		}
+	}
+	fmt.Printf("stpserve: transport=%s proto=%s sessions=%d complete=%d safety violations %d\n",
+		tr.Name(), proto, len(reports), complete, violations)
+	if violations > 0 {
+		return 1
+	}
+	if require && complete != len(reports) {
+		fmt.Fprintf(os.Stderr, "stpserve: -require-complete: %d of %d sessions incomplete\n",
+			len(reports)-complete, len(reports))
+		return 1
+	}
+	return 0
+}
+
+// runDet runs each session through the deterministic single-goroutine
+// wire runner and cross-checks the recorded schedule against the
+// lock-step simulator on a dup link: the two output tapes must agree
+// byte for byte.
+func runDet(proto string, params registry.Params, inputs []seq.Seq, seed int64,
+	opts wire.Options, verbose bool) int {
+
+	violations, mismatches := 0, 0
+	for i, x := range inputs {
+		s, r, err := registry.Pair(proto, params, x)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 2
+		}
+		res, err := wire.DetRun(wire.DetConfig{
+			Sender:    s,
+			Receiver:  r,
+			Input:     x,
+			Seed:      seed + int64(i),
+			DupEveryN: opts.DupEveryN,
+			SessionID: uint64(i + 1),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 1
+		}
+		if res.SafetyViolation != nil {
+			violations++
+			fmt.Fprintln(os.Stderr, "stpserve:", res.SafetyViolation)
+		}
+
+		spec, err := registry.Protocol(proto, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 2
+		}
+		link, err := channel.NewLinkOfKind(channel.KindDup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 1
+		}
+		w, err := sim.New(spec, x, link)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 1
+		}
+		simRes, err := sim.Run(w, sim.NewScripted(res.Script, sim.NewRoundRobin()),
+			sim.Config{MaxSteps: len(res.Script), StopWhenComplete: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve: sim replay:", err)
+			return 1
+		}
+		match := simRes.Output.Equal(res.Output)
+		if !match {
+			mismatches++
+			fmt.Fprintf(os.Stderr, "stpserve: session %d: wire output %s != sim output %s\n",
+				i+1, res.Output, simRes.Output)
+		}
+		if verbose {
+			fmt.Printf("session %3d: complete=%-5v steps=%d frames=%d acks=%d sim-match=%v\n",
+				i+1, res.Complete, res.Steps, res.FramesTx, res.AcksTx, match)
+		}
+	}
+	fmt.Printf("stpserve: transport=det proto=%s sessions=%d sim-mismatches=%d safety violations %d\n",
+		proto, len(inputs), mismatches, violations)
+	if violations > 0 || mismatches > 0 {
+		return 1
+	}
+	return 0
+}

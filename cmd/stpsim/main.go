@@ -13,14 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"seqtx/internal/channel"
-	"seqtx/internal/obs"
+	"seqtx/internal/cliutil"
 	"seqtx/internal/protocol/hybrid"
 	"seqtx/internal/registry"
-	"seqtx/internal/seq"
 	"seqtx/internal/sim"
 	"seqtx/internal/trace"
 )
@@ -30,25 +28,36 @@ func main() {
 }
 
 func run() int {
+	var metrics cliutil.Metrics
 	var (
-		proto      = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
-		m          = flag.Int("m", 4, "domain / sender-alphabet size parameter")
-		timeout    = flag.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout (ticks)")
-		window     = flag.Int("window", 4, "modseq sequence-number window")
-		input      = flag.String("input", "0,1", "comma-separated data items")
-		kindName   = flag.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
-		advName    = flag.String("adversary", "roundrobin", "adversary: "+strings.Join(registry.AdversaryNames(), "|"))
-		seed       = flag.Int64("seed", 1, "adversary seed")
-		budget     = flag.Int("budget", 2, "dropper budget / replayer period / withholder hold")
-		maxSteps   = flag.Int("max-steps", 5000, "step bound")
-		showTrace  = flag.Bool("trace", false, "print the full trace")
-		replay     = flag.String("replay", "", "JSON witness file (from stpmc -o): replay its schedule, then round-robin")
-		metrics    = flag.String("metrics", "", "write a metrics snapshot to this file after the run (- = stdout)")
-		metricsFmt = flag.String("metrics-format", obs.FormatProm, "metrics snapshot format: prom|json")
+		proto     = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m         = flag.Int("m", 4, "domain / sender-alphabet size parameter")
+		timeout   = flag.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout (ticks)")
+		window    = flag.Int("window", 4, "modseq sequence-number window")
+		input     = flag.String("input", "0,1", "comma-separated data items")
+		kindName  = flag.String("channel", "dup", "channel: "+strings.Join(registry.KindNames(), "|"))
+		advName   = flag.String("adversary", "roundrobin", "adversary: "+strings.Join(registry.AdversaryNames(), "|"))
+		seed      = flag.Int64("seed", 1, "adversary seed")
+		budget    = flag.Int("budget", 2, "dropper budget / replayer period / withholder hold")
+		maxSteps  = flag.Int("max-steps", 5000, "step bound")
+		showTrace = flag.Bool("trace", false, "print the full trace")
+		replay    = flag.String("replay", "", "JSON witness file (from stpmc -o): replay its schedule, then round-robin")
 	)
+	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	x, err := parseSeq(*input)
+	for _, check := range []error{
+		cliutil.NonNegative("m", *m),
+		cliutil.NonNegative("budget", *budget),
+		cliutil.Positive("max-steps", *maxSteps),
+	} {
+		if check != nil {
+			fmt.Fprintln(os.Stderr, "stpsim:", check)
+			return 2
+		}
+	}
+
+	x, err := cliutil.ParseSeq(*input)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpsim:", err)
 		return 2
@@ -101,12 +110,7 @@ func run() int {
 	if *showTrace {
 		w.StartTrace()
 	}
-	cfg := sim.Config{MaxSteps: *maxSteps, StopWhenComplete: true}
-	var reg *obs.Registry
-	if *metrics != "" {
-		reg = obs.NewRegistry()
-		cfg.Obs = reg
-	}
+	cfg := sim.Config{MaxSteps: *maxSteps, StopWhenComplete: true, Obs: metrics.Registry()}
 	if *replay != "" {
 		// Replay the whole witness schedule: the violating action is often
 		// the very last one, after the output already looks complete.
@@ -120,11 +124,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "stpsim:", err)
 		return 1
 	}
-	if *metrics != "" {
-		if merr := obs.WriteSnapshotFile(reg, *metrics, *metricsFmt); merr != nil {
-			fmt.Fprintln(os.Stderr, "stpsim:", merr)
-			return 2
-		}
+	if code := metrics.Finish("stpsim", 0, os.Stderr); code != 0 {
+		return code
 	}
 	if *showTrace {
 		fmt.Print(w.Trace)
@@ -145,20 +146,4 @@ func run() int {
 		fmt.Printf("t_i        %s\n", strings.Join(parts, " "))
 	}
 	return 0
-}
-
-func parseSeq(arg string) (seq.Seq, error) {
-	arg = strings.TrimSpace(arg)
-	if arg == "" {
-		return seq.Seq{}, nil
-	}
-	var s seq.Seq
-	for _, f := range strings.Split(arg, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, fmt.Errorf("bad item %q: %w", f, err)
-		}
-		s = append(s, seq.Item(v))
-	}
-	return s, nil
 }

@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"seqtx/internal/cliutil"
 	"seqtx/internal/obs"
 	"seqtx/internal/soak"
 )
@@ -30,23 +31,35 @@ func main() {
 }
 
 func run() int {
+	var metrics cliutil.Metrics
 	var (
-		campaign   = flag.String("campaign", "standard", "campaign: standard|smoke")
-		seed       = flag.Int64("seed", 1, "base seed (run r of a cell uses seed+r)")
-		runs       = flag.Int("runs", 1, "seeded runs per matrix cell")
-		maxSteps   = flag.Int("max-steps", 0, "per-run step bound (0 = campaign default)")
-		deadline   = flag.Int("deadline", 0, "progress-watchdog deadline in steps (0 = default)")
-		wallClock  = flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = default)")
-		budget     = flag.Duration("budget", 0, "whole-campaign wall-clock budget: cases not started in time are dropped (0 = unlimited)")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		noShrink   = flag.Bool("no-shrink", false, "skip counterexample minimization")
-		out        = flag.String("o", "", "write the JSON report to this file (default stdout)")
-		quiet      = flag.Bool("q", false, "suppress the human summary on stderr")
-		metrics    = flag.String("metrics", "", "write a metrics snapshot to this file after the campaign (- = stdout)")
-		metricsFmt = flag.String("metrics-format", obs.FormatProm, "metrics snapshot format: prom|json")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the campaign's duration")
+		campaign  = flag.String("campaign", "standard", "campaign: standard|smoke")
+		seed      = flag.Int64("seed", 1, "base seed (run r of a cell uses seed+r)")
+		runs      = flag.Int("runs", 1, "seeded runs per matrix cell")
+		maxSteps  = flag.Int("max-steps", 0, "per-run step bound (0 = campaign default)")
+		deadline  = flag.Int("deadline", 0, "progress-watchdog deadline in steps (0 = default)")
+		wallClock = flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = default)")
+		budget    = flag.Duration("budget", 0, "whole-campaign wall-clock budget: cases not started in time are dropped (0 = unlimited)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		noShrink  = flag.Bool("no-shrink", false, "skip counterexample minimization")
+		out       = flag.String("o", "", "write the JSON report to this file (default stdout)")
+		quiet     = flag.Bool("q", false, "suppress the human summary on stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the campaign's duration")
 	)
+	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	for _, check := range []error{
+		cliutil.Positive("runs", *runs),
+		cliutil.NonNegative("max-steps", *maxSteps),
+		cliutil.NonNegative("deadline", *deadline),
+		cliutil.NonNegative("workers", *workers),
+	} {
+		if check != nil {
+			fmt.Fprintln(os.Stderr, "stpsoak:", check)
+			return 2
+		}
+	}
 
 	if *pprofAddr != "" {
 		addr, stop, err := obs.StartPprof(*pprofAddr)
@@ -81,22 +94,9 @@ func run() int {
 		cmp.Config.Workers = *workers
 	}
 	cmp.Config.DisableShrink = *noShrink
-	var reg *obs.Registry
-	if *metrics != "" {
-		reg = obs.NewRegistry()
-		cmp.Config.Obs = reg
-	}
+	cmp.Config.Obs = metrics.Registry()
 	snapshot := func(code int) int {
-		if *metrics == "" {
-			return code
-		}
-		if merr := obs.WriteSnapshotFile(reg, *metrics, *metricsFmt); merr != nil {
-			fmt.Fprintln(os.Stderr, "stpsoak:", merr)
-			if code == 0 {
-				return 2
-			}
-		}
-		return code
+		return metrics.Finish("stpsoak", code, os.Stderr)
 	}
 
 	if *budget > 0 {

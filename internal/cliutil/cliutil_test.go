@@ -1,0 +1,97 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqtx/internal/seq"
+)
+
+func TestParseSeq(t *testing.T) {
+	cases := []struct {
+		in   string
+		want seq.Seq
+		ok   bool
+	}{
+		{"", seq.Seq{}, true},
+		{"  ", seq.Seq{}, true},
+		{"0,1,2", seq.Seq{0, 1, 2}, true},
+		{" 3 , 1 ", seq.Seq{3, 1}, true},
+		{"1,x", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSeq(c.in)
+		if (err == nil) != c.ok {
+			t.Fatalf("ParseSeq(%q) error = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && !got.Equal(c.want) {
+			t.Fatalf("ParseSeq(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValidators(t *testing.T) {
+	if err := NonNegative("workers", -1); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("NonNegative(-1) = %v, want named error", err)
+	}
+	if err := NonNegative("workers", 0); err != nil {
+		t.Fatalf("NonNegative(0) = %v, want nil", err)
+	}
+	if err := Positive("runs", 0); err == nil || !strings.Contains(err.Error(), "-runs") {
+		t.Fatalf("Positive(0) = %v, want named error", err)
+	}
+	if err := Positive("runs", 3); err != nil {
+		t.Fatalf("Positive(3) = %v, want nil", err)
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	var m Metrics
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	m.AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Enabled() {
+		t.Fatal("metrics enabled without -metrics")
+	}
+	if m.Registry() != nil {
+		t.Fatal("disabled metrics must hand out the nil registry (obs fast path)")
+	}
+	var buf bytes.Buffer
+	if code := m.Finish("t", 0, &buf); code != 0 || buf.Len() != 0 {
+		t.Fatalf("disabled Finish = %d (%q), want 0 and no output", code, buf.String())
+	}
+}
+
+func TestMetricsWriteAndFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.prom")
+	m := Metrics{Path: path, Format: "prom"}
+	m.Registry().Counter("cli_test_total").Inc()
+	var buf bytes.Buffer
+	if code := m.Finish("t", 0, &buf); code != 0 {
+		t.Fatalf("Finish = %d (%s), want 0", code, buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "cli_test_total 1") {
+		t.Fatalf("snapshot missing counter:\n%s", data)
+	}
+
+	// A write failure turns success into exit 2 but never masks a verdict.
+	bad := Metrics{Path: filepath.Join(dir, "no", "such", "dir.prom"), Format: "prom"}
+	bad.Registry()
+	if code := bad.Finish("t", 0, &buf); code != 2 {
+		t.Fatalf("failed Finish on success = %d, want 2", code)
+	}
+	if code := bad.Finish("t", 1, &buf); code != 1 {
+		t.Fatalf("failed Finish on verdict 1 = %d, want 1 (never mask)", code)
+	}
+}

@@ -8,8 +8,80 @@ import (
 	"seqtx/internal/channel"
 )
 
-// Preset names and builds the stock fault plans of the soak harness. A
-// fresh plan is built per call (plans carry per-run state). The presets:
+// Spec is the declarative form of a fault plan: windows and rules instead
+// of wrapped adversaries. One Spec serves two consumers — Plan builds the
+// lock-step scheduler faults for internal/sim, and the live transport
+// impairment layer (internal/wire) replays the same windows against real
+// links, with window positions counted in frames handled instead of
+// adversary steps. Keeping presets declarative guarantees a preset name
+// means the same faults in both worlds.
+type Spec struct {
+	// Name identifies the plan for reports.
+	Name string
+	// Bursts are burst-drop windows.
+	Bursts []BurstWindow
+	// Partitions are partition-then-heal windows.
+	Partitions []PartitionWindow
+	// Corruptions are within-alphabet substitution rules (out-of-model).
+	Corruptions []CorruptRule
+	// Crashes are crash-restart points (out-of-model, process faults).
+	Crashes []CrashPoint
+}
+
+// BurstWindow drops every droppable copy on Dir during steps
+// [From, From+Length).
+type BurstWindow struct {
+	Dir          channel.Dir
+	From, Length int
+}
+
+// PartitionWindow blocks deliveries on Dirs during steps
+// [From, From+Length); messages are delayed, not lost.
+type PartitionWindow struct {
+	From, Length int
+	Dirs         []channel.Dir
+}
+
+// CorruptRule substitutes every Nth send on Dir with the previously sent
+// message on that half.
+type CorruptRule struct {
+	Dir    channel.Dir
+	EveryN int
+}
+
+// CrashPoint crash-restarts Who at the given adversary step indices.
+type CrashPoint struct {
+	Who Process
+	At  []int
+}
+
+// Plan materializes the spec as a sim-side fault plan. A fresh plan is
+// built per call (plans carry per-run state). Categories are applied in
+// declaration order: bursts, partitions, corruptions, crashes.
+func (s Spec) Plan() *Plan {
+	p := NewPlan(s.Name)
+	for _, b := range s.Bursts {
+		p.WithBurstDrop(b.Dir, b.From, b.Length)
+	}
+	for _, w := range s.Partitions {
+		p.WithPartition(w.From, w.Length, w.Dirs...)
+	}
+	for _, c := range s.Corruptions {
+		p.WithCorruption(c.Dir, c.EveryN)
+	}
+	for _, c := range s.Crashes {
+		p.WithCrash(c.Who, c.At...)
+	}
+	return p
+}
+
+// ProcessFaults reports whether the spec includes process faults
+// (crash-restarts), which only the lock-step scheduler can inject — a
+// live link cannot reset a remote process's state.
+func (s Spec) ProcessFaults() bool { return len(s.Crashes) > 0 }
+
+// Preset builds the named stock fault plan. A fresh plan is built per
+// call. The presets:
 //
 //	none            fault-free control
 //	burst-drop      drop every droppable S→R copy during steps 10..50
@@ -21,12 +93,22 @@ import (
 // The windows sit early so they land inside short campaign runs (a few
 // items complete in tens of steps under a fair schedule).
 func Preset(name string) (*Plan, error) {
-	build, ok := presets[name]
+	s, err := PresetSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Plan(), nil
+}
+
+// PresetSpec returns the declarative form of a stock preset (see Preset
+// for the menu). Specs are value types; callers may tweak a copy.
+func PresetSpec(name string) (Spec, error) {
+	s, ok := presets[name]
 	if !ok {
-		return nil, fmt.Errorf("faults: unknown preset %q (have %s)",
+		return Spec{}, fmt.Errorf("faults: unknown preset %q (have %s)",
 			name, strings.Join(PresetNames(), ", "))
 	}
-	return build(), nil
+	return s, nil
 }
 
 // PresetNames lists the preset names, sorted.
@@ -39,23 +121,29 @@ func PresetNames() []string {
 	return names
 }
 
-var presets = map[string]func() *Plan{
-	"none": func() *Plan { return NewPlan("none") },
-	"burst-drop": func() *Plan {
-		return NewPlan("burst-drop").WithBurstDrop(channel.SToR, 10, 40)
+var presets = map[string]Spec{
+	"none": {Name: "none"},
+	"burst-drop": {
+		Name:   "burst-drop",
+		Bursts: []BurstWindow{{Dir: channel.SToR, From: 10, Length: 40}},
 	},
-	"partition-heal": func() *Plan {
-		return NewPlan("partition-heal").
-			WithPartition(10, 60, channel.SToR, channel.RToS).
-			WithPartition(120, 60, channel.SToR, channel.RToS)
+	"partition-heal": {
+		Name: "partition-heal",
+		Partitions: []PartitionWindow{
+			{From: 10, Length: 60, Dirs: []channel.Dir{channel.SToR, channel.RToS}},
+			{From: 120, Length: 60, Dirs: []channel.Dir{channel.SToR, channel.RToS}},
+		},
 	},
-	"corrupt": func() *Plan {
-		return NewPlan("corrupt").WithCorruption(channel.SToR, 7)
+	"corrupt": {
+		Name:        "corrupt",
+		Corruptions: []CorruptRule{{Dir: channel.SToR, EveryN: 7}},
 	},
-	"crash-sender": func() *Plan {
-		return NewPlan("crash-sender").WithCrash(Sender, 15, 45)
+	"crash-sender": {
+		Name:    "crash-sender",
+		Crashes: []CrashPoint{{Who: Sender, At: []int{15, 45}}},
 	},
-	"crash-receiver": func() *Plan {
-		return NewPlan("crash-receiver").WithCrash(Receiver, 15, 45)
+	"crash-receiver": {
+		Name:    "crash-receiver",
+		Crashes: []CrashPoint{{Who: Receiver, At: []int{15, 45}}},
 	},
 }

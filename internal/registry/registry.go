@@ -20,6 +20,7 @@ import (
 	"seqtx/internal/protocol/naive"
 	"seqtx/internal/protocol/selrepeat"
 	"seqtx/internal/protocol/stenning"
+	"seqtx/internal/seq"
 	"seqtx/internal/sim"
 )
 
@@ -110,9 +111,31 @@ func ProtocolNames() []string {
 func DescribeProtocol(name string) (string, error) {
 	e, ok := protocols[name]
 	if !ok {
-		return "", fmt.Errorf("registry: unknown protocol %q", name)
+		return "", fmt.Errorf("registry: unknown protocol %q (have %s)",
+			name, strings.Join(ProtocolNames(), ", "))
 	}
 	return e.describe, nil
+}
+
+// Pair builds a connected sender/receiver pair of the named protocol for
+// the given input — the live transport runtime's entry point: a wire
+// session is wired up by protocol name, and the two processes it hosts
+// come from here. The input is validated by the protocol's own
+// constructor (it must lie in the protocol's allowable set X).
+func Pair(name string, p Params, input seq.Seq) (protocol.Sender, protocol.Receiver, error) {
+	spec, err := Protocol(name, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := spec.NewSender(input)
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: building %s sender: %w", name, err)
+	}
+	r, err := spec.NewReceiver()
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: building %s receiver: %w", name, err)
+	}
+	return s, r, nil
 }
 
 var kinds = map[string]channel.Kind{

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+	"seqtx/internal/trace"
+)
+
+// DetConfig configures a deterministic wire run: same codec path as the
+// live transports, but a single goroutine with a seeded scheduler instead
+// of real concurrency, so the run is exactly reproducible and — because
+// every recorded action is enabled on a dup link — replayable in the
+// lock-step simulator via sim.NewScripted.
+type DetConfig struct {
+	// Sender and Receiver are fresh protocol processes.
+	Sender   protocol.Sender
+	Receiver protocol.Receiver
+	// Input is the tape X given to the sender.
+	Input seq.Seq
+	// Seed drives the scheduler.
+	Seed int64
+	// MaxSteps bounds the run (default 64 + 512 per input item).
+	MaxSteps int
+	// DupEveryN, when > 0, delivers every Nth chosen S→R delivery twice —
+	// the deterministic counterpart of the dup-replay impairment.
+	DupEveryN int
+	// SessionID is the wire session id stamped into frames (default 1).
+	SessionID uint64
+}
+
+// DetResult is the outcome of a deterministic wire run.
+type DetResult struct {
+	// Output is the tape Y the receiver wrote.
+	Output seq.Seq
+	// Complete reports Y = X.
+	Complete bool
+	// SafetyViolation is the first "Y not a prefix of X" error, if any.
+	SafetyViolation error
+	// Script is the recorded schedule: replaying it through
+	// sim.NewScripted on a dup link reproduces Output byte for byte
+	// (every recorded action is enabled there — ticks always are, and a
+	// dup half keeps every ever-sent message deliverable).
+	Script []trace.Action
+	// Steps is the number of scheduler choices taken.
+	Steps int
+	// FramesTx and AcksTx count codec round-trips per direction.
+	FramesTx, AcksTx int
+}
+
+// detState is the single-goroutine run state: per-direction stores of
+// every message ever put on the wire (the dup dlvrble vector), kept in
+// insertion order so the seeded scheduler is deterministic.
+type detState struct {
+	cfg    DetConfig
+	rng    *rand.Rand
+	stores map[channel.Dir]*detStore
+	res    DetResult
+	output seq.Seq
+}
+
+type detStore struct {
+	msgs []msg.Msg // insertion-ordered, deduped (dup delivery never consumes)
+	seen map[msg.Msg]struct{}
+}
+
+func (st *detStore) add(m msg.Msg) {
+	if _, ok := st.seen[m]; ok {
+		return
+	}
+	st.seen[m] = struct{}{}
+	st.msgs = append(st.msgs, m)
+}
+
+// DetRun executes one deterministic wire run. Every message a process
+// emits is encoded with AppendFrame and decoded with DecodeFrame before
+// entering the deliverable store, so the codec sits on the data path
+// exactly as in the live transports.
+func DetRun(cfg DetConfig) (DetResult, error) {
+	if cfg.Sender == nil || cfg.Receiver == nil {
+		return DetResult{}, fmt.Errorf("wire: det run missing processes")
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 64 + 512*len(cfg.Input)
+	}
+	if cfg.SessionID == 0 {
+		cfg.SessionID = 1
+	}
+	d := &detState{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		stores: map[channel.Dir]*detStore{
+			channel.SToR: {seen: make(map[msg.Msg]struct{})},
+			channel.RToS: {seen: make(map[msg.Msg]struct{})},
+		},
+	}
+	dupCountdown := 0
+	for d.res.Steps < cfg.MaxSteps {
+		act := d.choose()
+		if err := d.apply(act); err != nil {
+			return d.res, err
+		}
+		d.res.Steps++
+		if act.Kind == trace.ActDeliver && act.Dir == channel.SToR && cfg.DupEveryN > 0 {
+			dupCountdown++
+			if dupCountdown%cfg.DupEveryN == 0 && !d.done() {
+				// The dup impairment: the same frame arrives again. On the
+				// dup link the message is still deliverable, so the replay
+				// accepts the repeated action.
+				if err := d.apply(act); err != nil {
+					return d.res, err
+				}
+				d.res.Steps++
+			}
+		}
+		if d.done() {
+			break
+		}
+	}
+	d.res.Output = d.output.Clone()
+	d.res.Complete = d.res.SafetyViolation == nil && len(d.output) == len(cfg.Input)
+	return d.res, nil
+}
+
+func (d *detState) done() bool {
+	return d.res.SafetyViolation != nil || len(d.output) == len(d.cfg.Input)
+}
+
+// choose picks the next action with the seeded rng: ticks are always
+// enabled; each ever-sent message on each direction is deliverable.
+// Deliveries carry extra weight (each candidate message appears twice)
+// so lossy-free runs converge quickly, but ticks always stay reachable —
+// the retransmission path is exercised on every seed.
+func (d *detState) choose() trace.Action {
+	acts := []trace.Action{trace.TickS(), trace.TickR()}
+	for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
+		for _, m := range d.stores[dir].msgs {
+			a := trace.Deliver(dir, m)
+			acts = append(acts, a, a)
+		}
+	}
+	return acts[d.rng.Intn(len(acts))]
+}
+
+// apply executes one action, routing every emitted message through the
+// frame codec into the opposite store and recording the action.
+func (d *detState) apply(act trace.Action) error {
+	switch act.Kind {
+	case trace.ActTickS:
+		if err := d.route(channel.SToR, d.cfg.Sender.Step(protocol.TickEvent())); err != nil {
+			return err
+		}
+	case trace.ActTickR:
+		sends, writes := d.cfg.Receiver.Step(protocol.TickEvent())
+		if err := d.route(channel.RToS, sends); err != nil {
+			return err
+		}
+		d.write(writes)
+	case trace.ActDeliver:
+		if act.Dir == channel.SToR {
+			sends, writes := d.cfg.Receiver.Step(protocol.RecvEvent(act.Msg))
+			if err := d.route(channel.RToS, sends); err != nil {
+				return err
+			}
+			d.write(writes)
+		} else {
+			if err := d.route(channel.SToR, d.cfg.Sender.Step(protocol.RecvEvent(act.Msg))); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("wire: det run cannot apply %s", act.Kind)
+	}
+	d.res.Script = append(d.res.Script, act)
+	return nil
+}
+
+// route pushes emitted messages through the codec into dir's store.
+func (d *detState) route(dir channel.Dir, sends []msg.Msg) error {
+	for _, m := range sends {
+		frame := AppendFrame(nil, Frame{Session: d.cfg.SessionID, Dir: dir, Msg: m})
+		f, err := DecodeFrame(frame)
+		if err != nil {
+			return fmt.Errorf("wire: det codec round-trip: %w", err)
+		}
+		if dir == channel.SToR {
+			d.res.FramesTx++
+		} else {
+			d.res.AcksTx++
+		}
+		d.stores[dir].add(f.Msg)
+	}
+	return nil
+}
+
+// write appends R's writes to Y and audits safety online.
+func (d *detState) write(writes seq.Seq) {
+	for _, item := range writes {
+		d.output = append(d.output, item)
+		if d.res.SafetyViolation == nil && !d.output.IsPrefixOf(d.cfg.Input) {
+			d.res.SafetyViolation = fmt.Errorf(
+				"wire: det run safety violated at step %d: Y = %s is not a prefix of X = %s",
+				d.res.Steps, d.output, d.cfg.Input)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+// replayInSim replays a det-run schedule through the lock-step simulator
+// on a dup link and returns its result.
+func replayInSim(t *testing.T, proto string, params registry.Params, input seq.Seq, res DetResult) sim.Result {
+	t.Helper()
+	spec, err := registry.Protocol(proto, params)
+	if err != nil {
+		t.Fatalf("Protocol: %v", err)
+	}
+	link, err := channel.NewLinkOfKind(channel.KindDup)
+	if err != nil {
+		t.Fatalf("NewLinkOfKind: %v", err)
+	}
+	w, err := sim.New(spec, input, link)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	simRes, err := sim.Run(w, sim.NewScripted(res.Script, sim.NewRoundRobin()),
+		sim.Config{MaxSteps: len(res.Script), StopWhenComplete: true})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return simRes
+}
+
+// TestDetRunMatchesSimulator is the subsystem's fidelity acceptance
+// test: a seeded in-process wire run of alphaproto under the dup-replay
+// impairment must produce an output tape byte-for-byte identical to the
+// lock-step simulator replaying the same schedule on a dup link.
+func TestDetRunMatchesSimulator(t *testing.T) {
+	params := registry.Params{M: 6}
+	input := seq.Seq{3, 0, 5, 1, 4, 2}
+	for seed := int64(1); seed <= 20; seed++ {
+		s, r, err := registry.Pair("alpha", params, input)
+		if err != nil {
+			t.Fatalf("Pair: %v", err)
+		}
+		res, err := DetRun(DetConfig{
+			Sender:    s,
+			Receiver:  r,
+			Input:     input,
+			Seed:      seed,
+			DupEveryN: 4, // the dup-replay impairment
+		})
+		if err != nil {
+			t.Fatalf("seed %d: DetRun: %v", seed, err)
+		}
+		if res.SafetyViolation != nil {
+			t.Fatalf("seed %d: %v", seed, res.SafetyViolation)
+		}
+		if !res.Complete {
+			t.Fatalf("seed %d: incomplete after %d steps: %s", seed, res.Steps, res.Output)
+		}
+		simRes := replayInSim(t, "alpha", params, input, res)
+		if simRes.SafetyViolation != nil {
+			t.Fatalf("seed %d: sim replay violation: %v", seed, simRes.SafetyViolation)
+		}
+		if !simRes.Output.Equal(res.Output) {
+			t.Fatalf("seed %d: wire output %s != sim output %s", seed, res.Output, simRes.Output)
+		}
+		if !simRes.OutputComplete {
+			t.Fatalf("seed %d: sim replay incomplete: %s", seed, simRes.Output)
+		}
+	}
+}
+
+// TestDetRunDeterministic: identical configs yield identical schedules
+// and outputs.
+func TestDetRunDeterministic(t *testing.T) {
+	params := registry.Params{M: 4}
+	input := seq.Seq{2, 0, 3, 1}
+	run := func() DetResult {
+		s, r, err := registry.Pair("alpha", params, input)
+		if err != nil {
+			t.Fatalf("Pair: %v", err)
+		}
+		res, err := DetRun(DetConfig{Sender: s, Receiver: r, Input: input, Seed: 7})
+		if err != nil {
+			t.Fatalf("DetRun: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Output.Equal(b.Output) || a.Steps != b.Steps || len(a.Script) != len(b.Script) {
+		t.Fatalf("two identical det runs diverged: %d/%d steps, %s vs %s",
+			a.Steps, b.Steps, a.Output, b.Output)
+	}
+	for i := range a.Script {
+		if a.Script[i].Key() != b.Script[i].Key() {
+			t.Fatalf("schedules diverge at step %d: %s vs %s", i, a.Script[i], b.Script[i])
+		}
+	}
+}
+
+// TestDetRunOtherProtocols: the codec path carries every registered
+// protocol without mechanical failure. The det scheduler is a full dup
+// adversary (any ever-sent message, any time), so protocols that are
+// unsafe on dup channels — the paper's counterexamples — may rightly
+// violate safety here; that verdict is the runner working, not failing.
+// Replaying any violating schedule in the simulator must reproduce the
+// same tape, violation included.
+func TestDetRunOtherProtocols(t *testing.T) {
+	params := registry.Params{M: 4, Timeout: 8, Window: 4}
+	input := seq.Seq{1, 0, 3, 2}
+	for _, name := range registry.ProtocolNames() {
+		s, r, err := registry.Pair(name, params, input)
+		if err != nil {
+			t.Fatalf("Pair(%s): %v", name, err)
+		}
+		res, err := DetRun(DetConfig{Sender: s, Receiver: r, Input: input, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: DetRun: %v", name, err)
+		}
+		simRes := replayInSim(t, name, params, input, res)
+		if !simRes.Output.Equal(res.Output) {
+			t.Errorf("%s: wire output %s != sim output %s", name, res.Output, simRes.Output)
+		}
+		if (simRes.SafetyViolation == nil) != (res.SafetyViolation == nil) {
+			t.Errorf("%s: safety verdicts disagree: wire %v, sim %v",
+				name, res.SafetyViolation, simRes.SafetyViolation)
+		}
+	}
+}

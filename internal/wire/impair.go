@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/faults"
+	"seqtx/internal/obs"
+)
+
+// Options configures an Impairment: the declarative fault windows shared
+// with the lock-step scheduler (faults.Spec), plus the two wire-native
+// impairments that in the sim are channel-kind semantics rather than plan
+// faults — duplication and reordering.
+//
+// Window positions in the Spec are counted in frames handled per
+// direction (the live counterpart of adversary steps): the burst-drop
+// preset that drops scheduler steps 10..50 drops the 10th..49th frame
+// offered on that direction here.
+type Options struct {
+	// Spec supplies burst-drop, partition-heal, and corruption windows.
+	// Specs with process faults (crash-restarts) are rejected: a link
+	// cannot reset a remote process's state.
+	Spec faults.Spec
+	// DupEveryN, when > 0, delivers every Nth S→R frame twice — the live
+	// counterpart of the dup channel's replay freedom.
+	DupEveryN int
+	// ReorderEveryN, when > 0, holds every Nth S→R frame back until one
+	// more frame has passed it — a pairwise reordering.
+	ReorderEveryN int
+}
+
+// ImpairPreset returns the named impairment options. The menu is the
+// faults presets that make sense on a link (none, burst-drop,
+// partition-heal, corrupt) plus the wire-native "dup-replay" and
+// "reorder".
+func ImpairPreset(name string) (Options, error) {
+	switch name {
+	case "dup-replay":
+		return Options{Spec: faults.Spec{Name: "dup-replay"}, DupEveryN: 4}, nil
+	case "reorder":
+		return Options{Spec: faults.Spec{Name: "reorder"}, ReorderEveryN: 3}, nil
+	}
+	s, err := faults.PresetSpec(name)
+	if err != nil {
+		return Options{}, fmt.Errorf("wire: unknown impairment %q (have %s)",
+			name, strings.Join(ImpairPresetNames(), ", "))
+	}
+	if s.ProcessFaults() {
+		return Options{}, fmt.Errorf(
+			"wire: preset %q injects process faults (crash-restart), which a live link cannot replay (have %s)",
+			name, strings.Join(ImpairPresetNames(), ", "))
+	}
+	return Options{Spec: s}, nil
+}
+
+// ImpairPresetNames lists the valid impairment preset names, sorted.
+func ImpairPresetNames() []string {
+	names := []string{"dup-replay", "reorder"}
+	for _, n := range faults.PresetNames() {
+		if s, err := faults.PresetSpec(n); err == nil && !s.ProcessFaults() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// heldFrame is a partition-delayed frame: released once the direction's
+// frame count passes release.
+type heldFrame struct {
+	release int
+	frame   []byte
+}
+
+// dirState is the per-direction impairment state.
+type dirState struct {
+	count   int    // frames offered on this direction so far
+	prev    []byte // last frame actually sent (corruption substitute)
+	held    []heldFrame
+	pending []byte // reorder slot: goes out after the next frame
+}
+
+// Impairment wraps a Transport and replays fault windows against its
+// Send path. Frames travelling SenderEnd→ReceiverEnd are the S→R half,
+// the reverse the R→S half, exactly as in the sim's Link. Recv passes
+// through untouched (faults live on the wire, not in the receiver).
+type Impairment struct {
+	inner Transport
+	opts  Options
+
+	mu   sync.Mutex
+	dirs map[channel.Dir]*dirState
+
+	dropped   *obs.Counter
+	heldTotal *obs.Counter
+	corrupted *obs.Counter
+	duped     *obs.Counter
+	reordered *obs.Counter
+}
+
+var _ Transport = (*Impairment)(nil)
+
+// NewImpairment wraps inner with the given options. reg (which may be
+// nil) receives the impairment counters.
+func NewImpairment(inner Transport, o Options, reg *obs.Registry) (*Impairment, error) {
+	if o.Spec.ProcessFaults() {
+		return nil, fmt.Errorf("wire: fault spec %q injects process faults, which a live link cannot replay", o.Spec.Name)
+	}
+	return &Impairment{
+		inner: inner,
+		opts:  o,
+		dirs: map[channel.Dir]*dirState{
+			channel.SToR: {},
+			channel.RToS: {},
+		},
+		dropped:   reg.Counter(`wire_frames_dropped_total{cause="impair"}`),
+		heldTotal: reg.Counter("wire_frames_held_total"),
+		corrupted: reg.Counter("wire_frames_corrupted_total"),
+		duped:     reg.Counter("wire_frames_dup_total"),
+		reordered: reg.Counter("wire_frames_reordered_total"),
+	}, nil
+}
+
+// Name implements Transport.
+func (im *Impairment) Name() string {
+	name := im.opts.Spec.Name
+	if name == "" {
+		name = "none"
+	}
+	return im.inner.Name() + "+" + name
+}
+
+// Recv implements Transport (pass-through).
+func (im *Impairment) Recv(at End) <-chan []byte { return im.inner.Recv(at) }
+
+// Close implements Transport: releases every still-held frame (a
+// partition heals at shutdown rather than swallowing messages — the
+// model's partitions delay, never delete), then closes the inner
+// transport.
+func (im *Impairment) Close() error {
+	im.mu.Lock()
+	for _, end := range []End{SenderEnd, ReceiverEnd} {
+		st := im.dirs[end.Dir()]
+		for _, h := range st.held {
+			im.inner.Send(end, h.frame)
+		}
+		st.held = nil
+		if st.pending != nil {
+			im.inner.Send(end, st.pending)
+			st.pending = nil
+		}
+	}
+	im.mu.Unlock()
+	return im.inner.Close()
+}
+
+// Send implements Transport: it applies, in order, partition release,
+// partition hold, burst drop, corruption substitution, reordering, and
+// duplication, then forwards what survives to the inner transport.
+func (im *Impairment) Send(from End, frame []byte) error {
+	dir := from.Dir()
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	st := im.dirs[dir]
+	n := st.count
+	st.count++
+
+	// Heal: flush held frames whose window has passed.
+	if len(st.held) > 0 {
+		kept := st.held[:0]
+		for _, h := range st.held {
+			if h.release <= n {
+				if err := im.inner.Send(from, h.frame); err != nil {
+					return err
+				}
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		st.held = kept
+	}
+
+	// Partition: delay the frame until the window ends.
+	if release, blocked := im.partitioned(dir, n); blocked {
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		st.held = append(st.held, heldFrame{release: release, frame: cp})
+		im.heldTotal.Inc()
+		return nil
+	}
+
+	// Burst drop: the frame is deleted.
+	for _, b := range im.opts.Spec.Bursts {
+		if b.Dir == dir && n >= b.From && n < b.From+b.Length {
+			im.dropped.Inc()
+			return nil
+		}
+	}
+
+	// Corruption: substitute the previously sent frame on this half (a
+	// genuinely transmitted value, mirroring faults.Corrupt: in-alphabet,
+	// wrong content).
+	out := frame
+	for _, c := range im.opts.Spec.Corruptions {
+		if c.Dir == dir && c.EveryN > 0 && st.prev != nil && (n+1)%c.EveryN == 0 {
+			out = st.prev
+			im.corrupted.Inc()
+			break
+		}
+	}
+
+	cp := make([]byte, len(out))
+	copy(cp, out)
+
+	// Reorder: every Nth frame waits for its successor.
+	if im.opts.ReorderEveryN > 0 && dir == channel.SToR {
+		if st.pending != nil {
+			pending := st.pending
+			st.pending = nil
+			st.prev = cp
+			if err := im.inner.Send(from, cp); err != nil {
+				return err
+			}
+			im.reordered.Inc()
+			return im.inner.Send(from, pending)
+		}
+		if (n+1)%im.opts.ReorderEveryN == 0 {
+			st.pending = cp
+			return nil
+		}
+	}
+
+	st.prev = cp
+	if err := im.inner.Send(from, cp); err != nil {
+		return err
+	}
+
+	// Duplication: the dup channel's replay freedom, live.
+	if im.opts.DupEveryN > 0 && dir == channel.SToR && (n+1)%im.opts.DupEveryN == 0 {
+		im.duped.Inc()
+		return im.inner.Send(from, cp)
+	}
+	return nil
+}
+
+// partitioned reports whether frame n on dir falls inside a partition
+// window, and if so when it may be released.
+func (im *Impairment) partitioned(dir channel.Dir, n int) (release int, blocked bool) {
+	for _, w := range im.opts.Spec.Partitions {
+		if n < w.From || n >= w.From+w.Length {
+			continue
+		}
+		for _, d := range w.Dirs {
+			if d == dir {
+				return w.From + w.Length, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/faults"
+	"seqtx/internal/obs"
+)
+
+// drain collects every frame currently buffered on ch without blocking.
+func drain(ch <-chan []byte) [][]byte {
+	var out [][]byte
+	for {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, f)
+		default:
+			return out
+		}
+	}
+}
+
+func sendN(t *testing.T, tr Transport, from End, frames ...[]byte) {
+	t.Helper()
+	for _, f := range frames {
+		if err := tr.Send(from, f); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+}
+
+func TestImpairmentBurstDrop(t *testing.T) {
+	inner := NewInproc(0, nil)
+	spec := faults.Spec{Name: "burst", Bursts: []faults.BurstWindow{{Dir: channel.SToR, From: 2, Length: 3}}}
+	tr, err := NewImpairment(inner, Options{Spec: spec}, nil)
+	if err != nil {
+		t.Fatalf("NewImpairment: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		sendN(t, tr, SenderEnd, []byte{byte(i)})
+	}
+	got := drain(inner.Recv(ReceiverEnd))
+	// Frames 2,3,4 fall in the burst window: 8 offered, 5 delivered.
+	if len(got) != 5 {
+		t.Fatalf("got %d frames, want 5", len(got))
+	}
+	for _, f := range got {
+		if n := int(f[0]); n >= 2 && n < 5 {
+			t.Errorf("frame %d should have been dropped", n)
+		}
+	}
+	// The reverse direction is untouched.
+	sendN(t, tr, ReceiverEnd, []byte{0xaa}, []byte{0xbb}, []byte{0xcc})
+	if got := drain(inner.Recv(SenderEnd)); len(got) != 3 {
+		t.Fatalf("R→S frames affected by S→R burst: got %d, want 3", len(got))
+	}
+}
+
+func TestImpairmentPartitionHoldsThenHeals(t *testing.T) {
+	inner := NewInproc(0, nil)
+	spec := faults.Spec{Name: "part", Partitions: []faults.PartitionWindow{
+		{From: 1, Length: 2, Dirs: []channel.Dir{channel.SToR}},
+	}}
+	tr, err := NewImpairment(inner, Options{Spec: spec}, nil)
+	if err != nil {
+		t.Fatalf("NewImpairment: %v", err)
+	}
+	sendN(t, tr, SenderEnd, []byte{0}, []byte{1}, []byte{2}) // 1 and 2 held
+	if got := drain(inner.Recv(ReceiverEnd)); len(got) != 1 || got[0][0] != 0 {
+		t.Fatalf("during partition: got %d frames, want just frame 0", len(got))
+	}
+	sendN(t, tr, SenderEnd, []byte{3}) // past the window: heals, flushes 1 and 2
+	got := drain(inner.Recv(ReceiverEnd))
+	if len(got) != 3 {
+		t.Fatalf("after heal: got %d frames, want 3 (held 1,2 then 3)", len(got))
+	}
+	if got[0][0] != 1 || got[1][0] != 2 || got[2][0] != 3 {
+		t.Fatalf("heal order wrong: %v", got)
+	}
+}
+
+func TestImpairmentCloseFlushesHeldFrames(t *testing.T) {
+	inner := NewInproc(0, nil)
+	spec := faults.Spec{Name: "part", Partitions: []faults.PartitionWindow{
+		{From: 0, Length: 100, Dirs: []channel.Dir{channel.SToR}},
+	}}
+	tr, err := NewImpairment(inner, Options{Spec: spec}, nil)
+	if err != nil {
+		t.Fatalf("NewImpairment: %v", err)
+	}
+	sendN(t, tr, SenderEnd, []byte{7}, []byte{8})
+	if got := drain(inner.Recv(ReceiverEnd)); len(got) != 0 {
+		t.Fatalf("partition leaked %d frames", len(got))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := drain(inner.Recv(ReceiverEnd))
+	if len(got) != 2 {
+		t.Fatalf("Close flushed %d frames, want 2 (partitions delay, never delete)", len(got))
+	}
+}
+
+func TestImpairmentCorruptionSubstitutesPreviousFrame(t *testing.T) {
+	inner := NewInproc(0, nil)
+	spec := faults.Spec{Name: "corr", Corruptions: []faults.CorruptRule{{Dir: channel.SToR, EveryN: 3}}}
+	reg := obs.NewRegistry()
+	tr, err := NewImpairment(inner, Options{Spec: spec}, reg)
+	if err != nil {
+		t.Fatalf("NewImpairment: %v", err)
+	}
+	sendN(t, tr, SenderEnd, []byte{0}, []byte{1}, []byte{2}, []byte{3}, []byte{4}, []byte{5})
+	got := drain(inner.Recv(ReceiverEnd))
+	if len(got) != 6 {
+		t.Fatalf("got %d frames, want 6", len(got))
+	}
+	// Every 3rd frame (indices 2 and 5) is replaced by its predecessor.
+	want := []byte{0, 1, 1, 3, 4, 4}
+	for i, f := range got {
+		if f[0] != want[i] {
+			t.Errorf("frame %d = %d, want %d", i, f[0], want[i])
+		}
+	}
+	if n := reg.Snapshot().Counters["wire_frames_corrupted_total"]; n != 2 {
+		t.Errorf("corrupted counter = %d, want 2", n)
+	}
+}
+
+func TestImpairmentDupEveryN(t *testing.T) {
+	inner := NewInproc(0, nil)
+	tr, err := NewImpairment(inner, Options{Spec: faults.Spec{Name: "dup"}, DupEveryN: 2}, nil)
+	if err != nil {
+		t.Fatalf("NewImpairment: %v", err)
+	}
+	sendN(t, tr, SenderEnd, []byte{0}, []byte{1}, []byte{2}, []byte{3})
+	got := drain(inner.Recv(ReceiverEnd))
+	want := []byte{0, 1, 1, 2, 3, 3} // frames 1 and 3 delivered twice
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f[0] != want[i] {
+			t.Errorf("frame %d = %d, want %d", i, f[0], want[i])
+		}
+	}
+}
+
+func TestImpairmentReorderEveryN(t *testing.T) {
+	inner := NewInproc(0, nil)
+	tr, err := NewImpairment(inner, Options{Spec: faults.Spec{Name: "ro"}, ReorderEveryN: 3}, nil)
+	if err != nil {
+		t.Fatalf("NewImpairment: %v", err)
+	}
+	sendN(t, tr, SenderEnd, []byte{0}, []byte{1}, []byte{2}, []byte{3}, []byte{4})
+	got := drain(inner.Recv(ReceiverEnd))
+	// Frame 2 is held until frame 3 passes it: 0,1,3,2,4.
+	want := []byte{0, 1, 3, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f[0] != want[i] {
+			t.Errorf("frame %d = %d, want %d", i, f[0], want[i])
+		}
+	}
+}
+
+func TestImpairPresetRejectsProcessFaults(t *testing.T) {
+	for _, name := range []string{"crash-sender", "crash-receiver"} {
+		if _, err := ImpairPreset(name); err == nil {
+			t.Errorf("ImpairPreset(%s) accepted a process-fault preset", name)
+		} else if !strings.Contains(err.Error(), "crash-restart") {
+			t.Errorf("ImpairPreset(%s) error %q does not explain the rejection", name, err)
+		}
+	}
+	spec, err := faults.PresetSpec("crash-sender")
+	if err != nil {
+		t.Fatalf("PresetSpec: %v", err)
+	}
+	if _, err := NewImpairment(NewInproc(0, nil), Options{Spec: spec}, nil); err == nil {
+		t.Error("NewImpairment accepted a process-fault spec")
+	}
+}
+
+func TestImpairPresetUnknownListsNamesSorted(t *testing.T) {
+	_, err := ImpairPreset("no-such-impairment")
+	if err == nil {
+		t.Fatal("unknown impairment accepted")
+	}
+	names := ImpairPresetNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("ImpairPresetNames not sorted: %v", names)
+	}
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention valid name %q", err, n)
+		}
+		if _, perr := ImpairPreset(n); perr != nil {
+			t.Errorf("listed preset %q rejected: %v", n, perr)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"sync"
+
+	"seqtx/internal/obs"
+)
+
+// Inproc is the in-process transport: two buffered Go channels, one per
+// direction. Delivery order is whatever the goroutine scheduler makes of
+// it, and a full buffer drops the frame (backpressure surfaces as loss,
+// which the protocols must survive anyway) — so even in-process, the link
+// honestly behaves like an unreliable channel rather than an idealized
+// FIFO pipe.
+type Inproc struct {
+	toReceiver chan []byte
+	toSender   chan []byte
+	dropped    *obs.Counter
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+var _ Transport = (*Inproc)(nil)
+
+// DefaultInprocCapacity is the per-direction frame buffer used by
+// NewInproc when capacity is not positive.
+const DefaultInprocCapacity = 1024
+
+// NewInproc returns an in-process transport with the given per-direction
+// buffer capacity. reg (which may be nil) receives the backpressure-drop
+// counter.
+func NewInproc(capacity int, reg *obs.Registry) *Inproc {
+	if capacity <= 0 {
+		capacity = DefaultInprocCapacity
+	}
+	return &Inproc{
+		toReceiver: make(chan []byte, capacity),
+		toSender:   make(chan []byte, capacity),
+		dropped:    reg.Counter(`wire_frames_dropped_total{cause="backpressure"}`),
+	}
+}
+
+// Name implements Transport.
+func (t *Inproc) Name() string { return "inproc" }
+
+// Send implements Transport: a non-blocking enqueue toward the opposite
+// end. A full buffer drops the frame and counts it.
+func (t *Inproc) Send(from End, frame []byte) error {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return ErrClosed
+	}
+	ch := t.toReceiver
+	if from == ReceiverEnd {
+		ch = t.toSender
+	}
+	select {
+	case ch <- cp:
+	default:
+		t.dropped.Inc()
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *Inproc) Recv(at End) <-chan []byte {
+	if at == SenderEnd {
+		return t.toSender
+	}
+	return t.toReceiver
+}
+
+// Close implements Transport.
+func (t *Inproc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	close(t.toReceiver)
+	close(t.toSender)
+	return nil
+}

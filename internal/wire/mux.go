@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/msg"
+	"seqtx/internal/obs"
+)
+
+// Mux multiplexes many sessions over one Transport: it encodes outbound
+// protocol messages into frames, decodes and routes inbound frames to the
+// owning session's inbox, and drops (with a counted cause) anything that
+// does not parse, does not belong to a live session, or falls outside the
+// session's declared alphabet — the live analogue of the Link's alphabet
+// enforcement.
+type Mux struct {
+	tr  Transport
+	met *muxMetrics
+
+	mu       sync.RWMutex
+	sessions map[uint64]*Session
+
+	wg sync.WaitGroup
+}
+
+// muxMetrics bundles the obs handles, resolved once at mux creation (the
+// nil-registry fast path makes every update a no-op).
+type muxMetrics struct {
+	txSToR, txRToS *obs.Counter
+	rxSToR, rxRToS *obs.Counter
+	decodeErrors   *obs.Counter
+	alien          *obs.Counter
+	unknown        *obs.Counter
+	inboxFull      *obs.Counter
+
+	activeN     atomic.Int64
+	active      *obs.Gauge
+	completed   *obs.Counter
+	unfinished  *obs.Counter
+	violations  *obs.Counter
+	retransmits *obs.Counter
+	goodput     *obs.Histogram
+	learn       *obs.Histogram
+
+	reg *obs.Registry
+}
+
+// GoodputBuckets is the bucket ladder for per-session goodput
+// (items/second): live sessions pace in milliseconds, so the ladder spans
+// sub-1 to tens of thousands of items per second.
+var GoodputBuckets = obs.ExpBuckets(0.5, 2, 16)
+
+func newMuxMetrics(reg *obs.Registry) *muxMetrics {
+	return &muxMetrics{
+		txSToR:       reg.Counter(`wire_frames_tx_total{dir="s_to_r"}`),
+		txRToS:       reg.Counter(`wire_frames_tx_total{dir="r_to_s"}`),
+		rxSToR:       reg.Counter(`wire_frames_rx_total{dir="s_to_r"}`),
+		rxRToS:       reg.Counter(`wire_frames_rx_total{dir="r_to_s"}`),
+		decodeErrors: reg.Counter("wire_decode_errors_total"),
+		alien:        reg.Counter(`wire_frames_dropped_total{cause="alien"}`),
+		unknown:      reg.Counter(`wire_frames_dropped_total{cause="unknown_session"}`),
+		inboxFull:    reg.Counter(`wire_frames_dropped_total{cause="inbox_full"}`),
+		active:       reg.Gauge("wire_sessions_active"),
+		completed:    reg.Counter("wire_sessions_completed_total"),
+		unfinished:   reg.Counter("wire_sessions_unfinished_total"),
+		violations:   reg.Counter("wire_safety_violations_total"),
+		retransmits:  reg.Counter("wire_retransmits_total"),
+		goodput:      reg.Histogram("wire_session_goodput_items_per_sec", GoodputBuckets),
+		learn:        reg.Histogram("wire_session_learn_time_seconds", obs.DurationBuckets),
+		reg:          reg,
+	}
+}
+
+// sessionStarted / sessionEnded maintain the active-session gauge.
+func (m *muxMetrics) sessionStarted() { m.active.Set(float64(m.activeN.Add(1))) }
+func (m *muxMetrics) sessionEnded()   { m.active.Set(float64(m.activeN.Add(-1))) }
+
+// NewMux builds a mux over tr and starts its two router goroutines. reg
+// may be nil (the obs nil-sink).
+func NewMux(tr Transport, reg *obs.Registry) *Mux {
+	m := &Mux{
+		tr:       tr,
+		met:      newMuxMetrics(reg),
+		sessions: make(map[uint64]*Session),
+	}
+	m.wg.Add(2)
+	go m.route(SenderEnd)
+	go m.route(ReceiverEnd)
+	return m
+}
+
+// Transport returns the mux's transport.
+func (m *Mux) Transport() Transport { return m.tr }
+
+// register adds a session to the routing table.
+func (m *Mux) register(s *Session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.sessions[s.cfg.ID]; dup {
+		return fmt.Errorf("wire: duplicate session id %d", s.cfg.ID)
+	}
+	m.sessions[s.cfg.ID] = s
+	return nil
+}
+
+// unregister removes a finished session; late frames for it count as
+// unknown-session drops.
+func (m *Mux) unregister(id uint64) {
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+}
+
+// lookup finds a live session.
+func (m *Mux) lookup(id uint64) *Session {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.sessions[id]
+}
+
+// send encodes one protocol message and puts it on the wire. Callers are
+// the session step loops; the buffer is per-call (frames are tiny).
+func (m *Mux) send(id uint64, dir channel.Dir, mg msg.Msg) error {
+	frame := EncodeFrame(Frame{Session: id, Dir: dir, Msg: mg})
+	from := SenderEnd
+	tx := m.met.txSToR
+	if dir == channel.RToS {
+		from = ReceiverEnd
+		tx = m.met.txRToS
+	}
+	if err := m.tr.Send(from, frame); err != nil {
+		return err
+	}
+	tx.Inc()
+	return nil
+}
+
+// route is one end's router goroutine: decode, validate, dispatch. It
+// exits when the transport's Recv channel closes.
+func (m *Mux) route(at End) {
+	defer m.wg.Done()
+	rx := m.met.rxSToR
+	if at == SenderEnd {
+		rx = m.met.rxRToS
+	}
+	wantDir := at.Opposite().Dir() // frames arriving here were sent by the opposite end
+	for raw := range m.tr.Recv(at) {
+		f, err := DecodeFrame(raw)
+		if err != nil {
+			m.met.decodeErrors.Inc()
+			continue
+		}
+		if f.Dir != wantDir {
+			m.met.alien.Inc()
+			continue
+		}
+		s := m.lookup(f.Session)
+		if s == nil {
+			m.met.unknown.Inc()
+			continue
+		}
+		// Alphabet enforcement: a frame whose payload is outside the
+		// session's declared alphabet for this direction is alien — the
+		// live analogue of Link.Send's M^S/M^R check, applied on receive
+		// because the wire (impairment, another session's corruption
+		// substitute) may have swapped payloads after the honest send.
+		var inbox chan msg.Msg
+		if at == ReceiverEnd {
+			if alp := s.senderAlphabet; alp.Size() > 0 && !alp.Contains(f.Msg) {
+				m.met.alien.Inc()
+				continue
+			}
+			inbox = s.receiverInbox
+		} else {
+			if alp := s.receiverAlphabet; alp.Size() > 0 && !alp.Contains(f.Msg) {
+				m.met.alien.Inc()
+				continue
+			}
+			inbox = s.senderInbox
+		}
+		select {
+		case inbox <- f.Msg:
+			rx.Inc()
+		case <-s.stopped:
+			// Session finished while we held the frame: count it as late.
+			m.met.unknown.Inc()
+		default:
+			m.met.inboxFull.Inc()
+		}
+	}
+}
+
+// Close closes the transport and waits for the routers to drain.
+func (m *Mux) Close() error {
+	err := m.tr.Close()
+	m.wg.Wait()
+	return err
+}

@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// DefaultTick is the pacing interval used when SessionConfig.Tick is not
+// positive: how often each process gets a spontaneous step (the live
+// counterpart of the scheduler granting a tick — retransmissions hang off
+// these).
+const DefaultTick = time.Millisecond
+
+// sessionInboxSize buffers inbound messages per process; a full inbox
+// drops frames (counted), which the protocols tolerate as channel loss.
+const sessionInboxSize = 256
+
+// SessionConfig describes one transfer session: a sender/receiver pair
+// (typically from registry.Pair), the input tape to transmit, and pacing.
+type SessionConfig struct {
+	// ID is the session's wire identity; unique per mux.
+	ID uint64
+	// Sender and Receiver are the protocol processes this session hosts.
+	Sender protocol.Sender
+	// Receiver is R; its writes build the session's output tape.
+	Receiver protocol.Receiver
+	// Input is the tape X the sender was built from.
+	Input seq.Seq
+	// Tick is the spontaneous-step pacing for both processes
+	// (DefaultTick when not positive).
+	Tick time.Duration
+	// Deadline, when positive, bounds the session's wall-clock life; an
+	// expired session reports Complete=false (never a safety verdict).
+	Deadline time.Duration
+}
+
+// Report is one session's outcome.
+type Report struct {
+	// ID is the session id.
+	ID uint64
+	// Input is the tape X given to the sender.
+	Input seq.Seq
+	// Output is the tape Y the receiver wrote.
+	Output seq.Seq
+	// Complete reports Y = X.
+	Complete bool
+	// SafetyViolation is the first "Y not a prefix of X" error, if any.
+	SafetyViolation error
+	// Elapsed is the session's wall-clock life (start to completion,
+	// violation, or shutdown).
+	Elapsed time.Duration
+	// FramesTx counts sender→receiver frames put on the wire.
+	FramesTx int
+	// AcksTx counts receiver→sender frames put on the wire.
+	AcksTx int
+	// Retransmits counts consecutive re-sends of the same data message
+	// (for stop-and-wait protocols, exactly the paper's retransmissions).
+	Retransmits int
+	// LearnTimes[i] is the wall-clock time at which Y first had length
+	// i+1 — the live counterpart of the paper's t_i.
+	LearnTimes []time.Duration
+	// GoodputItemsPerSec is len(Output)/Elapsed.
+	GoodputItemsPerSec float64
+}
+
+// Session is one live transfer: two step-machine loops (sender and
+// receiver goroutines) exchanging frames through the mux. Each protocol
+// state machine is touched only by its own goroutine; the loops share
+// nothing but channels.
+type Session struct {
+	cfg SessionConfig
+	mux *Mux
+
+	senderAlphabet   msg.Alphabet
+	receiverAlphabet msg.Alphabet
+
+	senderInbox   chan msg.Msg
+	receiverInbox chan msg.Msg
+	// stopped is closed when Run returns; routers treat frames for a
+	// stopped session as late.
+	stopped chan struct{}
+
+	// Written by the loops before their goroutines exit; read by Run
+	// after the WaitGroup (the Wait is the happens-before edge).
+	framesTx    int
+	acksTx      int
+	retransmits int
+	output      seq.Seq
+	learnTimes  []time.Duration
+	violation   error
+	complete    bool
+}
+
+// NewSession registers a session on the mux. The session does not run
+// until Run is called.
+func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Sender == nil || cfg.Receiver == nil {
+		return nil, fmt.Errorf("wire: session %d missing processes", cfg.ID)
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = DefaultTick
+	}
+	s := &Session{
+		cfg:              cfg,
+		mux:              m,
+		senderAlphabet:   cfg.Sender.Alphabet(),
+		receiverAlphabet: cfg.Receiver.Alphabet(),
+		senderInbox:      make(chan msg.Msg, sessionInboxSize),
+		receiverInbox:    make(chan msg.Msg, sessionInboxSize),
+		stopped:          make(chan struct{}),
+	}
+	if err := m.register(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run drives the session to completion, violation, deadline, or ctx
+// cancellation, and returns its report. It must be called at most once.
+func (s *Session) Run(ctx context.Context) Report {
+	met := s.mux.met
+	met.sessionStarted()
+	met.reg.Emit("wire.session.start",
+		"session", strconv.FormatUint(s.cfg.ID, 10),
+		"items", strconv.Itoa(len(s.cfg.Input)))
+	if s.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.senderLoop(ctx)
+	}()
+	go func() {
+		defer wg.Done()
+		s.receiverLoop(ctx, cancel, start)
+	}()
+	wg.Wait()
+	close(s.stopped)
+	s.mux.unregister(s.cfg.ID)
+	elapsed := time.Since(start)
+
+	rep := Report{
+		ID:              s.cfg.ID,
+		Input:           s.cfg.Input.Clone(),
+		Output:          s.output.Clone(),
+		Complete:        s.complete,
+		SafetyViolation: s.violation,
+		Elapsed:         elapsed,
+		FramesTx:        s.framesTx,
+		AcksTx:          s.acksTx,
+		Retransmits:     s.retransmits,
+		LearnTimes:      s.learnTimes,
+	}
+	if elapsed > 0 {
+		rep.GoodputItemsPerSec = float64(len(rep.Output)) / elapsed.Seconds()
+	}
+
+	met.retransmits.Add(int64(s.retransmits))
+	for _, t := range s.learnTimes {
+		met.learn.Observe(t.Seconds())
+	}
+	met.goodput.Observe(rep.GoodputItemsPerSec)
+	switch {
+	case rep.SafetyViolation != nil:
+		// counted when detected, in receiverLoop
+	case rep.Complete:
+		met.completed.Inc()
+	default:
+		met.unfinished.Inc()
+	}
+	met.reg.Emit("wire.session.end",
+		"session", strconv.FormatUint(s.cfg.ID, 10),
+		"complete", strconv.FormatBool(rep.Complete),
+		"frames_tx", strconv.Itoa(rep.FramesTx))
+	met.sessionEnded()
+	return rep
+}
+
+// senderLoop drives S: retransmit ticks plus inbound acknowledgements.
+func (s *Session) senderLoop(ctx context.Context) {
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	var last msg.Msg
+	haveLast := false
+	for {
+		var ev protocol.Event
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-s.senderInbox:
+			ev = protocol.RecvEvent(m)
+		case <-ticker.C:
+			ev = protocol.TickEvent()
+		}
+		for _, mg := range s.cfg.Sender.Step(ev) {
+			if haveLast && mg == last {
+				s.retransmits++
+			}
+			last, haveLast = mg, true
+			s.framesTx++
+			if err := s.mux.send(s.cfg.ID, SenderEnd.Dir(), mg); err != nil {
+				return // transport closed under us: shut down
+			}
+		}
+	}
+}
+
+// receiverLoop drives R: deliveries plus ticks; it audits safety on
+// every write and ends the session on completion or violation.
+func (s *Session) receiverLoop(ctx context.Context, cancel context.CancelFunc, start time.Time) {
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		var ev protocol.Event
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-s.receiverInbox:
+			ev = protocol.RecvEvent(m)
+		case <-ticker.C:
+			ev = protocol.TickEvent()
+		}
+		sends, writes := s.cfg.Receiver.Step(ev)
+		for _, mg := range sends {
+			s.acksTx++
+			if err := s.mux.send(s.cfg.ID, ReceiverEnd.Dir(), mg); err != nil {
+				return
+			}
+		}
+		for _, item := range writes {
+			s.output = append(s.output, item)
+			s.learnTimes = append(s.learnTimes, time.Since(start))
+			if !s.output.IsPrefixOf(s.cfg.Input) {
+				s.violation = fmt.Errorf(
+					"wire: session %d safety violated: Y = %s is not a prefix of X = %s",
+					s.cfg.ID, s.output, s.cfg.Input)
+				s.mux.met.violations.Inc()
+				s.mux.met.reg.Emit("wire.safety.violation",
+					"session", strconv.FormatUint(s.cfg.ID, 10),
+					"output", s.output.String())
+				cancel()
+				return
+			}
+		}
+		if len(s.output) == len(s.cfg.Input) {
+			s.complete = true
+			cancel()
+			return
+		}
+	}
+}

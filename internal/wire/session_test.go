@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seqtx/internal/obs"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+)
+
+// sessionConfigs builds n alpha-protocol sessions with distinct inputs.
+func sessionConfigs(t *testing.T, n, m, items int, tick time.Duration) []SessionConfig {
+	t.Helper()
+	cfgs := make([]SessionConfig, n)
+	for i := range cfgs {
+		x := make(seq.Seq, items)
+		for j := range x {
+			x[j] = seq.Item((i + j) % m)
+		}
+		s, r, err := registry.Pair("alpha", registry.Params{M: m}, x)
+		if err != nil {
+			t.Fatalf("Pair: %v", err)
+		}
+		cfgs[i] = SessionConfig{
+			ID:       uint64(i + 1),
+			Sender:   s,
+			Receiver: r,
+			Input:    x,
+			Tick:     tick,
+			Deadline: 30 * time.Second,
+		}
+	}
+	return cfgs
+}
+
+// TestServeManyConcurrentSessions is the subsystem's concurrency
+// acceptance test: 32 sessions multiplexed over one in-process transport
+// (run it with -race). Every session must finish its tape with the
+// output exactly equal to its input and no safety violations.
+func TestServeManyConcurrentSessions(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewInproc(0, reg)
+	cfgs := sessionConfigs(t, 32, 8, 5, 200*time.Microsecond)
+	reports, err := Serve(context.Background(), ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if len(reports) != len(cfgs) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(cfgs))
+	}
+	for i, rep := range reports {
+		if rep.SafetyViolation != nil {
+			t.Errorf("session %d: safety violation: %v", rep.ID, rep.SafetyViolation)
+		}
+		if !rep.Complete {
+			t.Errorf("session %d: incomplete: %d/%d items", rep.ID, len(rep.Output), len(rep.Input))
+		}
+		if !rep.Output.Equal(cfgs[i].Input) {
+			t.Errorf("session %d: output %s != input %s", rep.ID, rep.Output, cfgs[i].Input)
+		}
+		if rep.Complete && len(rep.LearnTimes) != len(rep.Input) {
+			t.Errorf("session %d: %d learn times for %d items", rep.ID, len(rep.LearnTimes), len(rep.Input))
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["wire_safety_violations_total"]; got != 0 {
+		t.Errorf("violations counter = %d, want 0", got)
+	}
+	if got := snap.Counters["wire_sessions_completed_total"]; got != int64(len(cfgs)) {
+		t.Errorf("completed counter = %d, want %d", got, len(cfgs))
+	}
+}
+
+// TestServeUnderImpairment runs concurrent sessions over each link-level
+// impairment preset; the protocols must still deliver every tape.
+func TestServeUnderImpairment(t *testing.T) {
+	for _, name := range []string{"burst-drop", "partition-heal", "corrupt", "dup-replay", "reorder"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts, err := ImpairPreset(name)
+			if err != nil {
+				t.Fatalf("ImpairPreset: %v", err)
+			}
+			tr, err := NewImpairment(NewInproc(0, nil), opts, nil)
+			if err != nil {
+				t.Fatalf("NewImpairment: %v", err)
+			}
+			cfgs := sessionConfigs(t, 8, 8, 4, 200*time.Microsecond)
+			reports, err := Serve(context.Background(), ServeConfig{Transport: tr, Sessions: cfgs})
+			if err != nil {
+				t.Fatalf("Serve: %v", err)
+			}
+			for _, rep := range reports {
+				if rep.SafetyViolation != nil {
+					t.Errorf("session %d: %v", rep.ID, rep.SafetyViolation)
+				}
+				if !rep.Complete {
+					t.Errorf("session %d incomplete under %s", rep.ID, name)
+				}
+			}
+		})
+	}
+}
+
+// TestServeUDP exercises the datagram transport end to end.
+func TestServeUDP(t *testing.T) {
+	tr, err := NewUDP(nil)
+	if err != nil {
+		t.Fatalf("NewUDP: %v", err)
+	}
+	cfgs := sessionConfigs(t, 4, 8, 4, 500*time.Microsecond)
+	reports, err := Serve(context.Background(), ServeConfig{Transport: tr, Sessions: cfgs})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	for _, rep := range reports {
+		if rep.SafetyViolation != nil {
+			t.Errorf("session %d: %v", rep.ID, rep.SafetyViolation)
+		}
+		if !rep.Complete {
+			t.Errorf("session %d incomplete over udp", rep.ID)
+		}
+	}
+}
+
+// TestServeContextCancellation: a cancelled context ends every session
+// promptly with Complete=false and no safety verdict.
+func TestServeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := sessionConfigs(t, 4, 8, 4, time.Millisecond)
+	for i := range cfgs {
+		cfgs[i].Deadline = 0
+	}
+	done := make(chan struct{})
+	var reports []Report
+	var err error
+	go func() {
+		reports, err = Serve(ctx, ServeConfig{Transport: NewInproc(0, nil), Sessions: cfgs})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	for _, rep := range reports {
+		if rep.SafetyViolation != nil {
+			t.Errorf("session %d: spurious violation %v", rep.ID, rep.SafetyViolation)
+		}
+	}
+}
+
+// TestSessionDeadline: an impossible deadline expires the session
+// without declaring a safety violation.
+func TestSessionDeadline(t *testing.T) {
+	cfgs := sessionConfigs(t, 1, 8, 6, 50*time.Millisecond)
+	cfgs[0].Deadline = 10 * time.Millisecond
+	reports, err := Serve(context.Background(), ServeConfig{Transport: NewInproc(0, nil), Sessions: cfgs})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if reports[0].Complete {
+		t.Error("session completed despite a 10ms deadline and 50ms tick")
+	}
+	if reports[0].SafetyViolation != nil {
+		t.Errorf("deadline expiry reported as safety violation: %v", reports[0].SafetyViolation)
+	}
+}
+
+// TestMuxRejectsDuplicateSessionID guards the routing table invariant.
+func TestMuxRejectsDuplicateSessionID(t *testing.T) {
+	mux := NewMux(NewInproc(0, nil), nil)
+	defer mux.Close()
+	cfgs := sessionConfigs(t, 1, 8, 2, time.Millisecond)
+	if _, err := mux.NewSession(cfgs[0]); err != nil {
+		t.Fatalf("first NewSession: %v", err)
+	}
+	if _, err := mux.NewSession(cfgs[0]); err == nil {
+		t.Fatal("duplicate session id accepted")
+	}
+}

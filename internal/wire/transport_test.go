@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"seqtx/internal/obs"
+)
+
+func TestInprocRoundTrip(t *testing.T) {
+	tr := NewInproc(0, nil)
+	sendN(t, tr, SenderEnd, []byte{1}, []byte{2})
+	sendN(t, tr, ReceiverEnd, []byte{3})
+	if got := drain(tr.Recv(ReceiverEnd)); len(got) != 2 || got[0][0] != 1 || got[1][0] != 2 {
+		t.Fatalf("S→R frames wrong: %v", got)
+	}
+	if got := drain(tr.Recv(SenderEnd)); len(got) != 1 || got[0][0] != 3 {
+		t.Fatalf("R→S frames wrong: %v", got)
+	}
+}
+
+func TestInprocSendCopiesFrame(t *testing.T) {
+	tr := NewInproc(0, nil)
+	buf := []byte{42}
+	sendN(t, tr, SenderEnd, buf)
+	buf[0] = 99 // caller reuses its buffer; the transport must not care
+	got := drain(tr.Recv(ReceiverEnd))
+	if len(got) != 1 || got[0][0] != 42 {
+		t.Fatalf("transport aliased the caller's buffer: %v", got)
+	}
+}
+
+func TestInprocBackpressureDropsCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewInproc(2, reg)
+	for i := 0; i < 5; i++ {
+		sendN(t, tr, SenderEnd, []byte{byte(i)})
+	}
+	if got := drain(tr.Recv(ReceiverEnd)); len(got) != 2 {
+		t.Fatalf("buffer of 2 delivered %d frames", len(got))
+	}
+	if n := reg.Snapshot().Counters[`wire_frames_dropped_total{cause="backpressure"}`]; n != 3 {
+		t.Errorf("dropped counter = %d, want 3", n)
+	}
+}
+
+func TestInprocClose(t *testing.T) {
+	tr := NewInproc(0, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := tr.Send(SenderEnd, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	if _, ok := <-tr.Recv(ReceiverEnd); ok {
+		t.Fatal("Recv channel still open after Close")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	tr, err := NewUDP(nil)
+	if err != nil {
+		t.Fatalf("NewUDP: %v", err)
+	}
+	defer tr.Close()
+	sendN(t, tr, SenderEnd, []byte{1, 2, 3})
+	sendN(t, tr, ReceiverEnd, []byte{4})
+	recv := func(ch <-chan []byte) []byte {
+		select {
+		case f := <-ch:
+			return f
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout waiting for datagram")
+			return nil
+		}
+	}
+	if got := recv(tr.Recv(ReceiverEnd)); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("S→R datagram wrong: %v", got)
+	}
+	if got := recv(tr.Recv(SenderEnd)); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("R→S datagram wrong: %v", got)
+	}
+}
+
+func TestUDPClose(t *testing.T) {
+	tr, err := NewUDP(nil)
+	if err != nil {
+		t.Fatalf("NewUDP: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := tr.Send(SenderEnd, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	// Reader goroutines must have closed both Recv channels.
+	for _, end := range []End{SenderEnd, ReceiverEnd} {
+		select {
+		case _, ok := <-tr.Recv(end):
+			if ok {
+				t.Fatalf("%s Recv channel delivered after Close", end)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s Recv channel not closed", end)
+		}
+	}
+}
+
+func TestEndHelpers(t *testing.T) {
+	if SenderEnd.Opposite() != ReceiverEnd || ReceiverEnd.Opposite() != SenderEnd {
+		t.Error("Opposite wrong")
+	}
+	if SenderEnd.Dir() == ReceiverEnd.Dir() {
+		t.Error("both ends map to the same direction")
+	}
+}

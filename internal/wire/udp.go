@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"seqtx/internal/obs"
+)
+
+// UDP is the loopback datagram transport: one socket per end on
+// 127.0.0.1, one frame per datagram. UDP already provides the unreliable
+// channel of the paper — the kernel may drop and reorder datagrams — and
+// the impairment layer can make it arbitrarily worse.
+type UDP struct {
+	senderConn   *net.UDPConn // SenderEnd's socket
+	receiverConn *net.UDPConn // ReceiverEnd's socket
+	toSender     chan []byte
+	toReceiver   chan []byte
+	dropped      *obs.Counter
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Transport = (*UDP)(nil)
+
+// udpRecvBuffer is the per-end inbound frame buffer; frames arriving
+// while it is full are dropped (as UDP itself would under load).
+const udpRecvBuffer = 4096
+
+// NewUDP returns a UDP loopback transport on two kernel-assigned ports.
+// reg (which may be nil) receives the backpressure-drop counter.
+func NewUDP(reg *obs.Registry) (*UDP, error) {
+	senderConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("wire: udp sender socket: %w", err)
+	}
+	receiverConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		senderConn.Close()
+		return nil, fmt.Errorf("wire: udp receiver socket: %w", err)
+	}
+	t := &UDP{
+		senderConn:   senderConn,
+		receiverConn: receiverConn,
+		toSender:     make(chan []byte, udpRecvBuffer),
+		toReceiver:   make(chan []byte, udpRecvBuffer),
+		dropped:      reg.Counter(`wire_frames_dropped_total{cause="backpressure"}`),
+		done:         make(chan struct{}),
+	}
+	t.wg.Add(2)
+	go t.read(senderConn, t.toSender)
+	go t.read(receiverConn, t.toReceiver)
+	return t, nil
+}
+
+// Name implements Transport.
+func (t *UDP) Name() string { return "udp" }
+
+// Addr returns the local address of the given end's socket.
+func (t *UDP) Addr(e End) *net.UDPAddr {
+	if e == SenderEnd {
+		return t.senderConn.LocalAddr().(*net.UDPAddr)
+	}
+	return t.receiverConn.LocalAddr().(*net.UDPAddr)
+}
+
+// Send implements Transport: one datagram per frame toward the opposite
+// end's socket.
+func (t *UDP) Send(from End, frame []byte) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	var err error
+	if from == SenderEnd {
+		_, err = t.senderConn.WriteToUDP(frame, t.Addr(ReceiverEnd))
+	} else {
+		_, err = t.receiverConn.WriteToUDP(frame, t.Addr(SenderEnd))
+	}
+	if err != nil {
+		select {
+		case <-t.done:
+			return ErrClosed // send raced with Close; report the close
+		default:
+		}
+		return fmt.Errorf("wire: udp send: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *UDP) Recv(at End) <-chan []byte {
+	if at == SenderEnd {
+		return t.toSender
+	}
+	return t.toReceiver
+}
+
+// read pumps datagrams from conn into out until the socket closes, then
+// closes out (read is the channel's only writer).
+func (t *UDP) read(conn *net.UDPConn, out chan []byte) {
+	defer t.wg.Done()
+	defer close(out)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed (or fatally broken): stop pumping
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		select {
+		case out <- frame:
+		default:
+			t.dropped.Inc()
+		}
+	}
+}
+
+// Close implements Transport: closes both sockets and waits for the
+// reader goroutines to close the Recv channels.
+func (t *UDP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		e1 := t.senderConn.Close()
+		e2 := t.receiverConn.Close()
+		t.wg.Wait()
+		if e1 != nil {
+			t.closeErr = e1
+		} else {
+			t.closeErr = e2
+		}
+	})
+	return t.closeErr
+}
