@@ -1,0 +1,286 @@
+// Command stpload is the wire data plane's load generator: it drives
+// waves of concurrent STP sessions over a live transport for a wall-clock
+// window, optionally paced to a target session-start rate and impaired
+// with the shared fault presets, and emits a machine-readable JSON report
+// (aggregate throughput, goodput, batch-size distribution, drop causes).
+// The safety invariant is audited online in every session; stpload exits
+// 0 iff no session ever violated it — load is allowed to slow transfers
+// down or keep them from finishing, never to corrupt them.
+//
+// Usage:
+//
+//	stpload -transport inproc -sessions 64 -duration 5s -report -
+//	stpload -transport udp -sessions 16 -rate 200 -impair burst-drop
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"seqtx/internal/cliutil"
+	"seqtx/internal/obs"
+	"seqtx/internal/protocol/hybrid"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// report is the JSON document stpload emits.
+type report struct {
+	Transport      string  `json:"transport"`
+	Proto          string  `json:"proto"`
+	Impair         string  `json:"impair"`
+	SessionsPerWav int     `json:"sessions_per_wave"`
+	Waves          int     `json:"waves"`
+	Sessions       int     `json:"sessions"`
+	Completed      int     `json:"completed"`
+	Violations     int     `json:"violations"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	FramesTx     int64   `json:"frames_tx"`
+	FramesRx     int64   `json:"frames_rx"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	Retransmits  int64   `json:"retransmits"`
+
+	ItemsDelivered int64   `json:"items_delivered"`
+	GoodputMean    float64 `json:"goodput_items_per_sec_mean"`
+
+	DroppedByCause map[string]int64       `json:"dropped_by_cause,omitempty"`
+	BatchFrames    *obs.HistogramSnapshot `json:"batch_frames,omitempty"`
+	Metrics        obs.Snapshot           `json:"metrics"`
+}
+
+func run() int {
+	var (
+		proto     = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m         = flag.Int("m", 8, "domain / sender-alphabet size parameter")
+		timeout   = flag.Int("timeout", hybrid.DefaultTimeout, "hybrid timeout (ticks)")
+		window    = flag.Int("window", 4, "modseq sequence-number window")
+		items     = flag.Int("items", 6, "input items per session (repetition-free, so at most -m)")
+		sessions  = flag.Int("sessions", 64, "concurrent sessions per wave")
+		rate      = flag.Float64("rate", 0, "target session-start rate per second (0 = unpaced waves)")
+		duration  = flag.Duration("duration", 5*time.Second, "load window: new waves start until this elapses")
+		transport = flag.String("transport", "inproc", "transport: inproc|udp")
+		impair    = flag.String("impair", "none", "impairment: "+strings.Join(wire.ImpairPresetNames(), "|"))
+		seed      = flag.Int64("seed", 1, "base seed (wave w, session i uses seed+w*sessions+i)")
+		tick      = flag.Duration("tick", wire.DefaultTick, "per-process pacing tick")
+		deadline  = flag.Duration("deadline", 30*time.Second, "per-session deadline (0 = none)")
+		reportTo  = flag.String("report", "", "write the JSON report to this file (\"-\" = stdout)")
+		verbose   = flag.Bool("v", false, "print one line per wave")
+	)
+	flag.Parse()
+
+	for _, check := range []error{
+		cliutil.Positive("sessions", *sessions),
+		cliutil.Positive("items", *items),
+		cliutil.Positive("m", *m),
+		cliutil.NonNegative("timeout", *timeout),
+	} {
+		if check != nil {
+			fmt.Fprintln(os.Stderr, "stpload:", check)
+			return 2
+		}
+	}
+	if *tick <= 0 || *duration <= 0 || *deadline < 0 || *rate < 0 {
+		fmt.Fprintln(os.Stderr, "stpload: -tick and -duration must be > 0; -deadline and -rate must be >= 0")
+		return 2
+	}
+	if *items > *m {
+		fmt.Fprintf(os.Stderr, "stpload: -items %d exceeds -m %d (inputs are repetition-free); raise -m\n", *items, *m)
+		return 2
+	}
+	if *transport != "inproc" && *transport != "udp" {
+		fmt.Fprintf(os.Stderr, "stpload: unknown transport %q (have inproc, udp)\n", *transport)
+		return 2
+	}
+
+	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed}
+	opts, err := wire.ImpairPreset(*impair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpload:", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	rep := report{
+		Transport:      *transport,
+		Proto:          *proto,
+		Impair:         *impair,
+		SessionsPerWav: *sessions,
+	}
+	var goodputSum float64
+	var goodputN int
+
+	start := time.Now()
+	for wave := 0; ; wave++ {
+		// One wave = one fleet of -sessions concurrent transfers over a
+		// fresh transport (Serve owns and closes it); the obs registry is
+		// shared so counters and histograms aggregate across waves.
+		waveStart := time.Now()
+		var tr wire.Transport
+		if *transport == "udp" {
+			if tr, err = wire.NewUDP(reg); err != nil {
+				fmt.Fprintln(os.Stderr, "stpload:", err)
+				return 1
+			}
+		} else {
+			tr = wire.NewInproc(0, reg)
+		}
+		if tr, err = wire.NewImpairment(tr, opts, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "stpload:", err)
+			return 1
+		}
+
+		cfgs := make([]wire.SessionConfig, *sessions)
+		for i := range cfgs {
+			sessSeed := *seed + int64(wave)*int64(*sessions) + int64(i)
+			rng := rand.New(rand.NewSource(sessSeed))
+			x, err := seq.RandomRepetitionFree(rng, *m, *items)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stpload:", err)
+				return 2
+			}
+			s, r, err := registry.Pair(*proto, params, x)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stpload:", err)
+				return 2
+			}
+			cfgs[i] = wire.SessionConfig{
+				ID:       uint64(i + 1),
+				Sender:   s,
+				Receiver: r,
+				Input:    x,
+				Tick:     *tick,
+				Deadline: *deadline,
+			}
+		}
+
+		ctx, cancel := context.WithDeadline(context.Background(), start.Add(*duration+*deadline))
+		reports, err := wire.Serve(ctx, wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpload:", err)
+			return 1
+		}
+
+		waveComplete := 0
+		for _, r := range reports {
+			rep.Sessions++
+			if r.Complete {
+				rep.Completed++
+				waveComplete++
+			}
+			if r.SafetyViolation != nil {
+				rep.Violations++
+				fmt.Fprintln(os.Stderr, "stpload:", r.SafetyViolation)
+			}
+			rep.ItemsDelivered += int64(len(r.Output))
+			if r.GoodputItemsPerSec > 0 {
+				goodputSum += r.GoodputItemsPerSec
+				goodputN++
+			}
+		}
+		rep.Waves++
+		if *verbose {
+			fmt.Printf("wave %3d: sessions=%d complete=%d elapsed=%v\n",
+				wave, len(reports), waveComplete, time.Since(waveStart).Round(time.Millisecond))
+		}
+
+		if time.Since(start) >= *duration {
+			break
+		}
+		if *rate > 0 {
+			// Pace wave starts to the target session-start rate.
+			next := waveStart.Add(time.Duration(float64(*sessions) / *rate * float64(time.Second)))
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+			if time.Since(start) >= *duration {
+				break
+			}
+		}
+	}
+	rep.ElapsedSeconds = time.Since(start).Seconds()
+
+	snap := reg.Snapshot()
+	// The report is an aggregate document; the per-session event stream
+	// would dwarf it (and overflows the bounded buffer under load anyway).
+	snap.Events, snap.DroppedEvents = nil, 0
+	rep.Metrics = snap
+	rep.DroppedByCause = make(map[string]int64)
+	for name, v := range snap.Counters {
+		switch {
+		case strings.HasPrefix(name, "wire_frames_tx_total"):
+			rep.FramesTx += v
+		case strings.HasPrefix(name, "wire_frames_rx_total"):
+			rep.FramesRx += v
+		case strings.HasPrefix(name, "wire_frames_dropped_total"):
+			if v > 0 {
+				rep.DroppedByCause[dropCause(name)] = v
+			}
+		case name == "wire_retransmits_total":
+			rep.Retransmits = v
+		}
+	}
+	if rep.ElapsedSeconds > 0 {
+		rep.FramesPerSec = float64(rep.FramesTx) / rep.ElapsedSeconds
+	}
+	if goodputN > 0 {
+		rep.GoodputMean = goodputSum / float64(goodputN)
+	}
+	if h, ok := snap.Histograms["wire_batch_frames"]; ok {
+		rep.BatchFrames = &h
+	}
+
+	fmt.Printf("stpload: transport=%s proto=%s impair=%s waves=%d sessions=%d complete=%d violations=%d frames/s=%.0f\n",
+		rep.Transport, rep.Proto, rep.Impair, rep.Waves, rep.Sessions, rep.Completed, rep.Violations, rep.FramesPerSec)
+
+	if *reportTo != "" {
+		if err := writeReport(*reportTo, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "stpload:", err)
+			return 1
+		}
+	}
+	// Exit contract: load may slow sessions down or leave them
+	// incomplete, but a single prefix-safety violation fails the run.
+	if rep.Violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// dropCause extracts the cause label from a
+// wire_frames_dropped_total{cause="..."} counter name.
+func dropCause(name string) string {
+	if i := strings.Index(name, `cause="`); i >= 0 {
+		rest := name[i+len(`cause="`):]
+		if j := strings.IndexByte(rest, '"'); j >= 0 {
+			return rest[:j]
+		}
+	}
+	return name
+}
+
+// writeReport marshals rep to path ("-" = stdout).
+func writeReport(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

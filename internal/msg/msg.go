@@ -65,6 +65,19 @@ func (a Alphabet) Contains(m Msg) bool {
 	return ok
 }
 
+// Canonical returns the alphabet's own interned copy of the message whose
+// encoding is b, and whether b is in the alphabet at all. The compiler's
+// map-lookup special case makes the []byte→string conversion here
+// allocation-free, so a receive path that already validates membership
+// gets an owned Msg value without copying the payload.
+func (a Alphabet) Canonical(b []byte) (Msg, bool) {
+	i, ok := a.index[Msg(b)]
+	if !ok {
+		return "", false
+	}
+	return a.msgs[i], true
+}
+
 // Union returns the union of a and b preserving a's order first. Duplicate
 // members across the two alphabets are collapsed.
 func (a Alphabet) Union(b Alphabet) Alphabet {

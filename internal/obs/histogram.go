@@ -151,3 +151,8 @@ var StepBuckets = ExpBuckets(1, 2, 16)
 // DurationBuckets is the shared ladder for second-valued durations: 1ms
 // to ~32s in powers of two.
 var DurationBuckets = ExpBuckets(0.001, 2, 16)
+
+// BatchBuckets is the ladder for coalescing sizes (frames per batch,
+// writes per flush): powers of two from 1 to 4096, matching the wire
+// layer's maximum batch.
+var BatchBuckets = ExpBuckets(1, 2, 13)

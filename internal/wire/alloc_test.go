@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+)
+
+// Steady-state allocation contracts, enforced with testing.AllocsPerRun:
+// the data plane's per-frame operations must not allocate once their
+// buffers are warm. These are the regressions the pooled codec and the
+// in-place batch accumulation exist to prevent — a future change that
+// reintroduces a hidden malloc fails here, not in a benchmark someone
+// has to remember to read.
+
+// assertZeroAlloc runs f under AllocsPerRun and fails on any allocation.
+func assertZeroAlloc(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(200, f); n != 0 {
+		t.Errorf("%s: %.1f allocs/op in steady state, want 0", name, n)
+	}
+}
+
+func TestCodecSteadyStateZeroAlloc(t *testing.T) {
+	frame := Frame{Session: 42, Dir: channel.SToR, Msg: "d:3"}
+	raw := EncodeFrame(frame)
+
+	buf := make([]byte, 0, 64)
+	assertZeroAlloc(t, "AppendFrame into reused buffer", func() {
+		buf = AppendFrame(buf[:0], frame)
+	})
+
+	var v FrameView
+	assertZeroAlloc(t, "DecodeFrameInto", func() {
+		if err := DecodeFrameInto(&v, raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	frames := make([][]byte, 32)
+	for i := range frames {
+		frames[i] = raw
+	}
+	blob := make([]byte, 0, 2048)
+	assertZeroAlloc(t, "AppendBatch into reused buffer", func() {
+		blob = AppendBatch(blob[:0], frames)
+	})
+
+	split := func(f []byte) error { return DecodeFrameInto(&v, f) }
+	assertZeroAlloc(t, "SplitBatch + DecodeFrameInto", func() {
+		if err := SplitBatch(blob, split); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIncrementalBatchZeroAlloc(t *testing.T) {
+	frame := Frame{Session: 42, Dir: channel.SToR, Msg: "d:3"}
+	buf := make([]byte, 0, 4096)
+	var slot [batchLenPrefix]byte
+	assertZeroAlloc(t, "seed + append + patch incremental blob", func() {
+		buf = seedBatchBlob(buf[:0])
+		for i := 0; i < 8; i++ {
+			pfx := len(buf)
+			buf = append(buf, slot[:]...)
+			buf = AppendFrame(buf, frame)
+			putPaddedUvarint(buf[pfx:pfx+batchLenPrefix], uint64(len(buf)-pfx-batchLenPrefix))
+		}
+		patchBatchCount(buf, 8)
+	})
+	// The accumulated blob must be a valid batch.
+	n := 0
+	var v FrameView
+	if err := SplitBatch(buf, func(f []byte) error {
+		n++
+		return DecodeFrameInto(&v, f)
+	}); err != nil {
+		t.Fatalf("SplitBatch of incremental blob: %v", err)
+	}
+	if n != 8 {
+		t.Fatalf("incremental blob split into %d frames, want 8", n)
+	}
+}
+
+func TestBufferPoolZeroAlloc(t *testing.T) {
+	// Warm both classes first so the pools hold a buffer.
+	putBuf(getBuf(16))
+	putBuf(getBuf(blobCap))
+	assertZeroAlloc(t, "small buffer get/put cycle", func() {
+		putBuf(getBuf(16))
+	})
+	assertZeroAlloc(t, "blob buffer get/put cycle", func() {
+		putBuf(getBuf(blobCap))
+	})
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch framing: several encoded frames coalesced into one wire blob so
+// transports can amortize a syscall (UDP) or a channel handoff (inproc)
+// across many frames. The format is strict and self-delimiting:
+//
+//	batchMagic, batchVersion, uvarint frame count,
+//	then per frame: uvarint length, frame bytes.
+//
+// A batch is only a packaging of an ordered burst — every contained frame
+// still carries its own header and checksum and is decoded frame-by-frame
+// by the receiver, so batching changes nothing the impairment layer or
+// the protocols can observe (DESIGN.md §9). The first byte distinguishes
+// a batch blob (batchMagic) from a bare frame (frameMagic), so a Recv
+// stream may freely mix the two.
+const (
+	batchMagic   = 0xA8
+	batchVersion = 0x01
+	// maxBatchFrames bounds the declared frame count: a corrupt count
+	// must not ask the splitter for millions of iterations.
+	maxBatchFrames = 4096
+	// maxBatchFrameLen bounds each contained frame's declared length
+	// (header + max payload + checksum, rounded up).
+	maxBatchFrameLen = maxFrameMsgLen + 64
+)
+
+// IsBatch reports whether data starts like a batch blob rather than a
+// bare frame. It is a routing hint only; SplitBatch still validates.
+func IsBatch(data []byte) bool {
+	return len(data) >= 2 && data[0] == batchMagic
+}
+
+// AppendBatch appends the batch encoding of frames to dst and returns the
+// extended slice. It allocates nothing beyond growing dst.
+func AppendBatch(dst []byte, frames [][]byte) []byte {
+	dst = append(dst, batchMagic, batchVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(frames)))
+	for _, f := range frames {
+		dst = binary.AppendUvarint(dst, uint64(len(f)))
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// batchOverhead bounds the framing bytes AppendBatch adds around n frames
+// (header plus one maximal length prefix per frame).
+func batchOverhead(n int) int { return 2 + binary.MaxVarintLen64*(n+1) }
+
+// In-place batch accumulation: the mux's outboxes build batch blobs
+// incrementally — frames are appended as they are sent, so the finished
+// blob can be handed to a blobSender transport without re-encoding or
+// copying. Incremental building needs fixed-width slots for the values
+// that are not known until later (the frame count, each frame's length),
+// so those are written as padded uvarints: continuation bits forced on
+// all but the last byte. binary.Uvarint accepts non-minimal encodings,
+// so SplitBatch reads these blobs exactly like AppendBatch's output.
+const (
+	// batchHeaderLen is magic + version + a padded frame-count slot.
+	batchHeaderLen = 2 + binary.MaxVarintLen64
+	// batchLenPrefix is the padded per-frame length slot: 3 bytes cover
+	// up to 2^21-1, beyond maxBatchFrameLen.
+	batchLenPrefix = 3
+)
+
+// putPaddedUvarint writes v as a uvarint padded to exactly len(dst)
+// bytes. v must fit in 7*(len(dst)-1)+7 bits with the final byte < 0x80.
+func putPaddedUvarint(dst []byte, v uint64) {
+	for i := 0; i < len(dst)-1; i++ {
+		dst[i] = byte(v&0x7f) | 0x80
+		v >>= 7
+	}
+	dst[len(dst)-1] = byte(v)
+}
+
+// seedBatchBlob appends an incremental-batch header (with a zeroed count
+// slot) to buf.
+func seedBatchBlob(buf []byte) []byte {
+	buf = append(buf, batchMagic, batchVersion)
+	var slot [binary.MaxVarintLen64]byte
+	return append(buf, slot[:]...)
+}
+
+// patchBatchCount fills the count slot of a seeded blob.
+func patchBatchCount(blob []byte, count int) {
+	putPaddedUvarint(blob[2:batchHeaderLen], uint64(count))
+}
+
+// SplitBatch iterates the frames of a batch blob in order, calling fn on
+// each (the slice aliases data). It is strict: a bad header, a count or
+// length prefix out of bounds, a frame running past the blob, or trailing
+// garbage after the last frame are all errors — a damaged batch is
+// rejected, never mis-split into different frames. Frames already
+// consumed before the error was hit may have been delivered to fn; each
+// of those was length-delimited exactly as encoded, and every frame still
+// carries its own checksum downstream.
+func SplitBatch(data []byte, fn func(frame []byte) error) error {
+	if len(data) < 2 {
+		return fmt.Errorf("wire: batch too short (%d bytes)", len(data))
+	}
+	if data[0] != batchMagic {
+		return fmt.Errorf("wire: bad batch magic 0x%02x", data[0])
+	}
+	if data[1] != batchVersion {
+		return fmt.Errorf("wire: unsupported batch version %d", data[1])
+	}
+	rest := data[2:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count == 0 || count > maxBatchFrames {
+		return fmt.Errorf("wire: bad batch frame count")
+	}
+	rest = rest[n:]
+	for i := uint64(0); i < count; i++ {
+		flen, n := binary.Uvarint(rest)
+		if n <= 0 || flen == 0 || flen > maxBatchFrameLen {
+			return fmt.Errorf("wire: bad batch frame %d length prefix", i)
+		}
+		rest = rest[n:]
+		if uint64(len(rest)) < flen {
+			return fmt.Errorf("wire: batch frame %d truncated (%d of %d bytes)", i, len(rest), flen)
+		}
+		if err := fn(rest[:flen]); err != nil {
+			return err
+		}
+		rest = rest[flen:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after batch", len(rest))
+	}
+	return nil
+}

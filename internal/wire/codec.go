@@ -3,7 +3,6 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 
 	"seqtx/internal/channel"
 	"seqtx/internal/msg"
@@ -58,52 +57,99 @@ func EncodeFrame(f Frame) []byte {
 	return AppendFrame(make([]byte, 0, 16+len(f.Msg)), f)
 }
 
-// DecodeFrame parses exactly one frame from data. It is strict: bad
-// magic, a truncated or oversized payload, an unknown direction, a
-// checksum mismatch, or trailing bytes are all errors — a corrupted frame
-// must be rejected, never mis-decoded into a different message.
-func DecodeFrame(data []byte) (Frame, error) {
+// FrameView is a decoded frame whose payload still aliases the encoded
+// buffer: DecodeFrameInto fills one without copying, so a router that
+// owns the buffer can inspect session, direction, and payload with zero
+// allocations and copy the payload out only if it keeps the frame.
+type FrameView struct {
+	// Session routes the frame to one of the multiplexed sessions.
+	Session uint64
+	// Dir is the logical direction (SToR for data, RToS for acks).
+	Dir channel.Dir
+	// Payload aliases the encoded buffer; it is valid only until the
+	// buffer is reused or released.
+	Payload []byte
+}
+
+// Msg copies the payload out into an owned message value.
+func (v *FrameView) Msg() msg.Msg { return msg.Msg(v.Payload) }
+
+// DecodeFrameInto parses exactly one frame from data into v without
+// copying the payload (v.Payload aliases data). It is strict: bad magic,
+// a truncated or oversized payload, an unknown direction, a checksum
+// mismatch, or trailing bytes are all errors — a corrupted frame must be
+// rejected, never mis-decoded into a different message.
+func DecodeFrameInto(v *FrameView, data []byte) error {
 	if len(data) < 2+1+1+1+checksumLen {
-		return Frame{}, fmt.Errorf("wire: frame too short (%d bytes)", len(data))
+		return fmt.Errorf("wire: frame too short (%d bytes)", len(data))
 	}
 	if data[0] != frameMagic {
-		return Frame{}, fmt.Errorf("wire: bad frame magic 0x%02x", data[0])
+		return fmt.Errorf("wire: bad frame magic 0x%02x", data[0])
 	}
 	if data[1] != frameVersion {
-		return Frame{}, fmt.Errorf("wire: unsupported frame version %d", data[1])
+		return fmt.Errorf("wire: unsupported frame version %d", data[1])
 	}
 	body, tail := data[:len(data)-checksumLen], data[len(data)-checksumLen:]
 	if got, want := binary.BigEndian.Uint32(tail), checksum(body); got != want {
-		return Frame{}, fmt.Errorf("wire: frame checksum mismatch (got %08x, want %08x)", got, want)
+		return fmt.Errorf("wire: frame checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	rest := body[2:]
 	session, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return Frame{}, fmt.Errorf("wire: bad session id varint")
+		return fmt.Errorf("wire: bad session id varint")
 	}
 	rest = rest[n:]
 	if len(rest) < 1 {
-		return Frame{}, fmt.Errorf("wire: frame truncated before direction")
+		return fmt.Errorf("wire: frame truncated before direction")
 	}
 	dir := channel.Dir(rest[0])
 	if dir != channel.SToR && dir != channel.RToS {
-		return Frame{}, fmt.Errorf("wire: bad frame direction %d", int(dir))
+		return fmt.Errorf("wire: bad frame direction %d", int(dir))
 	}
 	rest = rest[1:]
 	msgLen, n := binary.Uvarint(rest)
 	if n <= 0 || msgLen > maxFrameMsgLen {
-		return Frame{}, fmt.Errorf("wire: bad message length varint")
+		return fmt.Errorf("wire: bad message length varint")
 	}
 	rest = rest[n:]
 	if uint64(len(rest)) != msgLen {
-		return Frame{}, fmt.Errorf("wire: message length %d does not match remaining %d bytes", msgLen, len(rest))
+		return fmt.Errorf("wire: message length %d does not match remaining %d bytes", msgLen, len(rest))
 	}
-	return Frame{Session: session, Dir: dir, Msg: msg.Msg(rest)}, nil
+	v.Session, v.Dir, v.Payload = session, dir, rest
+	return nil
 }
 
-// checksum is FNV-1a 32 over b.
+// DecodeFrame parses exactly one frame from data with the same strict
+// rules as DecodeFrameInto, copying the payload into an owned Msg.
+func DecodeFrame(data []byte) (Frame, error) {
+	var v FrameView
+	if err := DecodeFrameInto(&v, data); err != nil {
+		return Frame{}, err
+	}
+	return Frame{Session: v.Session, Dir: v.Dir, Msg: v.Msg()}, nil
+}
+
+// PeekFrameSession extracts the session id from an encoded frame without
+// validating the rest — the impairment layer uses it to pick a lock
+// shard. Frames that do not parse report ok=false (and shard together).
+func PeekFrameSession(frame []byte) (session uint64, ok bool) {
+	if len(frame) < 3 || frame[0] != frameMagic {
+		return 0, false
+	}
+	session, n := binary.Uvarint(frame[2:])
+	return session, n > 0
+}
+
+// checksum is FNV-1a 32 over b, inlined so the hot path pays a tight
+// byte loop instead of a hash.Hash allocation and interface calls.
 func checksum(b []byte) uint32 {
-	h := fnv.New32a()
-	h.Write(b)
-	return h.Sum32()
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * prime32
+	}
+	return h
 }

@@ -61,6 +61,11 @@ type detState struct {
 	stores map[channel.Dir]*detStore
 	res    DetResult
 	output seq.Seq
+	// scratch is the reused encode buffer: every emitted message is
+	// framed into it and decoded back out, so the codec round-trip costs
+	// no per-message allocation. The decoded payload is copied into an
+	// owned Msg before scratch is overwritten.
+	scratch []byte
 }
 
 type detStore struct {
@@ -182,9 +187,9 @@ func (d *detState) apply(act trace.Action) error {
 // route pushes emitted messages through the codec into dir's store.
 func (d *detState) route(dir channel.Dir, sends []msg.Msg) error {
 	for _, m := range sends {
-		frame := AppendFrame(nil, Frame{Session: d.cfg.SessionID, Dir: dir, Msg: m})
-		f, err := DecodeFrame(frame)
-		if err != nil {
+		d.scratch = AppendFrame(d.scratch[:0], Frame{Session: d.cfg.SessionID, Dir: dir, Msg: m})
+		var v FrameView
+		if err := DecodeFrameInto(&v, d.scratch); err != nil {
 			return fmt.Errorf("wire: det codec round-trip: %w", err)
 		}
 		if dir == channel.SToR {
@@ -192,7 +197,9 @@ func (d *detState) route(dir channel.Dir, sends []msg.Msg) error {
 		} else {
 			d.res.AcksTx++
 		}
-		d.stores[dir].add(f.Msg)
+		// v.Payload aliases scratch, which the next iteration overwrites;
+		// the store needs an owned copy.
+		d.stores[dir].add(msg.Msg(v.Payload))
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"seqtx/internal/registry"
 	"seqtx/internal/seq"
 	"seqtx/internal/sim"
+	"seqtx/internal/trace"
 )
 
 // replayInSim replays a det-run schedule through the lock-step simulator
@@ -99,6 +100,42 @@ func TestDetRunDeterministic(t *testing.T) {
 		if a.Script[i].Key() != b.Script[i].Key() {
 			t.Fatalf("schedules diverge at step %d: %s vs %s", i, a.Script[i], b.Script[i])
 		}
+	}
+}
+
+// TestDetRunScheduleSurvivesScratchReuse pins the encode-scratch reuse
+// in route: every message recorded in the schedule must be byte-identical
+// to a fresh, independently allocated codec round-trip of itself. If a
+// recorded message ever aliased the reused scratch buffer, a later
+// encode would have rewritten its bytes and this comparison would break.
+func TestDetRunScheduleSurvivesScratchReuse(t *testing.T) {
+	params := registry.Params{M: 6}
+	input := seq.Seq{3, 0, 5, 1, 4, 2}
+	s, r, err := registry.Pair("alpha", params, input)
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	res, err := DetRun(DetConfig{Sender: s, Receiver: r, Input: input, Seed: 11, DupEveryN: 3})
+	if err != nil {
+		t.Fatalf("DetRun: %v", err)
+	}
+	delivers := 0
+	for i, act := range res.Script {
+		if act.Kind != trace.ActDeliver {
+			continue
+		}
+		delivers++
+		fresh := AppendFrame(nil, Frame{Session: 1, Dir: act.Dir, Msg: act.Msg})
+		f, err := DecodeFrame(fresh)
+		if err != nil {
+			t.Fatalf("step %d: fresh round-trip of recorded msg %q: %v", i, act.Msg, err)
+		}
+		if f.Msg != act.Msg {
+			t.Fatalf("step %d: recorded msg %q != fresh round-trip %q", i, act.Msg, f.Msg)
+		}
+	}
+	if delivers == 0 {
+		t.Fatal("schedule recorded no deliveries; test exercised nothing")
 	}
 }
 

@@ -17,7 +17,8 @@ import (
 // faults — duplication and reordering.
 //
 // Window positions in the Spec are counted in frames handled per
-// direction (the live counterpart of adversary steps): the burst-drop
+// direction within a lock shard (sessions are striped over shards; the
+// single-stream case is exactly the old global count): the burst-drop
 // preset that drops scheduler steps 10..50 drops the 10th..49th frame
 // offered on that direction here.
 type Options struct {
@@ -31,6 +32,13 @@ type Options struct {
 	// ReorderEveryN, when > 0, holds every Nth S→R frame back until one
 	// more frame has passed it — a pairwise reordering.
 	ReorderEveryN int
+}
+
+// active reports whether any impairment is configured at all; when not,
+// the layer is a pure passthrough and the hot path skips its locks.
+func (o Options) active() bool {
+	return len(o.Spec.Bursts) > 0 || len(o.Spec.Partitions) > 0 ||
+		len(o.Spec.Corruptions) > 0 || o.DupEveryN > 0 || o.ReorderEveryN > 0
 }
 
 // ImpairPreset returns the named impairment options. The menu is the
@@ -70,30 +78,51 @@ func ImpairPresetNames() []string {
 }
 
 // heldFrame is a partition-delayed frame: released once the direction's
-// frame count passes release.
+// frame count passes release. The bytes live in a pooled buffer owned by
+// the impairment until the frame is forwarded.
 type heldFrame struct {
 	release int
 	frame   []byte
 }
 
-// dirState is the per-direction impairment state.
+// dirState is the per-shard, per-direction impairment state.
 type dirState struct {
 	count   int    // frames offered on this direction so far
-	prev    []byte // last frame actually sent (corruption substitute)
+	prev    []byte // last frame actually sent (corruption substitute), reused
 	held    []heldFrame
 	pending []byte // reorder slot: goes out after the next frame
+}
+
+// impairShardBits/impairShards size the lock striping: sessions hash onto
+// shards, so 64+ concurrent sessions spread over independent mutexes
+// instead of serializing on one.
+const (
+	impairShardBits = 4
+	impairShards    = 1 << impairShardBits
+)
+
+// impairShard is one lock stripe: its own mutex and per-direction state.
+// Fault windows are counted within the stripe; a single session (and
+// every frame that does not parse as a frame) always lands on the same
+// stripe, so single-stream behavior is identical to a global count.
+type impairShard struct {
+	mu   sync.Mutex
+	dirs [2]dirState // indexed dir-1 (SToR, RToS)
 }
 
 // Impairment wraps a Transport and replays fault windows against its
 // Send path. Frames travelling SenderEnd→ReceiverEnd are the S→R half,
 // the reverse the R→S half, exactly as in the sim's Link. Recv passes
 // through untouched (faults live on the wire, not in the receiver).
+// Batched sends are impaired frame-by-frame — a batch is only an ordered
+// burst, and every frame in it meets the same window logic a lone frame
+// would (DESIGN.md §9).
 type Impairment struct {
-	inner Transport
-	opts  Options
+	inner       Transport
+	opts        Options
+	passthrough bool
 
-	mu   sync.Mutex
-	dirs map[channel.Dir]*dirState
+	shards [impairShards]impairShard
 
 	dropped   *obs.Counter
 	heldTotal *obs.Counter
@@ -103,6 +132,7 @@ type Impairment struct {
 }
 
 var _ Transport = (*Impairment)(nil)
+var _ BatchSender = (*Impairment)(nil)
 
 // NewImpairment wraps inner with the given options. reg (which may be
 // nil) receives the impairment counters.
@@ -111,17 +141,14 @@ func NewImpairment(inner Transport, o Options, reg *obs.Registry) (*Impairment, 
 		return nil, fmt.Errorf("wire: fault spec %q injects process faults, which a live link cannot replay", o.Spec.Name)
 	}
 	return &Impairment{
-		inner: inner,
-		opts:  o,
-		dirs: map[channel.Dir]*dirState{
-			channel.SToR: {},
-			channel.RToS: {},
-		},
-		dropped:   reg.Counter(`wire_frames_dropped_total{cause="impair"}`),
-		heldTotal: reg.Counter("wire_frames_held_total"),
-		corrupted: reg.Counter("wire_frames_corrupted_total"),
-		duped:     reg.Counter("wire_frames_dup_total"),
-		reordered: reg.Counter("wire_frames_reordered_total"),
+		inner:       inner,
+		opts:        o,
+		passthrough: !o.active(),
+		dropped:     reg.Counter(`wire_frames_dropped_total{cause="impair"}`),
+		heldTotal:   reg.Counter("wire_frames_held_total"),
+		corrupted:   reg.Counter("wire_frames_corrupted_total"),
+		duped:       reg.Counter("wire_frames_dup_total"),
+		reordered:   reg.Counter("wire_frames_reordered_total"),
 	}, nil
 }
 
@@ -137,35 +164,128 @@ func (im *Impairment) Name() string {
 // Recv implements Transport (pass-through).
 func (im *Impairment) Recv(at End) <-chan []byte { return im.inner.Recv(at) }
 
+// shardFor picks the lock stripe for a frame by its session id
+// (Fibonacci-hashed); anything that does not parse shards together.
+func (im *Impairment) shardFor(frame []byte) *impairShard {
+	id, ok := PeekFrameSession(frame)
+	if !ok {
+		return &im.shards[0]
+	}
+	return &im.shards[(id*0x9E3779B97F4A7C15)>>(64-impairShardBits)]
+}
+
 // Close implements Transport: releases every still-held frame (a
 // partition heals at shutdown rather than swallowing messages — the
 // model's partitions delay, never delete), then closes the inner
 // transport.
 func (im *Impairment) Close() error {
-	im.mu.Lock()
-	for _, end := range []End{SenderEnd, ReceiverEnd} {
-		st := im.dirs[end.Dir()]
-		for _, h := range st.held {
-			im.inner.Send(end, h.frame)
+	for s := range im.shards {
+		sh := &im.shards[s]
+		sh.mu.Lock()
+		for _, end := range []End{SenderEnd, ReceiverEnd} {
+			st := &sh.dirs[end.Dir()-1]
+			for _, h := range st.held {
+				im.inner.Send(end, h.frame)
+				putBuf(h.frame)
+			}
+			st.held = nil
+			if st.pending != nil {
+				im.inner.Send(end, st.pending)
+				putBuf(st.pending)
+				st.pending = nil
+			}
 		}
-		st.held = nil
-		if st.pending != nil {
-			im.inner.Send(end, st.pending)
-			st.pending = nil
-		}
+		sh.mu.Unlock()
 	}
-	im.mu.Unlock()
 	return im.inner.Close()
+}
+
+// impairScratch accumulates one offered burst's surviving frames: views
+// into caller-owned frames, into scratch (substituted bytes), or into
+// impairment-owned pooled buffers queued for release after the flush.
+type impairScratch struct {
+	frames [][]byte // surviving frames to forward, in order
+	free   [][]byte // pooled buffers to release once forwarded
+	buf    []byte   // copies of substituted (prev) bytes
+}
+
+var impairScratchPool = sync.Pool{New: func() any { return &impairScratch{} }}
+
+func getImpairScratch() *impairScratch { return impairScratchPool.Get().(*impairScratch) }
+
+func releaseImpairScratch(sc *impairScratch) {
+	for _, b := range sc.free {
+		putBuf(b)
+	}
+	for i := range sc.frames {
+		sc.frames[i] = nil
+	}
+	for i := range sc.free {
+		sc.free[i] = nil
+	}
+	sc.frames, sc.free, sc.buf = sc.frames[:0], sc.free[:0], sc.buf[:0]
+	impairScratchPool.Put(sc)
+}
+
+// copyIn copies b into the scratch and returns the stable view. Growth
+// reallocations keep earlier views valid (they pin the old array).
+func (sc *impairScratch) copyIn(b []byte) []byte {
+	start := len(sc.buf)
+	sc.buf = append(sc.buf, b...)
+	return sc.buf[start:]
 }
 
 // Send implements Transport: it applies, in order, partition release,
 // partition hold, burst drop, corruption substitution, reordering, and
-// duplication, then forwards what survives to the inner transport.
+// duplication, then forwards what survives to the inner transport
+// frame-by-frame.
 func (im *Impairment) Send(from End, frame []byte) error {
+	if im.passthrough {
+		return im.inner.Send(from, frame)
+	}
+	sc := getImpairScratch()
+	defer releaseImpairScratch(sc)
 	dir := from.Dir()
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	st := im.dirs[dir]
+	sh := im.shardFor(frame)
+	sh.mu.Lock()
+	im.applyLocked(&sh.dirs[dir-1], dir, frame, sc)
+	sh.mu.Unlock()
+	for _, f := range sc.frames {
+		if err := im.inner.Send(from, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendBatch implements BatchSender: every frame in the burst goes through
+// the same per-frame impairment logic as a lone Send, and the survivors
+// are forwarded as one burst on the inner transport.
+func (im *Impairment) SendBatch(from End, frames [][]byte) error {
+	if im.passthrough {
+		return sendFrames(im.inner, from, frames)
+	}
+	sc := getImpairScratch()
+	defer releaseImpairScratch(sc)
+	dir := from.Dir()
+	for _, frame := range frames {
+		sh := im.shardFor(frame)
+		sh.mu.Lock()
+		im.applyLocked(&sh.dirs[dir-1], dir, frame, sc)
+		sh.mu.Unlock()
+	}
+	if len(sc.frames) == 0 {
+		return nil
+	}
+	return sendFrames(im.inner, from, sc.frames)
+}
+
+// applyLocked runs one offered frame through the impairment pipeline
+// under its shard lock, appending the frames to put on the wire (in
+// order) to sc. Emitted bytes alias either the caller's frame, sc's
+// scratch, or pooled buffers queued on sc.free — all stable until the
+// caller forwards and releases sc.
+func (im *Impairment) applyLocked(st *dirState, dir channel.Dir, frame []byte, sc *impairScratch) {
 	n := st.count
 	st.count++
 
@@ -174,9 +294,8 @@ func (im *Impairment) Send(from End, frame []byte) error {
 		kept := st.held[:0]
 		for _, h := range st.held {
 			if h.release <= n {
-				if err := im.inner.Send(from, h.frame); err != nil {
-					return err
-				}
+				sc.frames = append(sc.frames, h.frame)
+				sc.free = append(sc.free, h.frame)
 			} else {
 				kept = append(kept, h)
 			}
@@ -186,65 +305,58 @@ func (im *Impairment) Send(from End, frame []byte) error {
 
 	// Partition: delay the frame until the window ends.
 	if release, blocked := im.partitioned(dir, n); blocked {
-		cp := make([]byte, len(frame))
-		copy(cp, frame)
+		cp := append(getBuf(len(frame)), frame...)
 		st.held = append(st.held, heldFrame{release: release, frame: cp})
 		im.heldTotal.Inc()
-		return nil
+		return
 	}
 
 	// Burst drop: the frame is deleted.
 	for _, b := range im.opts.Spec.Bursts {
 		if b.Dir == dir && n >= b.From && n < b.From+b.Length {
 			im.dropped.Inc()
-			return nil
+			return
 		}
 	}
 
 	// Corruption: substitute the previously sent frame on this half (a
 	// genuinely transmitted value, mirroring faults.Corrupt: in-alphabet,
-	// wrong content).
+	// wrong content). The substitute is copied to scratch so later frames
+	// in the same burst may overwrite st.prev.
 	out := frame
 	for _, c := range im.opts.Spec.Corruptions {
-		if c.Dir == dir && c.EveryN > 0 && st.prev != nil && (n+1)%c.EveryN == 0 {
-			out = st.prev
+		if c.Dir == dir && c.EveryN > 0 && len(st.prev) > 0 && (n+1)%c.EveryN == 0 {
+			out = sc.copyIn(st.prev)
 			im.corrupted.Inc()
 			break
 		}
 	}
-
-	cp := make([]byte, len(out))
-	copy(cp, out)
 
 	// Reorder: every Nth frame waits for its successor.
 	if im.opts.ReorderEveryN > 0 && dir == channel.SToR {
 		if st.pending != nil {
 			pending := st.pending
 			st.pending = nil
-			st.prev = cp
-			if err := im.inner.Send(from, cp); err != nil {
-				return err
-			}
+			st.prev = append(st.prev[:0], out...)
+			sc.frames = append(sc.frames, out, pending)
+			sc.free = append(sc.free, pending)
 			im.reordered.Inc()
-			return im.inner.Send(from, pending)
+			return
 		}
 		if (n+1)%im.opts.ReorderEveryN == 0 {
-			st.pending = cp
-			return nil
+			st.pending = append(getBuf(len(out)), out...)
+			return
 		}
 	}
 
-	st.prev = cp
-	if err := im.inner.Send(from, cp); err != nil {
-		return err
-	}
+	st.prev = append(st.prev[:0], out...)
+	sc.frames = append(sc.frames, out)
 
 	// Duplication: the dup channel's replay freedom, live.
 	if im.opts.DupEveryN > 0 && dir == channel.SToR && (n+1)%im.opts.DupEveryN == 0 {
 		im.duped.Inc()
-		return im.inner.Send(from, cp)
+		sc.frames = append(sc.frames, out)
 	}
-	return nil
 }
 
 // partitioned reports whether frame n on dir falls inside a partition

@@ -12,6 +12,11 @@ import (
 // which the protocols must survive anyway) — so even in-process, the link
 // honestly behaves like an unreliable channel rather than an idealized
 // FIFO pipe.
+//
+// The channels carry wire blobs: a bare frame per Send, or one batch blob
+// per SendBatch — the in-process counterpart of writev, paying one
+// channel handoff for a whole burst. All copies land in pooled buffers;
+// steady-state traffic allocates nothing.
 type Inproc struct {
 	toReceiver chan []byte
 	toSender   chan []byte
@@ -22,8 +27,9 @@ type Inproc struct {
 }
 
 var _ Transport = (*Inproc)(nil)
+var _ BatchSender = (*Inproc)(nil)
 
-// DefaultInprocCapacity is the per-direction frame buffer used by
+// DefaultInprocCapacity is the per-direction blob buffer used by
 // NewInproc when capacity is not positive.
 const DefaultInprocCapacity = 1024
 
@@ -44,16 +50,11 @@ func NewInproc(capacity int, reg *obs.Registry) *Inproc {
 // Name implements Transport.
 func (t *Inproc) Name() string { return "inproc" }
 
-// Send implements Transport: a non-blocking enqueue toward the opposite
-// end. A full buffer drops the frame and counts it.
-func (t *Inproc) Send(from End, frame []byte) error {
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.closed {
-		return ErrClosed
-	}
+// enqueue copies already-encoded blob bytes into a pooled buffer and
+// performs the non-blocking handoff toward the opposite end, counting
+// nFrames drops if the buffer is full. Callers hold the read lock.
+func (t *Inproc) enqueue(from End, blob []byte, nFrames int) {
+	cp := append(getBuf(len(blob)), blob...)
 	ch := t.toReceiver
 	if from == ReceiverEnd {
 		ch = t.toSender
@@ -61,7 +62,90 @@ func (t *Inproc) Send(from End, frame []byte) error {
 	select {
 	case ch <- cp:
 	default:
-		t.dropped.Inc()
+		t.dropped.Add(int64(nFrames))
+		putBuf(cp)
+	}
+}
+
+// Send implements Transport: a non-blocking enqueue toward the opposite
+// end. A full buffer drops the frame and counts it.
+func (t *Inproc) Send(from End, frame []byte) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return ErrClosed
+	}
+	t.enqueue(from, frame, 1)
+	return nil
+}
+
+// SendBatch implements BatchSender: the whole burst is packed into batch
+// blobs (one channel handoff per blob) and enqueued in order. A full
+// buffer drops a blob's worth of frames at once — an ordered burst lost
+// together, which the protocols tolerate as channel loss.
+func (t *Inproc) SendBatch(from End, frames [][]byte) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return ErrClosed
+	}
+	for start := 0; start < len(frames); {
+		n, size := batchFit(frames[start:], blobCap)
+		if n == 1 {
+			t.enqueue(from, frames[start], 1)
+			start++
+			continue
+		}
+		blob := AppendBatch(getBuf(size), frames[start:start+n])
+		ch := t.toReceiver
+		if from == ReceiverEnd {
+			ch = t.toSender
+		}
+		select {
+		case ch <- blob:
+		default:
+			t.dropped.Add(int64(n))
+			putBuf(blob)
+		}
+		start += n
+	}
+	return nil
+}
+
+// batchFit returns how many leading frames fit in one blob of at most
+// limit bytes (and at most maxBatchFrames), and a size estimate covering
+// their batch encoding. At least one frame always fits (a lone oversized
+// frame gets its own blob).
+func batchFit(frames [][]byte, limit int) (n, size int) {
+	total := batchOverhead(len(frames))
+	for i, f := range frames {
+		if i > 0 && (total+len(f) > limit || i >= maxBatchFrames) {
+			return i, total
+		}
+		total += len(f)
+	}
+	return len(frames), total
+}
+
+// sendBlob implements blobSender: the pre-encoded batch blob changes
+// hands without a copy — one channel handoff moves the whole burst, and
+// the buffer is released here only if the handoff fails.
+func (t *Inproc) sendBlob(from End, blob []byte, nFrames int) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		putBuf(blob)
+		return ErrClosed
+	}
+	ch := t.toReceiver
+	if from == ReceiverEnd {
+		ch = t.toSender
+	}
+	select {
+	case ch <- blob:
+	default:
+		t.dropped.Add(int64(nFrames))
+		putBuf(blob)
 	}
 	return nil
 }

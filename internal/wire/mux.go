@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -16,14 +17,112 @@ import (
 // does not parse, does not belong to a live session, or falls outside the
 // session's declared alphabet — the live analogue of the Link's alphabet
 // enforcement.
+//
+// The hot paths are built to scale with session count on one transport:
+// the session table is lock-striped into sessionShardCount shards, each
+// end's outbound traffic is appended into a double-buffered outbox that a
+// flusher goroutine drains in writev-style bursts (sendFrames), and all
+// pacing ticks come from a single shared pacer instead of per-session
+// tickers.
 type Mux struct {
 	tr  Transport
 	met *muxMetrics
 
-	mu       sync.RWMutex
-	sessions map[uint64]*Session
+	shards [sessionShardCount]sessionShard
 
-	wg sync.WaitGroup
+	out   [2]outbox // indexed End-1
+	pacer *pacer
+
+	routerWg  sync.WaitGroup
+	flusherWg sync.WaitGroup
+}
+
+// sessionShardBits gives 64 session shards; lookups on the receive path
+// take a per-shard read lock, so 64 routers'-worth of concurrency costs
+// one multiply and a shift.
+const (
+	sessionShardBits  = 6
+	sessionShardCount = 1 << sessionShardBits
+	// fibMul is the 64-bit Fibonacci hashing multiplier: sequential
+	// session ids (the common case) spread uniformly over shards.
+	fibMul = 0x9E3779B97F4A7C15
+)
+
+// sessionShard holds one stripe of the session table as a copy-on-write
+// slice: register/unregister (rare) rebuild the slice under the stripe
+// mutex, while the routers' per-frame lookups are one atomic pointer load
+// plus a linear scan — no reader lock, no hashing. With 64 shards a
+// stripe holds a handful of sessions at realistic loads, so the scan is
+// a few integer compares against hot cache lines, cheaper than a map
+// probe.
+type sessionShard struct {
+	mu   sync.Mutex // serializes writers; readers go through list only
+	list atomic.Pointer[[]sessionEntry]
+}
+
+type sessionEntry struct {
+	id uint64
+	s  *Session
+}
+
+func (m *Mux) shard(id uint64) *sessionShard {
+	return &m.shards[(id*fibMul)>>(64-sessionShardBits)]
+}
+
+// outboxStripeBits gives 8 append stripes per end, keyed by session id,
+// so concurrent session loops rarely contend on the same append mutex.
+const (
+	outboxStripeBits  = 1
+	outboxStripeCount = 1 << outboxStripeBits
+)
+
+// outChunk is one outbox buffer generation: a pooled blobCap buffer
+// pre-seeded with an incremental batch header, frames appended in batch
+// wire format (padded length prefix, then the frame), with ends[i] the
+// exclusive end offset of frame i in buf. Kept in this shape, the chunk
+// IS the wire blob: a blobSender transport takes it whole with no
+// re-encoding, while other transports get per-frame views sliced from
+// it. A full chunk (bytes or maxBatchFrames) drops further sends
+// (counted as outbox_full) — backpressure surfacing as loss, the same
+// contract every other hop honors.
+type outChunk struct {
+	buf  []byte
+	ends []int
+}
+
+func newOutChunk() *outChunk {
+	return &outChunk{
+		buf:  seedBatchBlob(getBuf(blobCap)),
+		ends: make([]int, 0, 512),
+	}
+}
+
+// outStripe is one append lane: senders append under the mutex; the
+// flusher swaps cur for the drained spare and ships the burst.
+type outStripe struct {
+	mu    sync.Mutex
+	cur   *outChunk
+	spare *outChunk
+}
+
+// outbox collects one end's outbound frames between flushes, striped by
+// session id. notify carries at most one wakeup token (offered on each
+// stripe's empty→non-empty transition), so a burst of appends costs one
+// channel op total; a frame's per-session order is preserved because a
+// session always lands in the same stripe and the flusher drains stripes
+// in order within one sendFrames burst.
+type outbox struct {
+	stripes [outboxStripeCount]outStripe
+	closed  atomic.Bool
+	notify  chan struct{}
+}
+
+func (ob *outbox) init() {
+	for i := range ob.stripes {
+		ob.stripes[i].cur = newOutChunk()
+		ob.stripes[i].spare = newOutChunk()
+	}
+	ob.notify = make(chan struct{}, 1)
 }
 
 // muxMetrics bundles the obs handles, resolved once at mux creation (the
@@ -35,6 +134,8 @@ type muxMetrics struct {
 	alien          *obs.Counter
 	unknown        *obs.Counter
 	inboxFull      *obs.Counter
+	outboxFull     *obs.Counter
+	batchFrames    *obs.Histogram
 
 	activeN     atomic.Int64
 	active      *obs.Gauge
@@ -63,6 +164,8 @@ func newMuxMetrics(reg *obs.Registry) *muxMetrics {
 		alien:        reg.Counter(`wire_frames_dropped_total{cause="alien"}`),
 		unknown:      reg.Counter(`wire_frames_dropped_total{cause="unknown_session"}`),
 		inboxFull:    reg.Counter(`wire_frames_dropped_total{cause="inbox_full"}`),
+		outboxFull:   reg.Counter(`wire_frames_dropped_total{cause="outbox_full"}`),
+		batchFrames:  reg.Histogram("wire_batch_frames", obs.BatchBuckets),
 		active:       reg.Gauge("wire_sessions_active"),
 		completed:    reg.Counter("wire_sessions_completed_total"),
 		unfinished:   reg.Counter("wire_sessions_unfinished_total"),
@@ -78,15 +181,25 @@ func newMuxMetrics(reg *obs.Registry) *muxMetrics {
 func (m *muxMetrics) sessionStarted() { m.active.Set(float64(m.activeN.Add(1))) }
 func (m *muxMetrics) sessionEnded()   { m.active.Set(float64(m.activeN.Add(-1))) }
 
-// NewMux builds a mux over tr and starts its two router goroutines. reg
-// may be nil (the obs nil-sink).
+// NewMux builds a mux over tr and starts its router, flusher, and pacer
+// goroutines. reg may be nil (the obs nil-sink).
 func NewMux(tr Transport, reg *obs.Registry) *Mux {
 	m := &Mux{
-		tr:       tr,
-		met:      newMuxMetrics(reg),
-		sessions: make(map[uint64]*Session),
+		tr:    tr,
+		met:   newMuxMetrics(reg),
+		pacer: newPacer(),
 	}
-	m.wg.Add(2)
+	empty := make([]sessionEntry, 0)
+	for s := range m.shards {
+		m.shards[s].list.Store(&empty)
+	}
+	m.out[SenderEnd-1].init()
+	m.out[ReceiverEnd-1].init()
+	go m.pacer.run()
+	m.flusherWg.Add(2)
+	go m.flush(SenderEnd)
+	go m.flush(ReceiverEnd)
+	m.routerWg.Add(2)
 	go m.route(SenderEnd)
 	go m.route(ReceiverEnd)
 	return m
@@ -95,107 +208,328 @@ func NewMux(tr Transport, reg *obs.Registry) *Mux {
 // Transport returns the mux's transport.
 func (m *Mux) Transport() Transport { return m.tr }
 
-// register adds a session to the routing table.
+// register adds a session to the routing table (copy-on-write).
 func (m *Mux) register(s *Session) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, dup := m.sessions[s.cfg.ID]; dup {
-		return fmt.Errorf("wire: duplicate session id %d", s.cfg.ID)
+	sh := m.shard(s.cfg.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.list.Load()
+	for _, e := range old {
+		if e.id == s.cfg.ID {
+			return fmt.Errorf("wire: duplicate session id %d", s.cfg.ID)
+		}
 	}
-	m.sessions[s.cfg.ID] = s
+	next := make([]sessionEntry, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, sessionEntry{id: s.cfg.ID, s: s})
+	sh.list.Store(&next)
 	return nil
 }
 
 // unregister removes a finished session; late frames for it count as
 // unknown-session drops.
 func (m *Mux) unregister(id uint64) {
-	m.mu.Lock()
-	delete(m.sessions, id)
-	m.mu.Unlock()
+	sh := m.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.list.Load()
+	next := make([]sessionEntry, 0, len(old))
+	for _, e := range old {
+		if e.id != id {
+			next = append(next, e)
+		}
+	}
+	sh.list.Store(&next)
 }
 
-// lookup finds a live session.
+// lookup finds a live session: one atomic load plus a short scan.
 func (m *Mux) lookup(id uint64) *Session {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.sessions[id]
+	for _, e := range *m.shard(id).list.Load() {
+		if e.id == id {
+			return e.s
+		}
+	}
+	return nil
 }
 
-// send encodes one protocol message and puts it on the wire. Callers are
-// the session step loops; the buffer is per-call (frames are tiny).
+// send encodes one protocol message straight into the end's outbox — an
+// append under a short lock, no allocation, no transport call; the
+// flusher ships it with the rest of the burst. A full outbox drops the
+// frame (counted), like every other saturated hop.
 func (m *Mux) send(id uint64, dir channel.Dir, mg msg.Msg) error {
-	frame := EncodeFrame(Frame{Session: id, Dir: dir, Msg: mg})
 	from := SenderEnd
 	tx := m.met.txSToR
 	if dir == channel.RToS {
 		from = ReceiverEnd
 		tx = m.met.txRToS
 	}
-	if err := m.tr.Send(from, frame); err != nil {
-		return err
+	ob := &m.out[from-1]
+	if ob.closed.Load() {
+		return ErrClosed
 	}
-	tx.Inc()
+	// bound is a worst-case encoded size for this frame: header(2) +
+	// session varint(<=10) + dir(1) + payload length varint(<=3) +
+	// payload + checksum(4).
+	bound := batchLenPrefix + 20 + len(mg)
+	if batchHeaderLen+bound > blobCap {
+		// The message cannot fit any chunk — put the lone frame on the
+		// wire directly. Rare (a near-64KB payload), so the allocation
+		// does not matter.
+		if err := m.tr.Send(from, EncodeFrame(Frame{Session: id, Dir: dir, Msg: mg})); err != nil {
+			return err
+		}
+		tx.Inc()
+		return nil
+	}
+	st := &ob.stripes[(id*fibMul)>>(64-outboxStripeBits)]
+	st.mu.Lock()
+	if len(st.cur.ends) >= maxBatchFrames || len(st.cur.buf)+bound > blobCap {
+		st.mu.Unlock()
+		m.met.outboxFull.Inc()
+		return nil
+	}
+	pfx := len(st.cur.buf)
+	st.cur.buf = append(st.cur.buf, 0, 0, 0) // length slot, patched below
+	st.cur.buf = AppendFrame(st.cur.buf, Frame{Session: id, Dir: dir, Msg: mg})
+	putPaddedUvarint(st.cur.buf[pfx:pfx+batchLenPrefix], uint64(len(st.cur.buf)-pfx-batchLenPrefix))
+	st.cur.ends = append(st.cur.ends, len(st.cur.buf))
+	first := len(st.cur.ends) == 1
+	st.mu.Unlock()
+	if first {
+		select {
+		case ob.notify <- struct{}{}:
+		default:
+		}
+	}
+	// tx is counted by the flusher, one Add per chunk, when the frames
+	// actually go to the transport.
 	return nil
 }
 
-// route is one end's router goroutine: decode, validate, dispatch. It
-// exits when the transport's Recv channel closes.
+// flush is one end's outbox flusher: swap each non-empty stripe's
+// accumulating chunk for its drained spare and put the burst on the
+// wire. A blobSender transport takes each chunk as-is — the accumulated
+// batch blob changes hands with zero copies and the stripe gets a fresh
+// pooled buffer. Other transports get per-frame views sliced from the
+// chunks, shipped in one sendFrames call. Runs until the outbox is
+// closed and drained.
+func (m *Mux) flush(from End) {
+	defer m.flusherWg.Done()
+	ob := &m.out[from-1]
+	tx := m.met.txSToR
+	if from == ReceiverEnd {
+		tx = m.met.txRToS
+	}
+	blobTr, _ := m.tr.(blobSender)
+	views := make([][]byte, 0, 512)
+	drained := make([]*outChunk, 0, outboxStripeCount)
+	for {
+		views = views[:0]
+		drained = drained[:0]
+		var err error
+		sent := false
+		for i := range ob.stripes {
+			st := &ob.stripes[i]
+			st.mu.Lock()
+			if len(st.cur.ends) == 0 {
+				st.mu.Unlock()
+				continue
+			}
+			ch := st.cur
+			st.cur, st.spare = st.spare, ch
+			st.mu.Unlock()
+			if blobTr != nil {
+				n := len(ch.ends)
+				m.met.batchFrames.Observe(float64(n))
+				tx.Add(int64(n))
+				patchBatchCount(ch.buf, n)
+				err = blobTr.sendBlob(from, ch.buf, n)
+				ch.buf = seedBatchBlob(getBuf(blobCap)) // ownership moved with the blob
+				ch.ends = ch.ends[:0]
+				sent = true
+				if err != nil {
+					break
+				}
+				continue
+			}
+			start := batchHeaderLen
+			for _, e := range ch.ends {
+				views = append(views, ch.buf[start+batchLenPrefix:e])
+				start = e
+			}
+			drained = append(drained, ch)
+		}
+		if len(views) > 0 {
+			m.met.batchFrames.Observe(float64(len(views)))
+			tx.Add(int64(len(views)))
+			err = sendFrames(m.tr, from, views)
+			for _, ch := range drained {
+				ch.buf, ch.ends = ch.buf[:batchHeaderLen], ch.ends[:0]
+			}
+			sent = true
+		}
+		if err != nil {
+			// Transport closed under us: refuse further sends so the
+			// session loops see ErrClosed and shut down.
+			ob.closed.Store(true)
+			return
+		}
+		if sent {
+			continue
+		}
+		if ob.closed.Load() {
+			return
+		}
+		<-ob.notify
+	}
+}
+
+// routeSink accumulates one router's per-frame effects across a blob so
+// the hot loop touches no shared counters and publishes each inbox once:
+// plain local increments per frame, then one flush per blob (atomic
+// counter Adds for the non-zero tallies, one tail publish per dirty
+// inbox).
+type routeSink struct {
+	dirty                                     []*inbox
+	rx, decodeErrs, alien, unknown, inboxFull int64
+}
+
+// flush publishes the dirty inboxes and folds the tallies into the mux
+// metrics. rx is the arriving-direction receive counter.
+func (k *routeSink) flush(m *Mux, rx *obs.Counter) {
+	for _, q := range k.dirty {
+		q.publish()
+	}
+	k.dirty = k.dirty[:0]
+	if k.rx > 0 {
+		rx.Add(k.rx)
+	}
+	if k.decodeErrs > 0 {
+		m.met.decodeErrors.Add(k.decodeErrs)
+	}
+	if k.alien > 0 {
+		m.met.alien.Add(k.alien)
+	}
+	if k.unknown > 0 {
+		m.met.unknown.Add(k.unknown)
+	}
+	if k.inboxFull > 0 {
+		m.met.inboxFull.Add(k.inboxFull)
+	}
+	k.rx, k.decodeErrs, k.alien, k.unknown, k.inboxFull = 0, 0, 0, 0, 0
+}
+
+// route is one end's router goroutine: split batch blobs, decode each
+// frame in place, validate, dispatch. It exits when the transport's Recv
+// channel closes.
 func (m *Mux) route(at End) {
-	defer m.wg.Done()
+	defer m.routerWg.Done()
 	rx := m.met.rxSToR
 	if at == SenderEnd {
 		rx = m.met.rxRToS
 	}
 	wantDir := at.Opposite().Dir() // frames arriving here were sent by the opposite end
+	var v FrameView
+	sink := &routeSink{dirty: make([]*inbox, 0, 64)}
+	dispatch := func(frame []byte) error {
+		m.dispatch(at, wantDir, sink, frame, &v)
+		return nil
+	}
 	for raw := range m.tr.Recv(at) {
-		f, err := DecodeFrame(raw)
-		if err != nil {
-			m.met.decodeErrors.Inc()
-			continue
-		}
-		if f.Dir != wantDir {
-			m.met.alien.Inc()
-			continue
-		}
-		s := m.lookup(f.Session)
-		if s == nil {
-			m.met.unknown.Inc()
-			continue
-		}
-		// Alphabet enforcement: a frame whose payload is outside the
-		// session's declared alphabet for this direction is alien — the
-		// live analogue of Link.Send's M^S/M^R check, applied on receive
-		// because the wire (impairment, another session's corruption
-		// substitute) may have swapped payloads after the honest send.
-		var inbox chan msg.Msg
-		if at == ReceiverEnd {
-			if alp := s.senderAlphabet; alp.Size() > 0 && !alp.Contains(f.Msg) {
-				m.met.alien.Inc()
-				continue
+		if IsBatch(raw) {
+			if err := SplitBatch(raw, dispatch); err != nil {
+				sink.decodeErrs++
 			}
-			inbox = s.receiverInbox
 		} else {
-			if alp := s.receiverAlphabet; alp.Size() > 0 && !alp.Contains(f.Msg) {
-				m.met.alien.Inc()
-				continue
-			}
-			inbox = s.senderInbox
+			m.dispatch(at, wantDir, sink, raw, &v)
 		}
-		select {
-		case inbox <- f.Msg:
-			rx.Inc()
-		case <-s.stopped:
-			// Session finished while we held the frame: count it as late.
-			m.met.unknown.Inc()
-		default:
-			m.met.inboxFull.Inc()
-		}
+		sink.flush(m, rx)
+		ReleaseBuf(raw)
 	}
 }
 
-// Close closes the transport and waits for the routers to drain.
+// dispatch validates one encoded frame and stages its message into the
+// owning session's inbox (the router publishes staged inboxes once per
+// blob via the sink). The frame bytes are only borrowed: the payload is
+// either canonicalized against the session's alphabet (interned, no
+// copy) or copied into an owned Msg before the buffer goes back to the
+// pool.
+func (m *Mux) dispatch(at End, wantDir channel.Dir, sink *routeSink, frame []byte, v *FrameView) {
+	if err := DecodeFrameInto(v, frame); err != nil {
+		sink.decodeErrs++
+		return
+	}
+	if v.Dir != wantDir {
+		sink.alien++
+		return
+	}
+	s := m.lookup(v.Session)
+	if s == nil {
+		sink.unknown++
+		return
+	}
+	// Alphabet enforcement: a frame whose payload is outside the session's
+	// declared alphabet for this direction is alien — the live analogue of
+	// Link.Send's M^S/M^R check, applied on receive because the wire
+	// (impairment, another session's corruption substitute) may have
+	// swapped payloads after the honest send. Membership is checked with
+	// Alphabet.Canonical, which doubles as interning: an in-alphabet
+	// payload becomes an owned Msg without allocating. A one-entry cache
+	// in front of it makes back-to-back repeats (retransmissions, the
+	// dominant STP traffic) a plain byte compare.
+	alp := s.receiverAlphabet
+	q := s.senderInbox
+	ce := &s.rxCache[1]
+	if at == ReceiverEnd {
+		alp = s.senderAlphabet
+		q = s.receiverInbox
+		ce = &s.rxCache[0]
+	}
+	var mg msg.Msg
+	if len(ce.raw) > 0 && bytes.Equal(ce.raw, v.Payload) {
+		mg = ce.mg
+	} else {
+		if alp.Size() > 0 {
+			var ok bool
+			if mg, ok = alp.Canonical(v.Payload); !ok {
+				sink.alien++
+				return
+			}
+		} else {
+			mg = msg.Msg(v.Payload) // copies: the payload aliases a pooled buffer
+		}
+		ce.raw = append(ce.raw[:0], v.Payload...)
+		ce.mg = mg
+	}
+	switch q.stage(mg) {
+	case pushOK:
+		sink.rx++
+		if !q.dirty {
+			q.dirty = true
+			sink.dirty = append(sink.dirty, q)
+		}
+	case pushClosed:
+		// Session finished while we held the frame: count it as late.
+		sink.unknown++
+	default:
+		sink.inboxFull++
+	}
+}
+
+// Close flushes and stops the outboxes, closes the transport, and waits
+// for the routers to drain.
 func (m *Mux) Close() error {
+	for i := range m.out {
+		ob := &m.out[i]
+		ob.closed.Store(true)
+		select {
+		case ob.notify <- struct{}{}:
+		default:
+		}
+	}
+	m.flusherWg.Wait()
+	m.pacer.close()
 	err := m.tr.Close()
-	m.wg.Wait()
+	m.routerWg.Wait()
 	return err
 }

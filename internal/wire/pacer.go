@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"sync"
+	"time"
+)
+
+// pacer multiplexes every session's spontaneous-step pacing onto one
+// timer goroutine. Each subscriber gets a cap-1 tick channel; the pacer
+// fires due subscribers non-blockingly (a busy loop coalesces missed
+// ticks, exactly like a time.Ticker's buffered channel) and sleeps until
+// the earliest next deadline. At 64 sessions this replaces 128 runtime
+// timers with one.
+type pacerSub struct {
+	ch       chan struct{}
+	interval time.Duration
+	next     time.Time
+}
+
+type pacer struct {
+	mu   sync.Mutex
+	subs map[*pacerSub]struct{}
+	// wake nudges the loop when a new subscriber may have an earlier
+	// deadline than the current sleep.
+	wake chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func newPacer() *pacer {
+	return &pacer{
+		subs: make(map[*pacerSub]struct{}),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// subscribe registers a tick stream with the given interval. The first
+// tick arrives one interval from now.
+func (p *pacer) subscribe(interval time.Duration) *pacerSub {
+	s := &pacerSub{
+		ch:       make(chan struct{}, 1),
+		interval: interval,
+		next:     time.Now().Add(interval),
+	}
+	p.mu.Lock()
+	p.subs[s] = struct{}{}
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return s
+}
+
+// unsubscribe removes s; its channel simply stops firing.
+func (p *pacer) unsubscribe(s *pacerSub) {
+	p.mu.Lock()
+	delete(p.subs, s)
+	p.mu.Unlock()
+}
+
+// run is the timer loop. It exits when close is called.
+func (p *pacer) run() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		now := time.Now()
+		var earliest time.Time
+		p.mu.Lock()
+		for s := range p.subs {
+			if !s.next.After(now) {
+				select {
+				case s.ch <- struct{}{}:
+				default:
+				}
+				s.next = now.Add(s.interval)
+			}
+			if earliest.IsZero() || s.next.Before(earliest) {
+				earliest = s.next
+			}
+		}
+		p.mu.Unlock()
+		sleep := time.Hour
+		if !earliest.IsZero() {
+			if sleep = time.Until(earliest); sleep < 0 {
+				sleep = 0
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(sleep)
+		select {
+		case <-p.done:
+			return
+		case <-p.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// close stops the loop. Idempotent.
+func (p *pacer) close() { p.once.Do(func() { close(p.done) }) }

@@ -20,7 +20,7 @@ const DefaultTick = time.Millisecond
 
 // sessionInboxSize buffers inbound messages per process; a full inbox
 // drops frames (counted), which the protocols tolerate as channel loss.
-const sessionInboxSize = 256
+const sessionInboxSize = 1024
 
 // SessionConfig describes one transfer session: a sender/receiver pair
 // (typically from registry.Pair), the input tape to transmit, and pacing.
@@ -73,7 +73,11 @@ type Report struct {
 // Session is one live transfer: two step-machine loops (sender and
 // receiver goroutines) exchanging frames through the mux. Each protocol
 // state machine is touched only by its own goroutine; the loops share
-// nothing but channels.
+// nothing but the inbox queues. Inbound messages arrive through burst
+// inboxes (one locked append per message, one wakeup per burst) and
+// pacing ticks come from the mux's shared pacer, so a session at rest
+// costs no timers and a session under load costs no per-message channel
+// operations.
 type Session struct {
 	cfg SessionConfig
 	mux *Mux
@@ -81,11 +85,20 @@ type Session struct {
 	senderAlphabet   msg.Alphabet
 	receiverAlphabet msg.Alphabet
 
-	senderInbox   chan msg.Msg
-	receiverInbox chan msg.Msg
-	// stopped is closed when Run returns; routers treat frames for a
-	// stopped session as late.
-	stopped chan struct{}
+	senderInbox   *inbox
+	receiverInbox *inbox
+
+	// rxCache is a one-entry decode cache per inbound direction (index 0
+	// feeds the receiver inbox, 1 the sender inbox), each owned
+	// exclusively by the router goroutine on that end. STP traffic is
+	// retransmission-heavy — the same data message or acknowledgement
+	// arrives many times in a row — so remembering the last payload's
+	// interned Msg turns the common repeat into a byte compare instead of
+	// an alphabet-map probe.
+	rxCache [2]struct {
+		raw []byte
+		mg  msg.Msg
+	}
 
 	// Written by the loops before their goroutines exit; read by Run
 	// after the WaitGroup (the Wait is the happens-before edge).
@@ -112,9 +125,8 @@ func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
 		mux:              m,
 		senderAlphabet:   cfg.Sender.Alphabet(),
 		receiverAlphabet: cfg.Receiver.Alphabet(),
-		senderInbox:      make(chan msg.Msg, sessionInboxSize),
-		receiverInbox:    make(chan msg.Msg, sessionInboxSize),
-		stopped:          make(chan struct{}),
+		senderInbox:      newInbox(sessionInboxSize),
+		receiverInbox:    newInbox(sessionInboxSize),
 	}
 	if err := m.register(s); err != nil {
 		return nil, err
@@ -150,7 +162,9 @@ func (s *Session) Run(ctx context.Context) Report {
 		s.receiverLoop(ctx, cancel, start)
 	}()
 	wg.Wait()
-	close(s.stopped)
+	// Closing the inboxes makes the routers count later frames as late.
+	s.senderInbox.close()
+	s.receiverInbox.close()
 	s.mux.unregister(s.cfg.ID)
 	elapsed := time.Since(start)
 
@@ -191,22 +205,14 @@ func (s *Session) Run(ctx context.Context) Report {
 	return rep
 }
 
-// senderLoop drives S: retransmit ticks plus inbound acknowledgements.
+// senderLoop drives S: retransmit ticks plus inbound acknowledgements,
+// drained a burst at a time.
 func (s *Session) senderLoop(ctx context.Context) {
-	ticker := time.NewTicker(s.cfg.Tick)
-	defer ticker.Stop()
+	sub := s.mux.pacer.subscribe(s.cfg.Tick)
+	defer s.mux.pacer.unsubscribe(sub)
 	var last msg.Msg
 	haveLast := false
-	for {
-		var ev protocol.Event
-		select {
-		case <-ctx.Done():
-			return
-		case m := <-s.senderInbox:
-			ev = protocol.RecvEvent(m)
-		case <-ticker.C:
-			ev = protocol.TickEvent()
-		}
+	step := func(ev protocol.Event) bool {
 		for _, mg := range s.cfg.Sender.Step(ev) {
 			if haveLast && mg == last {
 				s.retransmits++
@@ -214,7 +220,48 @@ func (s *Session) senderLoop(ctx context.Context) {
 			last, haveLast = mg, true
 			s.framesTx++
 			if err := s.mux.send(s.cfg.ID, SenderEnd.Dir(), mg); err != nil {
-				return // transport closed under us: shut down
+				return false // transport closed under us: shut down
+			}
+		}
+		return true
+	}
+	batch := make([]msg.Msg, 0, 64)
+	q := s.senderInbox
+	for {
+		// Non-blocking polls keep cancellation and retransmit ticks live
+		// even when the inbox never goes empty.
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		select {
+		case <-sub.ch:
+			if !step(protocol.TickEvent()) {
+				return
+			}
+		default:
+		}
+		batch = q.drain(batch)
+		if len(batch) == 0 {
+			if !q.arm() {
+				continue // a message landed between drain and arm
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-q.notify:
+			case <-sub.ch:
+				q.sleeping.Store(false)
+				if !step(protocol.TickEvent()) {
+					return
+				}
+			}
+			continue
+		}
+		for _, m := range batch {
+			if !step(protocol.RecvEvent(m)) {
+				return
 			}
 		}
 	}
@@ -223,23 +270,17 @@ func (s *Session) senderLoop(ctx context.Context) {
 // receiverLoop drives R: deliveries plus ticks; it audits safety on
 // every write and ends the session on completion or violation.
 func (s *Session) receiverLoop(ctx context.Context, cancel context.CancelFunc, start time.Time) {
-	ticker := time.NewTicker(s.cfg.Tick)
-	defer ticker.Stop()
-	for {
-		var ev protocol.Event
-		select {
-		case <-ctx.Done():
-			return
-		case m := <-s.receiverInbox:
-			ev = protocol.RecvEvent(m)
-		case <-ticker.C:
-			ev = protocol.TickEvent()
-		}
+	sub := s.mux.pacer.subscribe(s.cfg.Tick)
+	defer s.mux.pacer.unsubscribe(sub)
+	// step returns false when the session is over (complete, violated, or
+	// the transport closed); the drain loop stops mid-burst so no writes
+	// land after the verdict.
+	step := func(ev protocol.Event) bool {
 		sends, writes := s.cfg.Receiver.Step(ev)
 		for _, mg := range sends {
 			s.acksTx++
 			if err := s.mux.send(s.cfg.ID, ReceiverEnd.Dir(), mg); err != nil {
-				return
+				return false
 			}
 		}
 		for _, item := range writes {
@@ -254,13 +295,52 @@ func (s *Session) receiverLoop(ctx context.Context, cancel context.CancelFunc, s
 					"session", strconv.FormatUint(s.cfg.ID, 10),
 					"output", s.output.String())
 				cancel()
-				return
+				return false
 			}
 		}
 		if len(s.output) == len(s.cfg.Input) {
 			s.complete = true
 			cancel()
+			return false
+		}
+		return true
+	}
+	batch := make([]msg.Msg, 0, 64)
+	q := s.receiverInbox
+	for {
+		select {
+		case <-ctx.Done():
 			return
+		default:
+		}
+		select {
+		case <-sub.ch:
+			if !step(protocol.TickEvent()) {
+				return
+			}
+		default:
+		}
+		batch = q.drain(batch)
+		if len(batch) == 0 {
+			if !q.arm() {
+				continue
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-q.notify:
+			case <-sub.ch:
+				q.sleeping.Store(false)
+				if !step(protocol.TickEvent()) {
+					return
+				}
+			}
+			continue
+		}
+		for _, m := range batch {
+			if !step(protocol.RecvEvent(m)) {
+				return
+			}
 		}
 	}
 }

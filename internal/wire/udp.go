@@ -3,18 +3,27 @@ package wire
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 
 	"seqtx/internal/obs"
 )
 
 // UDP is the loopback datagram transport: one socket per end on
-// 127.0.0.1, one frame per datagram. UDP already provides the unreliable
-// channel of the paper — the kernel may drop and reorder datagrams — and
-// the impairment layer can make it arbitrarily worse.
+// 127.0.0.1. A plain Send puts one frame in one datagram; SendBatch packs
+// an ordered burst into batch-framed datagrams, amortizing the syscall
+// across every session sharing the link. UDP already provides the
+// unreliable channel of the paper — the kernel may drop and reorder
+// datagrams — and the impairment layer can make it arbitrarily worse.
 type UDP struct {
 	senderConn   *net.UDPConn // SenderEnd's socket
 	receiverConn *net.UDPConn // ReceiverEnd's socket
+	// senderPort / receiverPort are the sockets' cached netip addresses:
+	// the AddrPort read/write variants take them by value, so the data
+	// path skips the per-call *net.UDPAddr and sockaddr allocations the
+	// pointer-based API pays.
+	senderPort   netip.AddrPort
+	receiverPort netip.AddrPort
 	toSender     chan []byte
 	toReceiver   chan []byte
 	dropped      *obs.Counter
@@ -26,6 +35,12 @@ type UDP struct {
 }
 
 var _ Transport = (*UDP)(nil)
+var _ BatchSender = (*UDP)(nil)
+
+// udpMaxPayload caps one datagram's payload: comfortably under the
+// 65,507-byte UDP limit and under blobCap, so batch scratch buffers stay
+// pooled.
+const udpMaxPayload = 60 * 1024
 
 // udpRecvBuffer is the per-end inbound frame buffer; frames arriving
 // while it is full are dropped (as UDP itself would under load).
@@ -46,6 +61,8 @@ func NewUDP(reg *obs.Registry) (*UDP, error) {
 	t := &UDP{
 		senderConn:   senderConn,
 		receiverConn: receiverConn,
+		senderPort:   senderConn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		receiverPort: receiverConn.LocalAddr().(*net.UDPAddr).AddrPort(),
 		toSender:     make(chan []byte, udpRecvBuffer),
 		toReceiver:   make(chan []byte, udpRecvBuffer),
 		dropped:      reg.Counter(`wire_frames_dropped_total{cause="backpressure"}`),
@@ -78,9 +95,9 @@ func (t *UDP) Send(from End, frame []byte) error {
 	}
 	var err error
 	if from == SenderEnd {
-		_, err = t.senderConn.WriteToUDP(frame, t.Addr(ReceiverEnd))
+		_, err = t.senderConn.WriteToUDPAddrPort(frame, t.receiverPort)
 	} else {
-		_, err = t.receiverConn.WriteToUDP(frame, t.Addr(SenderEnd))
+		_, err = t.receiverConn.WriteToUDPAddrPort(frame, t.senderPort)
 	}
 	if err != nil {
 		select {
@@ -89,6 +106,41 @@ func (t *UDP) Send(from End, frame []byte) error {
 		default:
 		}
 		return fmt.Errorf("wire: udp send: %w", err)
+	}
+	return nil
+}
+
+// SendBatch implements BatchSender: the burst is packed into as few
+// batch-framed datagrams as fit, one syscall each.
+func (t *UDP) SendBatch(from End, frames [][]byte) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	conn, to := t.senderConn, t.receiverPort
+	if from == ReceiverEnd {
+		conn, to = t.receiverConn, t.senderPort
+	}
+	for start := 0; start < len(frames); {
+		n, size := batchFit(frames[start:], udpMaxPayload)
+		var err error
+		if n == 1 {
+			_, err = conn.WriteToUDPAddrPort(frames[start], to)
+		} else {
+			blob := AppendBatch(getBuf(size), frames[start:start+n])
+			_, err = conn.WriteToUDPAddrPort(blob, to)
+			putBuf(blob)
+		}
+		if err != nil {
+			select {
+			case <-t.done:
+				return ErrClosed // send raced with Close; report the close
+			default:
+			}
+			return fmt.Errorf("wire: udp send: %w", err)
+		}
+		start += n
 	}
 	return nil
 }
@@ -102,22 +154,25 @@ func (t *UDP) Recv(at End) <-chan []byte {
 }
 
 // read pumps datagrams from conn into out until the socket closes, then
-// closes out (read is the channel's only writer).
+// closes out (read is the channel's only writer). The socket is read into
+// one reused scratch buffer; only the datagram's actual bytes are copied
+// out, into a pooled blob the consumer releases — the loop itself never
+// allocates in steady state.
 func (t *UDP) read(conn *net.UDPConn, out chan []byte) {
 	defer t.wg.Done()
 	defer close(out)
 	buf := make([]byte, 64*1024)
 	for {
-		n, _, err := conn.ReadFromUDP(buf)
+		n, _, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // socket closed (or fatally broken): stop pumping
 		}
-		frame := make([]byte, n)
-		copy(frame, buf[:n])
+		blob := append(getBuf(n), buf[:n]...)
 		select {
-		case out <- frame:
+		case out <- blob:
 		default:
 			t.dropped.Inc()
+			putBuf(blob)
 		}
 	}
 }

@@ -96,8 +96,12 @@ var ErrClosed = errors.New("wire: transport closed")
 //
 // Send must not block indefinitely (drop instead) and must be safe for
 // concurrent use; after Close it returns ErrClosed. Recv returns the
-// stream of raw frames arriving at an end; the channel is closed when the
-// transport closes.
+// stream of raw wire blobs arriving at an end: each blob is either one
+// encoded frame or, when the sender batched, a batch blob (IsBatch
+// distinguishes them; SplitBatch iterates the frames). Blobs may come
+// from the shared buffer pool — a consumer that finishes with one should
+// hand it back with ReleaseBuf (optional: unreturned buffers are simply
+// collected by the GC). The channel is closed when the transport closes.
 type Transport interface {
 	// Name identifies the transport for reports.
 	Name() string
@@ -105,9 +109,51 @@ type Transport interface {
 	// opposite end. The frame bytes are owned by the caller; transports
 	// copy what they keep.
 	Send(from End, frame []byte) error
-	// Recv returns the channel of frames arriving at the given end.
+	// Recv returns the channel of blobs arriving at the given end.
 	Recv(at End) <-chan []byte
 	// Close tears the transport down and closes both Recv channels.
 	// Close is idempotent.
 	Close() error
 }
+
+// BatchSender is the optional fast path a Transport may implement: it
+// queues an ordered burst of encoded frames in one operation, letting the
+// transport coalesce them into a single datagram or channel handoff
+// (writev-style). Semantically SendBatch is exactly Send called once per
+// frame in order — batching is an amortization, never a new behavior.
+// Like Send, the frame bytes are owned by the caller.
+type BatchSender interface {
+	// SendBatch queues the frames from the given end in order.
+	SendBatch(from End, frames [][]byte) error
+}
+
+// blobSender is the zero-copy fast path an in-process transport may
+// implement: the caller hands over an already-encoded batch blob in a
+// pooled buffer and OWNERSHIP TRANSFERS with the call — the transport
+// either delivers the blob to its Recv consumer (who releases it) or
+// releases it itself on drop/close. nFrames is the blob's frame count,
+// for drop accounting.
+type blobSender interface {
+	sendBlob(from End, blob []byte, nFrames int) error
+}
+
+// sendFrames hands frames to tr's batch path when it has one (and the
+// burst is genuinely plural), falling back to per-frame Send.
+func sendFrames(tr Transport, from End, frames [][]byte) error {
+	if len(frames) > 1 {
+		if bs, ok := tr.(BatchSender); ok {
+			return bs.SendBatch(from, frames)
+		}
+	}
+	for _, f := range frames {
+		if err := tr.Send(from, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReleaseBuf returns a blob received from a Transport's Recv channel to
+// the shared buffer pool. Calling it is optional; passing a buffer that
+// did not come from the pool is harmless.
+func ReleaseBuf(b []byte) { putBuf(b) }
