@@ -7,24 +7,37 @@
 // 0 iff no session ever violated it — load is allowed to slow transfers
 // down or keep them from finishing, never to corrupt them.
 //
+// With -crash-preset, every session runs under crash-restart supervision
+// (wire.ServeSupervised): live endpoint processes are killed mid-run at
+// the preset's scheduled ticks and restarted with amnesia or into
+// seeded-arbitrary scrambled state, and the report gains the chaos block
+// (incarnations, stabilization times, post-stabilization violations, and
+// the replayable crash-schedule digest). Under chaos the exit contract
+// extends: any bad write outside a recovery window fails the run.
+//
 // Usage:
 //
 //	stpload -transport inproc -sessions 64 -duration 5s -report -
 //	stpload -transport udp -sessions 16 -rate 200 -impair burst-drop
+//	stpload -proto stab -crash-preset crash-scramble-both -restart-policy scramble -report -
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"os"
 	"strings"
 	"time"
 
 	"seqtx/internal/cliutil"
+	"seqtx/internal/faults"
 	"seqtx/internal/obs"
+	"seqtx/internal/protocol"
 	"seqtx/internal/protocol/hybrid"
 	"seqtx/internal/registry"
 	"seqtx/internal/seq"
@@ -47,6 +60,19 @@ type report struct {
 	Violations     int     `json:"violations"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 
+	// Chaos block: populated when -crash-preset schedules crash-restarts.
+	CrashPreset         string `json:"crash_preset,omitempty"`
+	RestartPolicy       string `json:"restart_policy,omitempty"`
+	Incarnations        int    `json:"incarnations,omitempty"`
+	Crashes             int    `json:"crashes,omitempty"`
+	ScrambledRestarts   int    `json:"scrambled_restarts,omitempty"`
+	WatchdogEscalations int    `json:"watchdog_escalations"`
+	BadWrites           int    `json:"bad_writes"`
+	PostStabViolations  int    `json:"post_stab_violations"`
+	// CrashScheduleDigest folds every session's realized-schedule digest:
+	// equal seeds and configs reproduce it exactly (the replay contract).
+	CrashScheduleDigest string `json:"crash_schedule_digest,omitempty"`
+
 	FramesTx     int64   `json:"frames_tx"`
 	FramesRx     int64   `json:"frames_rx"`
 	FramesPerSec float64 `json:"frames_per_sec"`
@@ -57,10 +83,12 @@ type report struct {
 
 	DroppedByCause map[string]int64       `json:"dropped_by_cause,omitempty"`
 	BatchFrames    *obs.HistogramSnapshot `json:"batch_frames,omitempty"`
+	StabilizeTime  *obs.HistogramSnapshot `json:"stabilize_time_seconds,omitempty"`
 	Metrics        obs.Snapshot           `json:"metrics"`
 }
 
 func run() int {
+	var metrics cliutil.Metrics
 	var (
 		proto     = flag.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
 		m         = flag.Int("m", 8, "domain / sender-alphabet size parameter")
@@ -72,12 +100,16 @@ func run() int {
 		duration  = flag.Duration("duration", 5*time.Second, "load window: new waves start until this elapses")
 		transport = flag.String("transport", "inproc", "transport: inproc|udp")
 		impair    = flag.String("impair", "none", "impairment: "+strings.Join(wire.ImpairPresetNames(), "|"))
+		crashPre  = flag.String("crash-preset", "none", "crash-restart chaos preset (e.g. crash-scramble-both); runs sessions supervised")
+		restart   = flag.String("restart-policy", "preset", "restart state for crashed processes: preset|amnesia|scramble")
+		capBound  = flag.Int("cap", 0, "channel-capacity bound c for the stab protocol (0 = its default)")
 		seed      = flag.Int64("seed", 1, "base seed (wave w, session i uses seed+w*sessions+i)")
 		tick      = flag.Duration("tick", wire.DefaultTick, "per-process pacing tick")
 		deadline  = flag.Duration("deadline", 30*time.Second, "per-session deadline (0 = none)")
 		reportTo  = flag.String("report", "", "write the JSON report to this file (\"-\" = stdout)")
 		verbose   = flag.Bool("v", false, "print one line per wave")
 	)
+	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	for _, check := range []error{
@@ -104,22 +136,53 @@ func run() int {
 		return 2
 	}
 
-	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed}
+	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed, Cap: *capBound}
 	opts, err := wire.ImpairPreset(*impair)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpload:", err)
 		return 2
 	}
 
-	reg := obs.NewRegistry()
+	// Crash-restart chaos: a non-trivial -crash-preset switches every wave
+	// to supervised sessions (wire.ServeSupervised) with the preset's
+	// crash schedule and the chosen restart-state policy.
+	supervised := *crashPre != "" && *crashPre != "none"
+	var crashSpec faults.Spec
+	var policy wire.RestartPolicy
+	if supervised {
+		if crashSpec, err = faults.PresetSpec(*crashPre); err != nil {
+			fmt.Fprintln(os.Stderr, "stpload:", err)
+			return 2
+		}
+		if len(crashSpec.Crashes) == 0 {
+			fmt.Fprintf(os.Stderr, "stpload: preset %q schedules no process crashes; link impairments go via -impair\n", *crashPre)
+			return 2
+		}
+		if policy, err = wire.ParseRestartPolicy(*restart); err != nil {
+			fmt.Fprintln(os.Stderr, "stpload:", err)
+			return 2
+		}
+	}
+
+	// The report always embeds a metrics snapshot, so the registry is
+	// unconditionally live; -metrics additionally writes it standalone.
+	reg := metrics.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	rep := report{
 		Transport:      *transport,
 		Proto:          *proto,
 		Impair:         *impair,
 		SessionsPerWav: *sessions,
 	}
+	if supervised {
+		rep.CrashPreset = *crashPre
+		rep.RestartPolicy = policy.String()
+	}
 	var goodputSum float64
 	var goodputN int
+	runDigest := fnv.New64a()
 
 	start := time.Now()
 	for wave := 0; ; wave++ {
@@ -142,6 +205,7 @@ func run() int {
 		}
 
 		cfgs := make([]wire.SessionConfig, *sessions)
+		inputs := make([]seq.Seq, *sessions)
 		for i := range cfgs {
 			sessSeed := *seed + int64(wave)*int64(*sessions) + int64(i)
 			rng := rand.New(rand.NewSource(sessSeed))
@@ -155,6 +219,7 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "stpload:", err)
 				return 2
 			}
+			inputs[i] = x
 			cfgs[i] = wire.SessionConfig{
 				ID:       uint64(i + 1),
 				Sender:   s,
@@ -166,34 +231,79 @@ func run() int {
 		}
 
 		ctx, cancel := context.WithDeadline(context.Background(), start.Add(*duration+*deadline))
-		reports, err := wire.Serve(ctx, wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
-		cancel()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "stpload:", err)
-			return 1
-		}
-
 		waveComplete := 0
-		for _, r := range reports {
-			rep.Sessions++
-			if r.Complete {
-				rep.Completed++
-				waveComplete++
+		if supervised {
+			sreports, serr := wire.ServeSupervised(ctx, wire.ChaosServeConfig{
+				ServeConfig: wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg},
+				Chaos: wire.ChaosConfig{
+					Crashes: crashSpec.Crashes,
+					Policy:  policy,
+					Seed:    *seed + int64(wave),
+				},
+				Rebuild: func(i int) (protocol.Sender, protocol.Receiver, error) {
+					return registry.Pair(*proto, params, inputs[i])
+				},
+			})
+			cancel()
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "stpload:", serr)
+				return 1
 			}
-			if r.SafetyViolation != nil {
-				rep.Violations++
-				fmt.Fprintln(os.Stderr, "stpload:", r.SafetyViolation)
+			for _, r := range sreports {
+				rep.Sessions++
+				if r.Complete {
+					rep.Completed++
+					waveComplete++
+				}
+				rep.ItemsDelivered += int64(len(r.Output))
+				rep.Incarnations += len(r.Incarnations)
+				rep.BadWrites += r.BadWrites
+				rep.PostStabViolations += r.PostStabViolations
+				rep.WatchdogEscalations += r.WatchdogEscalations
+				for _, ic := range r.Incarnations {
+					if ic.Ended == "crash" {
+						rep.Crashes++
+						if ic.Scrambled {
+							rep.ScrambledRestarts++
+						}
+					}
+				}
+				if r.Complete && r.Elapsed > 0 {
+					goodputSum += float64(len(r.Output)) / r.Elapsed.Seconds()
+					goodputN++
+				}
+				var d [8]byte
+				binary.LittleEndian.PutUint64(d[:], r.CrashScheduleDigest)
+				runDigest.Write(d[:])
 			}
-			rep.ItemsDelivered += int64(len(r.Output))
-			if r.GoodputItemsPerSec > 0 {
-				goodputSum += r.GoodputItemsPerSec
-				goodputN++
+		} else {
+			reports, serr := wire.Serve(ctx, wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
+			cancel()
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "stpload:", serr)
+				return 1
+			}
+			for _, r := range reports {
+				rep.Sessions++
+				if r.Complete {
+					rep.Completed++
+					waveComplete++
+				}
+				if r.SafetyViolation != nil {
+					rep.Violations++
+					fmt.Fprintln(os.Stderr, "stpload:", r.SafetyViolation)
+				}
+				rep.ItemsDelivered += int64(len(r.Output))
+				if r.GoodputItemsPerSec > 0 {
+					goodputSum += r.GoodputItemsPerSec
+					goodputN++
+				}
 			}
 		}
 		rep.Waves++
 		if *verbose {
 			fmt.Printf("wave %3d: sessions=%d complete=%d elapsed=%v\n",
-				wave, len(reports), waveComplete, time.Since(waveStart).Round(time.Millisecond))
+				wave, len(cfgs), waveComplete, time.Since(waveStart).Round(time.Millisecond))
 		}
 
 		if time.Since(start) >= *duration {
@@ -241,9 +351,20 @@ func run() int {
 	if h, ok := snap.Histograms["wire_batch_frames"]; ok {
 		rep.BatchFrames = &h
 	}
+	if supervised {
+		rep.CrashScheduleDigest = fmt.Sprintf("%016x", runDigest.Sum64())
+		if h, ok := snap.Histograms["wire_stabilize_time_seconds"]; ok {
+			rep.StabilizeTime = &h
+		}
+	}
 
 	fmt.Printf("stpload: transport=%s proto=%s impair=%s waves=%d sessions=%d complete=%d violations=%d frames/s=%.0f\n",
 		rep.Transport, rep.Proto, rep.Impair, rep.Waves, rep.Sessions, rep.Completed, rep.Violations, rep.FramesPerSec)
+	if supervised {
+		fmt.Printf("stpload: chaos preset=%s policy=%s incarnations=%d crashes=%d scrambled=%d watchdog=%d bad_writes=%d post_stab_violations=%d digest=%s\n",
+			rep.CrashPreset, rep.RestartPolicy, rep.Incarnations, rep.Crashes, rep.ScrambledRestarts,
+			rep.WatchdogEscalations, rep.BadWrites, rep.PostStabViolations, rep.CrashScheduleDigest)
+	}
 
 	if *reportTo != "" {
 		if err := writeReport(*reportTo, rep); err != nil {
@@ -251,12 +372,15 @@ func run() int {
 			return 1
 		}
 	}
-	// Exit contract: load may slow sessions down or leave them
-	// incomplete, but a single prefix-safety violation fails the run.
-	if rep.Violations > 0 {
-		return 1
+	// Exit contract: load and chaos may slow sessions down or leave them
+	// incomplete, but a single prefix-safety violation — or, under
+	// crash-restart chaos, a single bad write outside every recovery
+	// window — fails the run.
+	code := 0
+	if rep.Violations > 0 || rep.PostStabViolations > 0 {
+		code = 1
 	}
-	return 0
+	return metrics.Finish("stpload", code, os.Stderr)
 }
 
 // dropCause extracts the cause label from a

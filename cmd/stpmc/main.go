@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	stpmc explore -proto abp -m 2 -input 0,1 -channel reorder -depth 12
-//	stpmc refute  -proto naive -m 2 -x1 0,1 -x2 0,1,0 -channel dup
-//	stpmc bounded -proto hybrid -m 2 -input 0,1,0,1 -channel del -budget 60
+//	stpmc explore   -proto abp -m 2 -input 0,1 -channel reorder -depth 12
+//	stpmc refute    -proto naive -m 2 -x1 0,1 -x2 0,1,0 -channel dup
+//	stpmc bounded   -proto hybrid -m 2 -input 0,1,0,1 -channel del -budget 60
+//	stpmc stabilize -proto stab -m 3 -cap 2 -input 2,0,1 -channel bounded
 package main
 
 import (
@@ -51,7 +52,11 @@ func run() int {
 		weak     = fs.Bool("weak", false, "weak boundedness (old messages allowed)")
 		workers  = fs.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		faulty   = fs.Bool("faulty", true, "sample points from a one-loss run (bounded)")
-		outFile  = fs.String("o", "", "write the counterexample run as JSON (explore; replay with stpsim -replay)")
+		outFile  = fs.String("o", "", "write the counterexample run as JSON (explore/stabilize; replay with stpsim -replay)")
+		capBound = fs.Int("cap", 2, "channel-capacity bound assumed by stabilizing protocols")
+		scramble = fs.Int("scrambles", 24, "scrambled (S,R) root pairs (stabilize)")
+		junk     = fs.Int("junk", 4, "seeded channel fillings per scramble pair (stabilize)")
+		seed     = fs.Int64("seed", 1, "root-corruption seed (stabilize)")
 	)
 	metricsFlags.AddFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -63,6 +68,9 @@ func run() int {
 		cliutil.NonNegative("budget", *budget),
 		cliutil.Positive("depth", *depth),
 		cliutil.Positive("states", *states),
+		cliutil.Positive("cap", *capBound),
+		cliutil.Positive("scrambles", *scramble),
+		cliutil.Positive("junk", *junk),
 	} {
 		if check != nil {
 			fmt.Fprintln(os.Stderr, "stpmc:", check)
@@ -75,7 +83,7 @@ func run() int {
 	emitMetrics := func(code int) int {
 		return metricsFlags.Finish("stpmc", code, os.Stderr)
 	}
-	spec, err := registry.Protocol(*proto, registry.Params{M: *m, Timeout: *timeout, Window: *window})
+	spec, err := registry.Protocol(*proto, registry.Params{M: *m, Timeout: *timeout, Window: *window, Cap: *capBound})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpmc:", err)
 		return 2
@@ -165,6 +173,62 @@ func run() int {
 			variant, rep.Samples, rep.MaxRecovery, rep.Unrecovered, rep.Bounded())
 		return emitMetrics(0)
 
+	case "stabilize":
+		x, perr := cliutil.ParseSeq(*input)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "stpmc:", perr)
+			return 2
+		}
+		// Stabilization proofs need the frontier to DRAIN, not merely to
+		// be sampled: unless -depth was given explicitly, use the mode's
+		// own exhaustive default instead of explore's shallow one.
+		sdepth := *depth
+		depthSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "depth" {
+				depthSet = true
+			}
+		})
+		if !depthSet {
+			sdepth = 512
+		}
+		res, serr := mc.CheckStabilize(spec, x, kind, mc.StabilizeConfig{
+			MaxDepth: sdepth, MaxStates: *states,
+			Scrambles: *scramble, ChannelJunk: *junk, Seed: *seed,
+			EngineConfig: mc.EngineConfig{Workers: *workers, Obs: reg},
+		})
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "stpmc:", serr)
+			return emitMetrics(1)
+		}
+		claims := "claims self-stabilization"
+		if !registry.Stabilizing(*proto) {
+			claims = "makes no stabilization claim"
+		}
+		fmt.Printf("corrupted roots %d (%s)\n", res.Roots, claims)
+		fmt.Printf("explored %d quotient states to depth %d (exhausted %v, truncated %v)\n",
+			res.States, res.Depth, res.Exhausted, res.Truncated)
+		fmt.Printf("bad-write edges %d, worst stabilization depth %d, converging roots %d/%d\n",
+			res.BadWrites, res.LastBadDepth, res.ConvergedRoots, res.Roots)
+		if res.Refuted {
+			fmt.Printf("REFUTED: does not stabilize (root scramble=%d junk=%d, cycle %d steps):\n%s",
+				res.WitnessRootScramble, res.WitnessRootJunk, res.WitnessCycleLen, res.Witness)
+			if *outFile != "" {
+				if werr := writeWitness(*outFile, spec.Name, res.Witness); werr != nil {
+					fmt.Fprintln(os.Stderr, "stpmc:", werr)
+					return emitMetrics(1)
+				}
+				fmt.Printf("witness written to %s\n", *outFile)
+			}
+			return emitMetrics(1)
+		}
+		if res.Stabilizes() {
+			fmt.Println("PROVEN: every explored corrupted start admits only finitely many bad writes")
+			return emitMetrics(0)
+		}
+		fmt.Println("inconclusive: bounds truncated the graph before a proof or refutation")
+		return emitMetrics(1)
+
 	default:
 		usage()
 		return 2
@@ -172,7 +236,7 @@ func run() int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stpmc <explore|refute|bounded> [flags]; run 'stpmc explore -h' etc.")
+	fmt.Fprintln(os.Stderr, "usage: stpmc <explore|refute|bounded|stabilize> [flags]; run 'stpmc explore -h' etc.")
 }
 
 // writeWitness saves the counterexample's input and action schedule as a

@@ -4,11 +4,18 @@
 // the shared fault presets. It exits 0 iff no session violated safety
 // (and, with -require-complete, every session finished its tape).
 //
+// With -crash-preset, sessions run under crash-restart supervision:
+// endpoint processes are killed at the preset's scheduled ticks and
+// restarted with amnesia or into scrambled state per -restart-policy;
+// the run then fails on any post-stabilization violation (a bad write
+// outside every recovery window) instead of strict prefix safety.
+//
 // Usage:
 //
 //	stpserve -transport inproc -sessions 64 -impair burst-drop
 //	stpserve -transport udp -sessions 8 -duration 10s
 //	stpserve -transport det -impair dup-replay -seed 7   # sim cross-check
+//	stpserve -proto stab -crash-preset crash-scramble-both -v
 package main
 
 import (
@@ -22,7 +29,9 @@ import (
 
 	"seqtx/internal/channel"
 	"seqtx/internal/cliutil"
+	"seqtx/internal/faults"
 	"seqtx/internal/obs"
+	"seqtx/internal/protocol"
 	"seqtx/internal/protocol/hybrid"
 	"seqtx/internal/registry"
 	"seqtx/internal/seq"
@@ -45,6 +54,9 @@ func run() int {
 		items     = flag.Int("items", 6, "input items per session (repetition-free, so at most -m)")
 		transport = flag.String("transport", "inproc", "transport: inproc|udp|det")
 		impair    = flag.String("impair", "none", "impairment: "+strings.Join(wire.ImpairPresetNames(), "|"))
+		crashPre  = flag.String("crash-preset", "none", "crash-restart chaos preset (e.g. crash-scramble-both); runs sessions supervised")
+		restart   = flag.String("restart-policy", "preset", "restart state for crashed processes: preset|amnesia|scramble")
+		capBound  = flag.Int("cap", 0, "channel-capacity bound c for the stab protocol (0 = its default)")
 		seed      = flag.Int64("seed", 1, "base seed (session i uses seed+i)")
 		tick      = flag.Duration("tick", wire.DefaultTick, "per-process pacing tick")
 		duration  = flag.Duration("duration", 0, "overall wall-clock cap (0 = until sessions settle)")
@@ -79,11 +91,34 @@ func run() int {
 		return 2
 	}
 
-	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed}
+	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed, Cap: *capBound}
 	opts, err := wire.ImpairPreset(*impair)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpserve:", err)
 		return 2
+	}
+
+	var chaos *chaosPlan
+	if *crashPre != "" && *crashPre != "none" {
+		spec, err := faults.PresetSpec(*crashPre)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 2
+		}
+		if len(spec.Crashes) == 0 {
+			fmt.Fprintf(os.Stderr, "stpserve: preset %q schedules no process crashes; link impairments go via -impair\n", *crashPre)
+			return 2
+		}
+		policy, err := wire.ParseRestartPolicy(*restart)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpserve:", err)
+			return 2
+		}
+		if *transport == "det" {
+			fmt.Fprintln(os.Stderr, "stpserve: -crash-preset needs a live transport (inproc or udp); the det runner replays crash plans via the sim")
+			return 2
+		}
+		chaos = &chaosPlan{preset: *crashPre, crashes: spec.Crashes, policy: policy, seed: *seed}
 	}
 
 	inputs := make([]seq.Seq, *sessions)
@@ -102,7 +137,7 @@ func run() int {
 	case "det":
 		code = runDet(*proto, params, inputs, *seed, opts, *verbose)
 	case "inproc", "udp":
-		code = runLive(*transport, *proto, params, inputs, opts, metrics.Registry(),
+		code = runLive(*transport, *proto, params, inputs, opts, chaos, metrics.Registry(),
 			*tick, *duration, *deadline, *require, *verbose)
 	default:
 		fmt.Fprintf(os.Stderr, "stpserve: unknown transport %q (have det, inproc, udp)\n", *transport)
@@ -111,9 +146,18 @@ func run() int {
 	return metrics.Finish("stpserve", code, os.Stderr)
 }
 
-// runLive drives the sessions over a real transport.
+// chaosPlan carries the resolved -crash-preset schedule into runLive.
+type chaosPlan struct {
+	preset  string
+	crashes []faults.CrashPoint
+	policy  wire.RestartPolicy
+	seed    int64
+}
+
+// runLive drives the sessions over a real transport; with a chaos plan
+// they run supervised, crash-restarted per the plan's schedule.
 func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
-	opts wire.Options, reg *obs.Registry, tick, duration, deadline time.Duration,
+	opts wire.Options, chaos *chaosPlan, reg *obs.Registry, tick, duration, deadline time.Duration,
 	require, verbose bool) int {
 
 	var (
@@ -158,6 +202,9 @@ func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
 		ctx, cancel = context.WithTimeout(ctx, duration)
 		defer cancel()
 	}
+	if chaos != nil {
+		return runSupervised(ctx, tr, cfgs, proto, params, inputs, chaos, reg, require, verbose)
+	}
 	reports, err := wire.Serve(ctx, wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpserve:", err)
@@ -183,6 +230,71 @@ func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
 	fmt.Printf("stpserve: transport=%s proto=%s sessions=%d complete=%d safety violations %d\n",
 		tr.Name(), proto, len(reports), complete, violations)
 	if violations > 0 {
+		return 1
+	}
+	if require && complete != len(reports) {
+		fmt.Fprintf(os.Stderr, "stpserve: -require-complete: %d of %d sessions incomplete\n",
+			len(reports)-complete, len(reports))
+		return 1
+	}
+	return 0
+}
+
+// runSupervised runs the fleet under crash-restart supervision and
+// reports chaos outcomes: incarnations, stabilization episodes, and —
+// the failure signal — bad writes outside every recovery window.
+func runSupervised(ctx context.Context, tr wire.Transport, cfgs []wire.SessionConfig,
+	proto string, params registry.Params, inputs []seq.Seq, chaos *chaosPlan,
+	reg *obs.Registry, require, verbose bool) int {
+
+	reports, err := wire.ServeSupervised(ctx, wire.ChaosServeConfig{
+		ServeConfig: wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg},
+		Chaos: wire.ChaosConfig{
+			Crashes: chaos.crashes,
+			Policy:  chaos.policy,
+			Seed:    chaos.seed,
+		},
+		Rebuild: func(i int) (protocol.Sender, protocol.Receiver, error) {
+			return registry.Pair(proto, params, inputs[i])
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 1
+	}
+
+	complete, incarnations, crashes, postStab := 0, 0, 0, 0
+	for _, rep := range reports {
+		if rep.Complete {
+			complete++
+		}
+		incarnations += len(rep.Incarnations)
+		for _, ic := range rep.Incarnations {
+			if ic.Ended == "crash" {
+				crashes++
+			}
+		}
+		postStab += rep.PostStabViolations
+		if rep.PostStabViolations > 0 {
+			fmt.Fprintf(os.Stderr, "stpserve: session %d: %d post-stabilization violations\n",
+				rep.ID, rep.PostStabViolations)
+		}
+		if verbose {
+			var worst time.Duration
+			for _, t := range rep.StabilizeTimes {
+				if t > worst {
+					worst = t
+				}
+			}
+			fmt.Printf("session %3d: complete=%-5v incarnations=%d crashes+watchdogs=%d bad_writes=%d post_stab=%d worst_stabilize=%v digest=%016x\n",
+				rep.ID, rep.Complete, len(rep.Incarnations),
+				len(rep.Incarnations)-1, rep.BadWrites, rep.PostStabViolations,
+				worst.Round(time.Millisecond), rep.CrashScheduleDigest)
+		}
+	}
+	fmt.Printf("stpserve: transport=%s proto=%s chaos=%s policy=%s sessions=%d complete=%d incarnations=%d crashes=%d post-stabilization violations %d\n",
+		tr.Name(), proto, chaos.preset, chaos.policy, len(reports), complete, incarnations, crashes, postStab)
+	if postStab > 0 {
 		return 1
 	}
 	if require && complete != len(reports) {

@@ -38,6 +38,12 @@ const (
 	// KindDupDel reorders, duplicates, AND deletes — the full fault menu
 	// of the paper's introduction. Dropping erases a message type.
 	KindDupDel
+	// KindBounded reorders and deletes under a finite capacity: at most
+	// DefaultBoundedCap copies in flight, overflow sends are lost. The
+	// channel model of the self-stabilization literature (every bounded
+	// run is a del run, but corrupted-state recovery is only provable
+	// here, where "at most c stale copies" is a channel property).
+	KindBounded
 )
 
 // String returns the conventional name of the kind.
@@ -53,6 +59,8 @@ func (k Kind) String() string {
 		return "fifo"
 	case KindDupDel:
 		return "dup+del"
+	case KindBounded:
+		return "bounded"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -114,6 +122,8 @@ func New(k Kind) (Half, error) {
 		return NewFIFO(true, true), nil
 	case KindDupDel:
 		return NewDupDel(), nil
+	case KindBounded:
+		return NewBounded(DefaultBoundedCap), nil
 	default:
 		return nil, fmt.Errorf("channel: unknown kind %d", int(k))
 	}

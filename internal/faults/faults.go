@@ -147,6 +147,37 @@ func (p *Plan) WithCrash(who Process, at ...int) *Plan {
 	return p
 }
 
+// WithScramble schedules scramble-restarts of who at the given adversary
+// step indices: the victim restarts into seeded-arbitrary local state
+// (the self-stabilization adversary) instead of its initial state. Each
+// point's corruption seed is derived from seed and the step index with
+// SubSeed, so the whole schedule replays byte-exactly from one seed.
+// Out-of-model.
+func (p *Plan) WithScramble(who Process, seed int64, at ...int) *Plan {
+	p.outOfModel = true
+	steps := make(map[int]bool, len(at))
+	for _, s := range at {
+		steps[s] = true
+	}
+	p.advWraps = append(p.advWraps, func(inner sim.Adversary) sim.Adversary {
+		return &crashAdv{inner: inner, who: who, at: steps, scramble: true, seed: seed}
+	})
+	return p
+}
+
+// SubSeed derives a decorrelated sub-seed from seed and lane via the
+// SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA 2014). Scramble
+// schedules use it to give every crash point its own corruption stream;
+// the wire supervisor uses the same derivation so a sim scramble and a
+// live scramble with equal (seed, lane) corrupt a process identically.
+func SubSeed(seed int64, lane uint64) int64 {
+	x := uint64(seed) ^ lane
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
 // Link builds a link of the given kind with the plan's channel-fault
 // wrappers applied to each half.
 func (p *Plan) Link(kind channel.Kind) (*channel.Link, error) {
@@ -272,17 +303,24 @@ func (a *partitionAdv) Choose(w *sim.World, enabled []trace.Action) trace.Action
 	return trace.TickS()
 }
 
-// crashAdv injects crash-restart actions at fixed adversary steps.
+// crashAdv injects crash-restart (or scramble-restart) actions at fixed
+// adversary steps.
 type crashAdv struct {
-	inner sim.Adversary
-	who   Process
-	at    map[int]bool
-	step  int
+	inner    sim.Adversary
+	who      Process
+	at       map[int]bool
+	step     int
+	scramble bool
+	seed     int64
 }
 
 // Name implements sim.Adversary.
 func (a *crashAdv) Name() string {
-	return fmt.Sprintf("crash(%s)+%s", a.who, a.inner.Name())
+	verb := "crash"
+	if a.scramble {
+		verb = "scramble"
+	}
+	return fmt.Sprintf("%s(%s)+%s", verb, a.who, a.inner.Name())
 }
 
 // Choose implements sim.Adversary.
@@ -290,6 +328,13 @@ func (a *crashAdv) Choose(w *sim.World, enabled []trace.Action) trace.Action {
 	s := a.step
 	a.step++
 	if a.at[s] {
+		if a.scramble {
+			pointSeed := SubSeed(a.seed, uint64(s))
+			if a.who == Sender {
+				return trace.ScrambleS(pointSeed)
+			}
+			return trace.ScrambleR(pointSeed)
+		}
 		if a.who == Sender {
 			return trace.CrashS()
 		}

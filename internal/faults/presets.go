@@ -50,15 +50,27 @@ type CorruptRule struct {
 }
 
 // CrashPoint crash-restarts Who at the given adversary step indices.
+// With Scramble set, each restart lands in seeded-arbitrary local state
+// (scramble-restart, the self-stabilization adversary) instead of the
+// initial state; the per-point corruption seeds come from the seed given
+// to PlanSeeded.
 type CrashPoint struct {
-	Who Process
-	At  []int
+	Who      Process
+	At       []int
+	Scramble bool
 }
 
-// Plan materializes the spec as a sim-side fault plan. A fresh plan is
+// Plan materializes the spec as a sim-side fault plan with corruption
+// seed 0 (sufficient when no crash point scrambles). A fresh plan is
 // built per call (plans carry per-run state). Categories are applied in
 // declaration order: bursts, partitions, corruptions, crashes.
-func (s Spec) Plan() *Plan {
+func (s Spec) Plan() *Plan { return s.PlanSeeded(0) }
+
+// PlanSeeded materializes the spec with the given scramble-corruption
+// seed: every scrambling crash point derives its per-step corruption
+// streams from it (via SubSeed), so one seed replays the whole fault
+// schedule byte-exactly. Non-scrambling specs ignore the seed.
+func (s Spec) PlanSeeded(seed int64) *Plan {
 	p := NewPlan(s.Name)
 	for _, b := range s.Bursts {
 		p.WithBurstDrop(b.Dir, b.From, b.Length)
@@ -70,7 +82,11 @@ func (s Spec) Plan() *Plan {
 		p.WithCorruption(c.Dir, c.EveryN)
 	}
 	for _, c := range s.Crashes {
-		p.WithCrash(c.Who, c.At...)
+		if c.Scramble {
+			p.WithScramble(c.Who, seed, c.At...)
+		} else {
+			p.WithCrash(c.Who, c.At...)
+		}
 	}
 	return p
 }
@@ -89,6 +105,14 @@ func (s Spec) ProcessFaults() bool { return len(s.Crashes) > 0 }
 //	corrupt         substitute every 7th S→R send (out-of-model)
 //	crash-sender    crash-restart S at steps 15 and 45 (out-of-model)
 //	crash-receiver  crash-restart R at steps 15 and 45 (out-of-model)
+//
+// plus the scramble variants, which restart into seeded-arbitrary local
+// state instead of the initial state (the self-stabilization adversary;
+// materialize them with Spec.PlanSeeded to pick the corruption streams):
+//
+//	crash-scramble-sender    scramble-restart S at steps 15 and 45
+//	crash-scramble-receiver  scramble-restart R at steps 15 and 45
+//	crash-scramble-both      scramble-restart S at 15, 45 and R at 25, 55
 //
 // The windows sit early so they land inside short campaign runs (a few
 // items complete in tens of steps under a fair schedule).
@@ -145,5 +169,20 @@ var presets = map[string]Spec{
 	"crash-receiver": {
 		Name:    "crash-receiver",
 		Crashes: []CrashPoint{{Who: Receiver, At: []int{15, 45}}},
+	},
+	"crash-scramble-sender": {
+		Name:    "crash-scramble-sender",
+		Crashes: []CrashPoint{{Who: Sender, At: []int{15, 45}, Scramble: true}},
+	},
+	"crash-scramble-receiver": {
+		Name:    "crash-scramble-receiver",
+		Crashes: []CrashPoint{{Who: Receiver, At: []int{15, 45}, Scramble: true}},
+	},
+	"crash-scramble-both": {
+		Name: "crash-scramble-both",
+		Crashes: []CrashPoint{
+			{Who: Sender, At: []int{15, 45}, Scramble: true},
+			{Who: Receiver, At: []int{25, 55}, Scramble: true},
+		},
 	},
 }

@@ -1,0 +1,624 @@
+package mc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/faults"
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+	"seqtx/internal/trace"
+)
+
+// This file implements the model checker's stabilization mode: exhaustive
+// BFS from CORRUPTED initial configurations (scrambled local states ×
+// seeded channel junk), deciding whether the protocol self-stabilizes —
+// every infinite run performs only finitely many "bad" writes, after
+// which Y's suffix follows consecutive positions of X (the DDPT-style
+// convergence property; see internal/protocol/stab).
+//
+// The state graph is a quotient: nodes are keyed on (s_S, s_R, link,
+// alignment automaton) and deliberately EXCLUDE |Y|. Process and channel
+// steps never read Y, and the alignment automaton is a deterministic
+// function of the write stream, so transitions are well-defined on the
+// quotient — and only the quotient has cycles at all (|Y| is monotone).
+// A cycle containing a bad-write edge therefore unrolls into a real run
+// with infinitely many bad writes: a sound refutation lasso. Conversely,
+// if the frontier exhausts with no bad edge inside any strongly connected
+// component, every run eventually stops writing badly — a full proof of
+// stabilization over the explored corrupted frontier.
+
+// alignState is the suffix-alignment automaton. pos/aligned track the
+// candidate "good suffix": while aligned, the next good write is
+// Input[pos]. Roots start unaligned — the first write defines where the
+// suffix begins.
+type alignState struct {
+	pos     int32
+	aligned bool
+}
+
+// step consumes one written item and returns the successor state and
+// whether the write was bad. Aligned writes must continue the run
+// (Input[pos], pos < n); anything else is bad and re-aligns to just past
+// the item's first occurrence in X, or to unaligned for junk outside X.
+// An unaligned write of an X value is NOT bad: it is the candidate start
+// of the converging suffix (how a corrupted receiver's first write is
+// judged).
+func (a alignState) step(v seq.Item, input seq.Seq) (alignState, bool) {
+	if a.aligned && int(a.pos) < len(input) && input[a.pos] == v {
+		return alignState{pos: a.pos + 1, aligned: true}, false
+	}
+	for i, x := range input {
+		if x == v {
+			return alignState{pos: int32(i) + 1, aligned: true}, a.aligned
+		}
+	}
+	return alignState{}, true
+}
+
+// converged reports the target condition: the suffix ran to the end of X.
+func (a alignState) converged(input seq.Seq) bool {
+	return a.aligned && int(a.pos) == len(input)
+}
+
+func (a alignState) encode(buf []byte) []byte {
+	b := byte(0)
+	if a.aligned {
+		b = 1
+	}
+	buf = append(buf, b)
+	return binary.AppendUvarint(buf, uint64(a.pos))
+}
+
+// StabilizeConfig bounds a stabilization check.
+type StabilizeConfig struct {
+	// MaxDepth bounds the BFS depth (0 = 512).
+	MaxDepth int
+	// MaxStates caps the visited-state count (0 = 1<<20).
+	MaxStates int
+	// Scrambles is the number of scrambled (S, R) root pairs (0 = 24).
+	Scrambles int
+	// ChannelJunk is the number of seeded channel fillings tried per
+	// scramble pair, the no-junk filling included (0 = 4).
+	ChannelJunk int
+	// Seed drives the root corruption (scramble and junk streams are
+	// derived per root via faults.SubSeed, so one seed reproduces the
+	// whole frontier).
+	Seed int64
+	// EngineConfig selects the worker count (results are identical for
+	// every setting).
+	EngineConfig
+}
+
+func (c *StabilizeConfig) normalize() {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 512
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 1 << 20
+	}
+	if c.Scrambles <= 0 {
+		c.Scrambles = 24
+	}
+	if c.ChannelJunk <= 0 {
+		c.ChannelJunk = 4
+	}
+}
+
+// StabilizeResult reports a stabilization check.
+type StabilizeResult struct {
+	// Roots is the number of distinct corrupted starting configurations.
+	Roots int
+	// States is the number of distinct quotient states visited.
+	States int
+	// Depth is the deepest level fully expanded.
+	Depth int
+	// Exhausted reports that the frontier drained within bounds: the
+	// quotient graph was explored completely from every root.
+	Exhausted bool
+	// Truncated reports that MaxDepth or MaxStates stopped expansion.
+	Truncated bool
+	// BadWrites is the number of distinct bad-write edges in the graph.
+	BadWrites int
+	// LastBadDepth is the deepest BFS level that traversed a bad-write
+	// edge (-1 if none): the worst-case stabilization time in scheduler
+	// steps along shortest corrupting schedules — after this many steps
+	// from the worst corrupted start, no NEW corruption evidence exists
+	// at any further shortest-path depth.
+	LastBadDepth int
+	// Refuted reports a bad-write edge inside a strongly connected
+	// component: a lasso run with infinitely many bad writes exists, so
+	// the protocol does not stabilize from this frontier.
+	Refuted bool
+	// Witness is the refutation lasso (stem from a corrupted root, then
+	// the cycle), nil unless Refuted.
+	Witness *Witness
+	// WitnessCycleLen is the cycle portion's length of the witness.
+	WitnessCycleLen int
+	// WitnessRootScramble / WitnessRootJunk identify the corrupted root
+	// the witness stem starts from: the scramble pair index and junk
+	// filling index (deterministic functions of Seed), so the exact
+	// corrupted start can be rebuilt. -1 unless Refuted.
+	WitnessRootScramble int
+	WitnessRootJunk     int
+	// ConvergedRoots counts roots from which a fully converged state
+	// (suffix aligned through the end of X) is reachable.
+	ConvergedRoots int
+}
+
+// Stabilizes reports a full proof: every explored corrupted start, with
+// the whole quotient graph in bounds, admits only finitely many bad
+// writes on every run.
+func (r *StabilizeResult) Stabilizes() bool { return r.Exhausted && !r.Refuted }
+
+// stabEdge is one recorded transition of the quotient graph.
+type stabEdge struct {
+	from, to int32
+	act      trace.Action
+	bad      bool
+}
+
+type stabNode struct {
+	w     *sim.World
+	align alignState
+	depth int
+}
+
+// stabCand is one expanded transition awaiting the in-order merge.
+type stabCand struct {
+	parent int32
+	node   *stabNode
+	act    trace.Action
+	key    []byte
+	bad    bool
+	err    error
+}
+
+// stabDiscovery records how a node was first reached (BFS parent), which
+// makes discovery stems shortest paths from the roots.
+type stabDiscovery struct {
+	parent int32
+	act    trace.Action
+}
+
+// CheckStabilize explores the corrupted-frontier quotient graph of
+// (spec, input, kind) and decides self-stabilization over it. Roots are
+// built by scrambling both processes (protocol.ScrambleState) and seeding
+// the link with in-alphabet junk; protocols without Scrambler hooks fall
+// back to initial-state roots (amnesia), which still exercises channel
+// corruption. Levels are expanded across cfg.Workers goroutines with a
+// deterministic merge; results are identical for every worker count.
+func CheckStabilize(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg StabilizeConfig) (*StabilizeResult, error) {
+	cfg.normalize()
+	res := &StabilizeResult{LastBadDepth: -1, WitnessRootScramble: -1, WitnessRootJunk: -1}
+	workers := cfg.workerCount()
+	scratch := newScratch(workers)
+	em := newEngineMetrics(cfg.Obs, "stabilize", workers, true)
+
+	// Quotient bookkeeping: canonical key -> node id, insertion-ordered
+	// node table, full edge list (for SCC analysis and witnesses), and
+	// per-node discovery parent (for shortest stems).
+	ids := make(map[string]int32)
+	var nodes []*stabNode
+	var edges []stabEdge
+	var parents []stabDiscovery
+	var rootIDs []int32
+
+	encodeNode := func(buf []byte, n *stabNode) []byte {
+		buf = protocol.AppendKey(buf, n.w.S)
+		buf = protocol.AppendKey(buf, n.w.R)
+		buf = n.w.Link.EncodeKey(buf)
+		return n.align.encode(buf)
+	}
+
+	var frontier, next []*stabNode
+	var frontierIDs, nextIDs []int32
+
+	// merge admits one candidate: edges are recorded for every candidate
+	// (duplicates included — cycles live exactly there); only novel keys
+	// become nodes.
+	merge := func(c stabCand) error {
+		if c.err != nil {
+			return c.err
+		}
+		id, seen := ids[string(c.key)]
+		if !seen {
+			if len(nodes) >= cfg.MaxStates {
+				res.Truncated = true
+				// The edge's target is unexplored; drop it so the SCC
+				// analysis only reasons about materialized nodes.
+				return nil
+			}
+			id = int32(len(nodes))
+			ids[string(c.key)] = id
+			nodes = append(nodes, c.node)
+			parents = append(parents, stabDiscovery{parent: c.parent, act: c.act})
+			if c.node.depth > res.Depth {
+				res.Depth = c.node.depth
+			}
+			next = append(next, c.node)
+			nextIDs = append(nextIDs, id)
+			em.noteMerge(true)
+		} else {
+			em.noteMerge(false)
+		}
+		if c.parent >= 0 {
+			edges = append(edges, stabEdge{from: c.parent, to: id, act: c.act, bad: c.bad})
+			if c.bad {
+				res.BadWrites++
+				if c.node.depth > res.LastBadDepth {
+					res.LastBadDepth = c.node.depth
+				}
+			}
+		} else if !seen {
+			rootIDs = append(rootIDs, id)
+		}
+		return nil
+	}
+
+	// Seed the frontier with corrupted roots through the same merge path.
+	roots, lanes, err := corruptedRoots(spec, input, kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rootLane := make(map[int32][2]int)
+	for ri, r := range roots {
+		scratch[0].keyBuf = encodeNode(scratch[0].keyBuf[:0], r)
+		before := len(rootIDs)
+		if err := merge(stabCand{parent: -1, node: r, key: scratch[0].keyBuf}); err != nil {
+			return nil, err
+		}
+		if len(rootIDs) > before {
+			rootLane[rootIDs[len(rootIDs)-1]] = lanes[ri]
+		}
+	}
+	res.Roots = len(rootIDs)
+	frontier, next = next, frontier[:0]
+	frontierIDs, nextIDs = nextIDs, frontierIDs[:0]
+
+	expand := func(ws *workerScratch, id int32, cur *stabNode, emit func(stabCand) error) error {
+		ws.acts = cur.w.AppendEnabled(ws.acts[:0])
+		for _, act := range ws.acts {
+			nw := cur.w.Clone()
+			before := len(nw.Output)
+			if aerr := nw.Apply(act); aerr != nil {
+				return emit(stabCand{err: fmt.Errorf("mc: stabilize: applying %s: %w", act, aerr)})
+			}
+			align := cur.align
+			bad := false
+			for _, v := range nw.Output[before:] {
+				var b bool
+				align, b = align.step(v, input)
+				bad = bad || b
+			}
+			child := &stabNode{w: nw, align: align, depth: cur.depth + 1}
+			ws.keyBuf = encodeNode(ws.keyBuf[:0], child)
+			if err := emit(stabCand{
+				parent: id,
+				node:   child,
+				act:    act,
+				key:    ws.keyBuf,
+				bad:    bad,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	depth := 0
+	for len(frontier) > 0 {
+		if depth >= cfg.MaxDepth {
+			res.Truncated = true
+			break
+		}
+		next, nextIDs = next[:0], nextIDs[:0]
+		if workers == 1 {
+			for i, cur := range frontier {
+				em.noteExpand(0)
+				if err := expand(&scratch[0], frontierIDs[i], cur, merge); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			bounds := chunkBounds(len(frontier), workers*chunksPerWorker)
+			results := make([][]stabCand, len(bounds))
+			runChunks(workers, bounds, func(worker, chunk int) {
+				ws := &scratch[worker]
+				out := results[chunk]
+				for i := bounds[chunk][0]; i < bounds[chunk][1]; i++ {
+					em.noteExpand(worker)
+					stop := expand(ws, frontierIDs[i], frontier[i], func(c stabCand) error {
+						if c.key != nil {
+							c.key = ws.arena.hold(c.key)
+						}
+						out = append(out, c)
+						if c.err != nil {
+							return c.err
+						}
+						return nil
+					})
+					if stop != nil {
+						break
+					}
+				}
+				results[chunk] = out
+			})
+			for _, chunk := range results {
+				for _, c := range chunk {
+					if err := merge(c); err != nil {
+						return nil, err
+					}
+				}
+			}
+			for i := range scratch {
+				scratch[i].arena.reset()
+			}
+		}
+		em.noteLevel(depth, len(frontier))
+		frontier, next = next, frontier
+		frontierIDs, nextIDs = nextIDs, frontierIDs
+		depth++
+	}
+	em.flush()
+	res.States = len(nodes)
+	res.Exhausted = !res.Truncated
+
+	// Lasso analysis: a bad edge whose endpoints share an SCC (or a bad
+	// self-loop) witnesses a run with infinitely many bad writes.
+	comp := sccOf(int32(len(nodes)), edges)
+	for _, e := range edges {
+		if !e.bad {
+			continue
+		}
+		if e.from == e.to || comp[e.from] == comp[e.to] {
+			res.Refuted = true
+			res.Witness, res.WitnessCycleLen = stabWitness(input, e, edges, parents)
+			root := e.from
+			for parents[root].parent >= 0 {
+				root = parents[root].parent
+			}
+			if lane, ok := rootLane[root]; ok {
+				res.WitnessRootScramble, res.WitnessRootJunk = lane[0], lane[1]
+			}
+			break
+		}
+	}
+
+	// Convergence reachability: reverse-BFS from converged states.
+	if len(nodes) > 0 && len(rootIDs) > 0 {
+		radj := make([][]int32, len(nodes))
+		for _, e := range edges {
+			radj[e.to] = append(radj[e.to], e.from)
+		}
+		canReach := make([]bool, len(nodes))
+		var queue []int32
+		for i, n := range nodes {
+			if n.align.converged(input) {
+				canReach[i] = true
+				queue = append(queue, int32(i))
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range radj[v] {
+				if !canReach[u] {
+					canReach[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		for _, r := range rootIDs {
+			if canReach[r] {
+				res.ConvergedRoots++
+			}
+		}
+	}
+	return res, nil
+}
+
+// corruptedRoots builds the scrambled frontier: Scrambles seeded (S, R)
+// pairs, each under ChannelJunk seeded link fillings (filling 0 is the
+// empty link). Junk is drawn from each direction's own alphabet — the
+// adversary corrupts state, not the finite-alphabet assumption — and is
+// bounded per direction so unbounded kinds get a finite frontier too.
+func corruptedRoots(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg StabilizeConfig) ([]*stabNode, [][2]int, error) {
+	var roots []*stabNode
+	var lanes [][2]int
+	for i := 0; i < cfg.Scrambles; i++ {
+		for j := 0; j < cfg.ChannelJunk; j++ {
+			link, err := channel.NewLinkOfKind(kind)
+			if err != nil {
+				return nil, nil, err
+			}
+			w, err := sim.New(spec, input, link)
+			if err != nil {
+				return nil, nil, err
+			}
+			lane := uint64(i)<<8 | uint64(j)
+			protocol.ScrambleState(w.S, faults.SubSeed(cfg.Seed, lane|1<<32))
+			protocol.ScrambleState(w.R, faults.SubSeed(cfg.Seed, lane|2<<32))
+			if j > 0 {
+				rng := rand.New(rand.NewSource(faults.SubSeed(cfg.Seed, lane|3<<32)))
+				for _, dir := range []channel.Dir{channel.SToR, channel.RToS} {
+					alp := w.S.Alphabet()
+					if dir == channel.RToS {
+						alp = w.R.Alphabet()
+					}
+					msgs := alp.Msgs()
+					if len(msgs) == 0 {
+						continue // unbounded-alphabet baseline: no junk domain
+					}
+					for k := rng.Intn(3); k > 0; k-- {
+						// Send enforces the alphabet; bounded halves shed
+						// overflow themselves.
+						if err := w.Link.Send(dir, msgs[rng.Intn(len(msgs))]); err != nil {
+							return nil, nil, err
+						}
+					}
+				}
+			}
+			roots = append(roots, &stabNode{w: w, align: alignState{}})
+			lanes = append(lanes, [2]int{i, j})
+		}
+	}
+	return roots, lanes, nil
+}
+
+// stabWitness assembles the refutation lasso for bad edge e: the shortest
+// discovery stem from a root to e.from, then e itself, then a shortest
+// path from e.to back to e.from (empty for a self-loop). The combined
+// action list replays to a run that can repeat its cycle forever.
+func stabWitness(input seq.Seq, e stabEdge, edges []stabEdge, parents []stabDiscovery) (*Witness, int) {
+	var stem []trace.Action
+	for cur := e.from; parents[cur].parent >= 0; cur = parents[cur].parent {
+		stem = append(stem, parents[cur].act)
+	}
+	for i, j := 0, len(stem)-1; i < j; i, j = i+1, j-1 {
+		stem[i], stem[j] = stem[j], stem[i]
+	}
+	acts := append(stem, e.act)
+	cycleLen := 1
+	if e.to != e.from {
+		back := shortestPath(e.to, e.from, edges)
+		acts = append(acts, back...)
+		cycleLen += len(back)
+	}
+	return &Witness{
+		Input:   input.Clone(),
+		Actions: acts,
+		Err: fmt.Errorf("stabilization refuted: a bad write lies on a cycle "+
+			"(stem %d steps, cycle %d steps) — the run can repeat it forever",
+			len(stem), cycleLen),
+	}, cycleLen
+}
+
+// shortestPath BFS-es from src to dst over the recorded edges and returns
+// the actions along a shortest path.
+func shortestPath(src, dst int32, edges []stabEdge) []trace.Action {
+	n := int32(0)
+	for _, e := range edges {
+		if e.from >= n {
+			n = e.from + 1
+		}
+		if e.to >= n {
+			n = e.to + 1
+		}
+	}
+	adj := make([][]int, n)
+	for i, e := range edges {
+		adj[e.from] = append(adj[e.from], i)
+	}
+	type hop struct {
+		prev int32
+		edge int
+	}
+	visited := make([]bool, n)
+	hops := make([]hop, n)
+	queue := []int32{src}
+	visited[src] = true
+	hops[src] = hop{prev: -1}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			var acts []trace.Action
+			for cur := u; hops[cur].prev >= 0; cur = hops[cur].prev {
+				acts = append(acts, edges[hops[cur].edge].act)
+			}
+			for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
+				acts[i], acts[j] = acts[j], acts[i]
+			}
+			return acts
+		}
+		for _, ei := range adj[u] {
+			v := edges[ei].to
+			if !visited[v] {
+				visited[v] = true
+				hops[v] = hop{prev: u, edge: ei}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+// sccOf computes strongly connected components (iterative Tarjan) and
+// returns the component id of every node.
+func sccOf(n int32, edges []stabEdge) []int32 {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var counter, comps int32
+
+	type frame struct {
+		v    int32
+		next int
+	}
+	for start := int32(0); start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(adj[f.v]) {
+				w := adj[f.v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Pop f.v.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = comps
+					if w == v {
+						break
+					}
+				}
+				comps++
+			}
+		}
+	}
+	return comp
+}

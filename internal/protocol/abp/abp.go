@@ -16,6 +16,7 @@ package abp
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/protocol"
@@ -111,6 +112,12 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 	return binary.AppendUvarint(buf, uint64(s.idx))
 }
 
+// Scramble implements protocol.Scrambler: the position lands anywhere in
+// [0, len(input)] — the only field ABP's sender has.
+func (s *sender) Scramble(rng *rand.Rand) {
+	s.idx = rng.Intn(len(s.input) + 1)
+}
+
 // receiver accepts data whose bit matches its expectation, acknowledging
 // every data message with the bit it carried.
 type receiver struct {
@@ -145,9 +152,19 @@ func (r *receiver) Clone() protocol.Receiver {
 	return &cp
 }
 
-func (r *receiver) Key() string { return fmt.Sprintf("abpR{%d}", r.written) }
+// Key quotients the state to the expected bit: Step reads written only
+// as written&1, so states of equal parity are behaviourally identical.
+// (The write count itself is recoverable from |Y|, which every global
+// state key tracks separately — the quotient merges nothing at the world
+// level; it matters to the stabilization checker, whose recurrence
+// analysis needs behavioural state to be finite.)
+func (r *receiver) Key() string { return fmt.Sprintf("abpR{%d}", r.written&1) }
 
 func (r *receiver) EncodeKey(buf []byte) []byte {
-	buf = append(buf, 'b')
-	return binary.AppendUvarint(buf, uint64(r.written))
+	return append(buf, 'b', byte(r.written&1))
+}
+
+// Scramble implements protocol.Scrambler: the expected bit flips or not.
+func (r *receiver) Scramble(rng *rand.Rand) {
+	r.written = rng.Intn(2)
 }

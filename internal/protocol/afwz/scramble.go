@@ -1,0 +1,33 @@
+package afwz
+
+import (
+	"math/rand"
+
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// Scramble implements protocol.Scrambler: sent lands anywhere in
+// [0, len(input)] and acks anywhere at or below it (the structural
+// invariant the Step code indexes by; the logical gate state within it is
+// arbitrary).
+func (s *sender) Scramble(rng *rand.Rand) {
+	s.sent = rng.Intn(len(s.input) + 1)
+	s.acks = rng.Intn(s.sent + 1)
+}
+
+var _ protocol.Scrambler = (*sender)(nil)
+
+// Scramble implements protocol.Scrambler: an arbitrary partial arrival
+// buffer (reverse-order protocol: junk here becomes junk writes when the
+// end marker arrives) and an arbitrary done flag.
+func (r *receiver) Scramble(rng *rand.Rand) {
+	k := rng.Intn(4)
+	r.buffer = r.buffer[:0]
+	for i := 0; i < k && r.m > 0; i++ {
+		r.buffer = append(r.buffer, seq.Item(rng.Intn(r.m)))
+	}
+	r.done = rng.Intn(2) == 1
+}
+
+var _ protocol.Scrambler = (*receiver)(nil)

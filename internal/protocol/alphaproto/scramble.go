@@ -1,0 +1,38 @@
+package alphaproto
+
+import (
+	"math/rand"
+
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// Scramble implements protocol.Scrambler: the position lands anywhere in
+// [0, len(input)].
+func (s *sender) Scramble(rng *rand.Rand) {
+	s.idx = rng.Intn(len(s.input) + 1)
+}
+
+var _ protocol.Scrambler = (*sender)(nil)
+
+// Scramble implements protocol.Scrambler: the receiver restarts with an
+// arbitrary write history — a random subset of the domain in a random
+// order, with the seen set matching it (seen is derived from written, so
+// a type-valid state keeps them consistent). A poisoned seen set is the
+// interesting corruption: the receiver will silently refuse values it
+// never actually wrote.
+func (r *receiver) Scramble(rng *rand.Rand) {
+	perm := rng.Perm(r.m)
+	k := 0
+	if r.m > 0 {
+		k = rng.Intn(r.m + 1)
+	}
+	r.seen = make(map[seq.Item]bool, k)
+	r.written = r.written[:0]
+	for _, v := range perm[:k] {
+		r.seen[seq.Item(v)] = true
+		r.written = append(r.written, seq.Item(v))
+	}
+}
+
+var _ protocol.Scrambler = (*receiver)(nil)

@@ -1,0 +1,32 @@
+package gobackn
+
+import (
+	"math/rand"
+
+	"seqtx/internal/protocol"
+)
+
+// Scramble implements protocol.Scrambler: base and next land anywhere
+// consistent with the window's structural bounds (the ranges the Step
+// code indexes by); the stall clock is arbitrary.
+func (s *sender) Scramble(rng *rand.Rand) {
+	n := len(s.input)
+	s.base = rng.Intn(n + 1)
+	hi := s.base + s.window
+	if hi > n {
+		hi = n
+	}
+	s.next = s.base + rng.Intn(hi-s.base+1)
+	s.stalled = rng.Intn(timeoutTicks + 1)
+}
+
+var _ protocol.Scrambler = (*sender)(nil)
+
+// Scramble implements protocol.Scrambler: the delivered-position counter
+// lands on an arbitrary small value — its residue mod the window is all
+// the protocol ever consults, so this covers every behavioural state.
+func (r *receiver) Scramble(rng *rand.Rand) {
+	r.next = rng.Intn(2 * (r.window + 1))
+}
+
+var _ protocol.Scrambler = (*receiver)(nil)

@@ -1,0 +1,40 @@
+package hybrid
+
+import (
+	"math/rand"
+
+	"seqtx/internal/protocol"
+	"seqtx/internal/seq"
+)
+
+// Scramble implements protocol.Scrambler: every cursor lands anywhere in
+// the structural ranges the Step code indexes by (p <= hi <= n for the
+// prefix stream, lo <= n with b <= n-lo for the suffix stream); phase,
+// stall clock, and fin state are arbitrary.
+func (s *sender) Scramble(rng *rand.Rand) {
+	n := len(s.input)
+	s.hi = rng.Intn(n + 1)
+	s.p = rng.Intn(s.hi + 1)
+	s.lo = rng.Intn(n + 1)
+	s.b = rng.Intn(n - s.lo + 1)
+	s.phase = rng.Intn(2)
+	s.stalled = rng.Intn(s.timeout + 1)
+	s.finDone = rng.Intn(2) == 1
+}
+
+var _ protocol.Scrambler = (*sender)(nil)
+
+// Scramble implements protocol.Scrambler: an arbitrary prefix progress
+// counter, an arbitrary suffix arrival buffer (junk included), and an
+// arbitrary finished flag.
+func (r *receiver) Scramble(rng *rand.Rand) {
+	r.written = rng.Intn(7)
+	k := rng.Intn(4)
+	r.buffer = r.buffer[:0]
+	for i := 0; i < k && r.m > 0; i++ {
+		r.buffer = append(r.buffer, seq.Item(rng.Intn(r.m)))
+	}
+	r.finished = rng.Intn(2) == 1
+}
+
+var _ protocol.Scrambler = (*receiver)(nil)

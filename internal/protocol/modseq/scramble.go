@@ -1,0 +1,22 @@
+package modseq
+
+import (
+	"math/rand"
+
+	"seqtx/internal/protocol"
+)
+
+// Scramble implements protocol.Scrambler.
+func (s *sender) Scramble(rng *rand.Rand) {
+	s.next = rng.Intn(len(s.input) + 1)
+}
+
+var _ protocol.Scrambler = (*sender)(nil)
+
+// Scramble implements protocol.Scrambler: only the residue mod the
+// window matters behaviourally; small arbitrary values cover it.
+func (r *receiver) Scramble(rng *rand.Rand) {
+	r.next = rng.Intn(2 * (r.window + 1))
+}
+
+var _ protocol.Scrambler = (*receiver)(nil)

@@ -8,6 +8,7 @@ package naive
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/protocol"
@@ -94,6 +95,11 @@ func (s *posSender) EncodeKey(buf []byte) []byte {
 	return binary.AppendUvarint(buf, uint64(s.idx))
 }
 
+// Scramble implements protocol.Scrambler.
+func (s *posSender) Scramble(rng *rand.Rand) {
+	s.idx = rng.Intn(len(s.input) + 1)
+}
+
 // trustingReceiver writes every data message's value on receipt.
 type trustingReceiver struct {
 	m       int
@@ -127,12 +133,21 @@ func (r *trustingReceiver) Clone() protocol.Receiver {
 	return &cp
 }
 
-func (r *trustingReceiver) Key() string { return fmt.Sprintf("naiveR{w=%d}", r.written) }
+// Key is constant: Step never reads written, so every trusting-receiver
+// state is behaviourally identical. (The write count is recoverable from
+// |Y|, which global state keys track separately; the constant key is what
+// lets the stabilization checker close its recurrence analysis and
+// exhibit the protocol's unbounded junk-writing as a lasso.)
+func (r *trustingReceiver) Key() string { return "naiveR{}" }
 
 func (r *trustingReceiver) EncodeKey(buf []byte) []byte {
-	buf = append(buf, 'n')
-	return binary.AppendUvarint(buf, uint64(r.written))
+	return append(buf, 'n')
 }
+
+// Scramble implements protocol.Scrambler: the trusting receiver keeps no
+// behaviourally meaningful state, so an arbitrary restart state is the
+// initial state. Implementing the hook records that explicitly.
+func (r *trustingReceiver) Scramble(*rand.Rand) {}
 
 // NewFlood returns the ack-free protocol over domain size m: the sender
 // just emits each item once per tick position with no feedback channel at
@@ -198,4 +213,9 @@ func (s *floodSender) Key() string { return fmt.Sprintf("floodS{idx=%d}", s.idx)
 func (s *floodSender) EncodeKey(buf []byte) []byte {
 	buf = append(buf, 'O')
 	return binary.AppendUvarint(buf, uint64(s.idx))
+}
+
+// Scramble implements protocol.Scrambler.
+func (s *floodSender) Scramble(rng *rand.Rand) {
+	s.idx = rng.Intn(len(s.input) + 1)
 }

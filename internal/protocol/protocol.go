@@ -14,6 +14,7 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/seq"
@@ -125,6 +126,38 @@ func AppendKey(buf []byte, state interface{ Key() string }) []byte {
 	s := state.Key()
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
+}
+
+// Scrambler is optionally implemented by Sender and Receiver states whose
+// local state can be overwritten with an arbitrary type-valid value — the
+// self-stabilization adversary of the Dolev–Dubois–Potop-Butucaru–Tixeuil
+// line: a process restarts (or is hit by a transient fault) into *any*
+// state its variables can hold, not just the initial one.
+//
+// Scramble must keep the state structurally sound (no out-of-range slice
+// indices, no nil maps the Step code dereferences) while corrupting every
+// logically meaningful field within its natural domain; it must be
+// deterministic in the stream drawn from rng so a scrambled state is
+// reproducible from the seed alone. Protocol invariants (for example
+// "acks never exceeds the threshold") are exactly what Scramble is meant
+// to break — a stabilizing protocol recovers anyway, a non-stabilizing
+// one is refuted by the checker.
+type Scrambler interface {
+	Scramble(rng *rand.Rand)
+}
+
+// ScrambleState scrambles state with a fresh seeded RNG when it
+// implements Scrambler and reports whether it did. Callers that need an
+// amnesia fallback (restart into the initial state) rebuild the process
+// first and then call this; a false return means the rebuilt initial
+// state was kept as-is.
+func ScrambleState(state any, seed int64) bool {
+	sc, ok := state.(Scrambler)
+	if !ok {
+		return false
+	}
+	sc.Scramble(rand.New(rand.NewSource(seed)))
+	return true
 }
 
 // Spec packages a protocol family: constructors plus metadata. The

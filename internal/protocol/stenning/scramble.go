@@ -1,0 +1,23 @@
+package stenning
+
+import (
+	"math/rand"
+
+	"seqtx/internal/protocol"
+)
+
+// Scramble implements protocol.Scrambler.
+func (s *sender) Scramble(rng *rand.Rand) {
+	s.next = rng.Intn(len(s.input) + 1)
+}
+
+var _ protocol.Scrambler = (*sender)(nil)
+
+// Scramble implements protocol.Scrambler: the receiver's position
+// counter lands on an arbitrary small value — ahead of the sender it
+// stalls the transfer, behind it it re-writes old positions.
+func (r *receiver) Scramble(rng *rand.Rand) {
+	r.next = rng.Intn(9)
+}
+
+var _ protocol.Scrambler = (*receiver)(nil)

@@ -19,6 +19,7 @@ import (
 	"seqtx/internal/protocol/modseq"
 	"seqtx/internal/protocol/naive"
 	"seqtx/internal/protocol/selrepeat"
+	"seqtx/internal/protocol/stab"
 	"seqtx/internal/protocol/stenning"
 	"seqtx/internal/seq"
 	"seqtx/internal/sim"
@@ -36,12 +37,21 @@ type Params struct {
 	Seed int64
 	// Budget is the dropper budget / replayer period / withholder hold.
 	Budget int
+	// Cap is the channel-capacity bound the stabilizing protocol assumes
+	// (0 selects the protocol's default).
+	Cap int
 }
 
 // protocolEntry describes one named protocol.
 type protocolEntry struct {
 	describe string
 	build    func(Params) (protocol.Spec, error)
+	// stabilizing marks protocols that claim self-stabilization: they
+	// converge to prefix-safe transmission from arbitrary local state
+	// (given the channel-capacity bound they were built with). The
+	// model checker's stabilization mode verifies the claim; for every
+	// other protocol it is expected to find a refutation.
+	stabilizing bool
 }
 
 var protocols = map[string]protocolEntry{
@@ -85,6 +95,31 @@ var protocols = map[string]protocolEntry{
 		describe: "Selective Repeat sliding window over FIFO (uses M, Window)",
 		build:    func(p Params) (protocol.Spec, error) { return selrepeat.New(p.M, p.Window) },
 	},
+	"stab": {
+		describe:    "self-stabilizing bounded-counter resynchronization (uses M, Cap)",
+		build:       func(p Params) (protocol.Spec, error) { return stab.New(p.M, p.Cap) },
+		stabilizing: true,
+	},
+}
+
+// Stabilizing reports whether the named protocol claims self-stabilization
+// (recovery from arbitrary local state). Unknown names report false.
+func Stabilizing(name string) bool {
+	e, ok := protocols[name]
+	return ok && e.stabilizing
+}
+
+// StabilizingNames lists the registered protocols that claim
+// self-stabilization, sorted.
+func StabilizingNames() []string {
+	names := make([]string, 0, 1)
+	for n, e := range protocols {
+		if e.stabilizing {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Protocol builds the named protocol with the given parameters.
@@ -145,6 +180,7 @@ var kinds = map[string]channel.Kind{
 	"fifo":    channel.KindFIFO,
 	"dupdel":  channel.KindDupDel,
 	"dup+del": channel.KindDupDel,
+	"bounded": channel.KindBounded,
 }
 
 // Kind parses a channel-kind name.

@@ -167,6 +167,30 @@ func (w *World) Apply(act trace.Action) error {
 			}
 			w.R = r
 		}
+	case trace.ActScrambleS, trace.ActScrambleR:
+		// Scramble-restart: the process restarts in seeded-arbitrary local
+		// state (the self-stabilization adversary of [DDPT, arXiv
+		// 1104.3947]: a transient fault corrupts memory instead of
+		// clearing it). Rebuild-from-spec then corrupt, so processes
+		// without a Scrambler hook degrade to plain crash-restart.
+		if w.spec.NewSender == nil || w.spec.NewReceiver == nil {
+			return fmt.Errorf("sim: %s requires a spec-built world", act.Kind)
+		}
+		if act.Kind == trace.ActScrambleS {
+			s, cerr := w.spec.NewSender(w.Input)
+			if cerr != nil {
+				return fmt.Errorf("sim: scramble-restart of S: %w", cerr)
+			}
+			protocol.ScrambleState(s, act.Seed)
+			w.S = s
+		} else {
+			r, cerr := w.spec.NewReceiver()
+			if cerr != nil {
+				return fmt.Errorf("sim: scramble-restart of R: %w", cerr)
+			}
+			protocol.ScrambleState(r, act.Seed)
+			w.R = r
+		}
 	default:
 		return fmt.Errorf("sim: unknown action kind %d", int(act.Kind))
 	}

@@ -54,6 +54,15 @@ var zoo = []zooEntry{
 		map[channel.Kind]bool{channel.KindDel: false}, nil},
 	{"modseq", registry.Params{M: 2, Window: 2}, seq.FromInts(0, 1),
 		map[channel.Kind]bool{channel.KindDup: false}, nil},
+	// stab's bounded-counter resynchronization assumes channel capacity
+	// <= Cap: only the bounded kind satisfies it (an unbounded channel
+	// lets the adversary hoard > Cap stale copies, defeating the counting
+	// argument — the dup cells document the resulting violations, and
+	// even safe unbounded-FIFO runs accumulate partition backlogs the
+	// c+1-vote drain cannot clear within watchdog budgets).
+	{"stab", registry.Params{M: 3, Cap: 2}, seq.FromInts(2, 0, 1),
+		map[channel.Kind]bool{channel.KindBounded: true, channel.KindDup: false},
+		nil},
 }
 
 // schedEntry is one adversary × fault-plan schedule applied to every
@@ -80,6 +89,9 @@ var standardSchedules = []schedEntry{
 	{"random", "corrupt", true},
 	{"random", "crash-sender", true},
 	{"random", "crash-receiver", true},
+	{"random", "crash-scramble-sender", true},
+	{"random", "crash-scramble-receiver", true},
+	{"random", "crash-scramble-both", true},
 }
 
 // smokeSchedules is the CI subset: one fair baseline, one in-model
@@ -89,12 +101,14 @@ var smokeSchedules = []schedEntry{
 	{"random", "burst-drop", true},
 	{"random", "corrupt", true},
 	{"random", "crash-receiver", true},
+	{"random", "crash-scramble-receiver", true},
 }
 
 // kindOrder fixes the iteration order over a zoo entry's kinds so the
 // generated case list (and hence the report) is deterministic.
 var kindOrder = []channel.Kind{
-	channel.KindDup, channel.KindDel, channel.KindReorder, channel.KindFIFO, channel.KindDupDel,
+	channel.KindDup, channel.KindDel, channel.KindReorder, channel.KindFIFO,
+	channel.KindDupDel, channel.KindBounded,
 }
 
 // cases expands a zoo × schedules product into seeded cells.
@@ -114,7 +128,7 @@ func cases(entries []zooEntry, schedules []schedEntry, seed int64, runsPerCell i
 					continue // nothing to drop: the burst would be a silent no-op
 				}
 				plan := s.plan
-				inModel := plan != "corrupt" && plan != "crash-sender" && plan != "crash-receiver"
+				inModel := plan == "none" || plan == "burst-drop" || plan == "partition-heal"
 				for r := 0; r < runsPerCell; r++ {
 					p := z.params
 					p.Budget = 3 // eclipse/phased window scale

@@ -1,0 +1,94 @@
+package soak
+
+import (
+	"testing"
+
+	"seqtx/internal/channel"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/trace"
+)
+
+func scrambleCase(seed int64) Case {
+	return Case{
+		Protocol:  "stab",
+		Params:    registry.Params{M: 3, Cap: 2},
+		Input:     seq.FromInts(2, 0, 1),
+		Kind:      channel.KindBounded,
+		Adversary: "random",
+		Plan:      "crash-scramble-both",
+		Seed:      seed,
+		Fair:      true,
+		MayFail:   true,
+	}
+}
+
+// TestScrambleScheduleSeedExact pins the scramble restart policy's replay
+// contract: two fresh builds of the same seeded case walk byte-identical
+// runs — same actions, same per-point corruption seeds, same writes.
+func TestScrambleScheduleSeedExact(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		var renders [2]string
+		var scrambles [2]int
+		for i := range renders {
+			c := scrambleCase(seed)
+			w, adv, _, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.StartTrace()
+			for s := 0; s < 300; s++ {
+				act := adv.Choose(w, w.Enabled())
+				if err := w.Apply(act); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, s, err)
+				}
+			}
+			for _, e := range w.Trace.Entries {
+				if e.Act.Kind == trace.ActScrambleS || e.Act.Kind == trace.ActScrambleR {
+					scrambles[i]++
+					if e.Act.Seed == 0 {
+						t.Errorf("seed %d: scramble action without corruption seed: %s", seed, e.Act)
+					}
+				}
+			}
+			renders[i] = w.Trace.String()
+		}
+		if scrambles[0] == 0 {
+			t.Errorf("seed %d: plan injected no scramble actions", seed)
+		}
+		if renders[0] != renders[1] {
+			t.Errorf("seed %d: two builds of the same case diverged", seed)
+		}
+	}
+}
+
+// TestScrambleTraceReplays pins that a recorded run containing scramble
+// actions replays through the Replay oracle (the ddmin prerequisite): the
+// recorded corruption seeds, not the plan, drive the replayed scrambles,
+// so the rebuilt world ends with the same output tape.
+func TestScrambleTraceReplays(t *testing.T) {
+	c := scrambleCase(42)
+	w, adv, _, err := c.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartTrace()
+	for s := 0; s < 300; s++ {
+		act := adv.Choose(w, w.Enabled())
+		if err := w.Apply(act); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+	}
+	// Replay with a plain case (same build, actions carry the seeds).
+	w2, err := Replay(c, w.Trace.Actions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Output.Equal(w.Output) {
+		t.Fatalf("replay diverged: Y = %s, want %s", w2.Output, w.Output)
+	}
+	if w2.S.Key() != w.S.Key() || w2.R.Key() != w.R.Key() {
+		t.Fatalf("replay diverged in process state: %s/%s vs %s/%s",
+			w2.S.Key(), w2.R.Key(), w.S.Key(), w.R.Key())
+	}
+}

@@ -57,7 +57,8 @@ func Replay(c Case, actions []trace.Action) (*sim.World, error) {
 // the copy to actually be there.
 func applicable(w *sim.World, act trace.Action) bool {
 	switch act.Kind {
-	case trace.ActTickS, trace.ActTickR, trace.ActCrashS, trace.ActCrashR:
+	case trace.ActTickS, trace.ActTickR, trace.ActCrashS, trace.ActCrashR,
+		trace.ActScrambleS, trace.ActScrambleR:
 		return true
 	case trace.ActDeliver:
 		return w.Link.Half(act.Dir).CanDeliver(act.Msg)

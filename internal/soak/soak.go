@@ -84,6 +84,7 @@ func (c Case) planName() string {
 const (
 	streamProtocol  uint64 = 0x70726f746f636f6c // "protocol"
 	streamAdversary uint64 = 0x6164766572736172 // "adversar(y)"
+	streamFaults    uint64 = 0x736372616d626c65 // "scramble"
 )
 
 // splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA
@@ -119,10 +120,14 @@ func (c Case) build() (*sim.World, sim.Adversary, *faults.Plan, error) {
 			return nil, nil, nil, err
 		}
 	}
-	plan, err := faults.Preset(c.planName())
+	fs, err := faults.PresetSpec(c.planName())
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// The scramble-corruption stream is its own sub-seed: recorded traces
+	// carry the realized per-point seeds in their scramble actions, so
+	// replays are exact even though the plan is rebuilt fresh.
+	plan := fs.PlanSeeded(subSeed(c.Seed, streamFaults))
 	link, err := plan.Link(c.Kind)
 	if err != nil {
 		return nil, nil, nil, err

@@ -18,6 +18,7 @@ type actionJSON struct {
 	Kind string `json:"kind"`
 	Dir  string `json:"dir,omitempty"`
 	Msg  string `json:"msg,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
 }
 
 // entryJSON is the wire form of an Entry.
@@ -43,17 +44,22 @@ var kindNames = map[ActKind]string{
 	ActDrop:       "drop",
 	ActCrashS:     "crashS",
 	ActCrashR:     "crashR",
+	ActScrambleS:  "scrambleS",
+	ActScrambleR:  "scrambleR",
 }
 
 // hasDirMsg reports whether the kind carries a direction and message.
 func hasDirMsg(k ActKind) bool {
 	switch k {
-	case ActTickS, ActTickR, ActCrashS, ActCrashR:
+	case ActTickS, ActTickR, ActCrashS, ActCrashR, ActScrambleS, ActScrambleR:
 		return false
 	default:
 		return true
 	}
 }
+
+// hasSeed reports whether the kind carries a corruption seed.
+func hasSeed(k ActKind) bool { return k == ActScrambleS || k == ActScrambleR }
 
 var kindValues = func() map[string]ActKind {
 	m := make(map[string]ActKind, len(kindNames))
@@ -84,6 +90,9 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 		if hasDirMsg(e.Act.Kind) {
 			ej.Act.Dir = dirNames[e.Act.Dir]
 			ej.Act.Msg = string(e.Act.Msg)
+		}
+		if hasSeed(e.Act.Kind) {
+			ej.Act.Seed = e.Act.Seed
 		}
 		for _, m := range e.Sends {
 			ej.Sends = append(ej.Sends, string(m))
@@ -116,6 +125,9 @@ func (t *Trace) UnmarshalJSON(data []byte) error {
 			}
 			act.Dir = dir
 			act.Msg = msg.Msg(ej.Act.Msg)
+		}
+		if hasSeed(kind) {
+			act.Seed = ej.Act.Seed
 		}
 		e := Entry{Time: ej.Time, Act: act, Writes: intsToItems(ej.Writes)}
 		for _, m := range ej.Sends {

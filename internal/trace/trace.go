@@ -41,6 +41,14 @@ const (
 	// past writes are irrevocable), which is exactly what makes a receiver
 	// crash dangerous: R forgets how much it already wrote.
 	ActCrashR
+	// ActScrambleS restarts the sender into seeded-arbitrary local state
+	// (the self-stabilization adversary: a transient fault corrupts memory
+	// rather than clearing it). The action's Seed makes the corruption
+	// replayable.
+	ActScrambleS
+	// ActScrambleR restarts the receiver into seeded-arbitrary local
+	// state. As with ActCrashR, Y survives.
+	ActScrambleR
 )
 
 // String names the kind.
@@ -60,6 +68,10 @@ func (k ActKind) String() string {
 		return "crashS"
 	case ActCrashR:
 		return "crashR"
+	case ActScrambleS:
+		return "scrambleS"
+	case ActScrambleR:
+		return "scrambleR"
 	default:
 		return fmt.Sprintf("ActKind(%d)", int(k))
 	}
@@ -70,6 +82,7 @@ type Action struct {
 	Kind ActKind
 	Dir  channel.Dir // for deliver/drop actions
 	Msg  msg.Msg     // for deliver/drop actions
+	Seed int64       // for scramble actions: the corruption's RNG seed
 }
 
 // TickS returns the sender-tick action.
@@ -99,11 +112,20 @@ func CrashS() Action { return Action{Kind: ActCrashS} }
 // CrashR returns the receiver crash-restart action.
 func CrashR() Action { return Action{Kind: ActCrashR} }
 
+// ScrambleS returns a sender scramble-restart action with the given
+// corruption seed.
+func ScrambleS(seed int64) Action { return Action{Kind: ActScrambleS, Seed: seed} }
+
+// ScrambleR returns a receiver scramble-restart action.
+func ScrambleR(seed int64) Action { return Action{Kind: ActScrambleR, Seed: seed} }
+
 // String renders the action compactly.
 func (a Action) String() string {
 	switch a.Kind {
 	case ActTickS, ActTickR, ActCrashS, ActCrashR:
 		return a.Kind.String()
+	case ActScrambleS, ActScrambleR:
+		return fmt.Sprintf("%s[seed=%d]", a.Kind, a.Seed)
 	default:
 		return fmt.Sprintf("%s[%s,%s]", a.Kind, a.Dir, a.Msg)
 	}

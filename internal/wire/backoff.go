@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffCapFactor bounds the retransmission backoff: the interval
+// between spontaneous sender steps doubles on every retransmission but
+// never exceeds BackoffCapFactor times the session's base tick. The cap
+// keeps a session recoverable — even after a long outage the sender
+// probes at least every 32 ticks, so healing a partition is noticed
+// within one capped interval.
+const BackoffCapFactor = 32
+
+// backoffJitter is the ± fraction applied to every armed interval. The
+// draw comes from the session's seeded RNG, so jitter decorrelates
+// sessions on a shared transport without costing replay determinism.
+const backoffJitter = 0.25
+
+// backoff is the sender's retransmission pacer state: exponential
+// growth under consecutive retransmissions, reset on progress, capped,
+// jittered. The mux pacer still ticks at the base interval; backoff
+// decides which of those ticks are due — so the mechanism adds no
+// timers, only a time comparison per tick.
+//
+// The struct is pure (no goroutines, no clocks of its own) so the cap
+// and growth law can be pinned by unit tests.
+type backoff struct {
+	base time.Duration
+	max  time.Duration
+	cur  time.Duration
+	rng  *rand.Rand
+	next time.Time
+}
+
+func newBackoff(base time.Duration, seed int64, now time.Time) *backoff {
+	b := &backoff{
+		base: base,
+		max:  BackoffCapFactor * base,
+		cur:  base,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	b.arm(now)
+	return b
+}
+
+// due reports whether a spontaneous step may fire at now.
+func (b *backoff) due(now time.Time) bool { return !now.Before(b.next) }
+
+// arm schedules the next spontaneous step one jittered interval after
+// now.
+func (b *backoff) arm(now time.Time) { b.next = now.Add(b.jittered()) }
+
+// jittered returns the current interval ±backoffJitter, drawn from the
+// seeded stream.
+func (b *backoff) jittered() time.Duration {
+	f := 1 + backoffJitter*(2*b.rng.Float64()-1)
+	return time.Duration(float64(b.cur) * f)
+}
+
+// grow doubles the interval after a retransmission, up to the cap.
+func (b *backoff) grow() {
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+}
+
+// reset returns to the base interval on progress (a fresh send, or an
+// acknowledgement that moved the sender forward).
+func (b *backoff) reset() { b.cur = b.base }

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffCapPinned pins the retransmission backoff law: doubling
+// under consecutive retransmissions, a hard ceiling of BackoffCapFactor
+// base ticks, jitter bounded by ±25%, and a reset straight back to the
+// base interval on progress.
+func TestBackoffCapPinned(t *testing.T) {
+	base := time.Millisecond
+	b := newBackoff(base, 42, time.Now())
+	if b.cur != base {
+		t.Fatalf("initial interval %v, want %v", b.cur, base)
+	}
+	want := base
+	for i := 0; i < 100; i++ {
+		b.grow()
+		if want < BackoffCapFactor*base {
+			want *= 2
+		}
+		if b.cur != want {
+			t.Fatalf("after %d grows interval %v, want %v", i+1, b.cur, want)
+		}
+	}
+	if b.cur != BackoffCapFactor*base {
+		t.Fatalf("cap %v, want %v", b.cur, BackoffCapFactor*base)
+	}
+	lo := time.Duration(float64(b.cur) * (1 - backoffJitter))
+	hi := time.Duration(float64(b.cur) * (1 + backoffJitter))
+	for i := 0; i < 1000; i++ {
+		if j := b.jittered(); j < lo || j > hi {
+			t.Fatalf("jittered interval %v outside [%v, %v]", j, lo, hi)
+		}
+	}
+	b.reset()
+	if b.cur != base {
+		t.Fatalf("after reset interval %v, want %v", b.cur, base)
+	}
+}
+
+// TestBackoffDueness: arming schedules the next spontaneous step one
+// jittered interval out — never before 75% of the current interval,
+// always due by 125% of it.
+func TestBackoffDueness(t *testing.T) {
+	base := 8 * time.Millisecond
+	now := time.Unix(0, 0)
+	b := newBackoff(base, 7, now)
+	for i := 0; i < 50; i++ {
+		if b.due(now.Add(time.Duration(float64(base) * (1 - backoffJitter - 0.01)))) {
+			t.Fatalf("arm %d: due before the jitter floor", i)
+		}
+		if !b.due(now.Add(time.Duration(float64(base) * (1 + backoffJitter + 0.01)))) {
+			t.Fatalf("arm %d: not due after the jitter ceiling", i)
+		}
+		b.arm(now)
+	}
+}
+
+// TestBackoffJitterSeedDeterminism: equal seeds draw equal jitter
+// streams, so a session's pacing replays from its seed.
+func TestBackoffJitterSeedDeterminism(t *testing.T) {
+	now := time.Now()
+	a := newBackoff(time.Millisecond, 99, now)
+	b := newBackoff(time.Millisecond, 99, now)
+	for i := 0; i < 64; i++ {
+		if ja, jb := a.jittered(), b.jittered(); ja != jb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ja, jb)
+		}
+		if i%5 == 0 {
+			a.grow()
+			b.grow()
+		}
+	}
+}

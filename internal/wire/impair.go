@@ -59,7 +59,7 @@ func ImpairPreset(name string) (Options, error) {
 	}
 	if s.ProcessFaults() {
 		return Options{}, fmt.Errorf(
-			"wire: preset %q injects process faults (crash-restart), which a live link cannot replay (have %s)",
+			"wire: preset %q injects process faults (crash-restart), which belong to the session supervisor, not the link — pass it via -crash-preset (wire.ServeSupervised) instead; link impairments are %s",
 			name, strings.Join(ImpairPresetNames(), ", "))
 	}
 	return Options{Spec: s}, nil
@@ -138,7 +138,9 @@ var _ BatchSender = (*Impairment)(nil)
 // nil) receives the impairment counters.
 func NewImpairment(inner Transport, o Options, reg *obs.Registry) (*Impairment, error) {
 	if o.Spec.ProcessFaults() {
-		return nil, fmt.Errorf("wire: fault spec %q injects process faults, which a live link cannot replay", o.Spec.Name)
+		return nil, fmt.Errorf(
+			"wire: fault spec %q injects process faults, which belong to the session supervisor (wire.ServeSupervised / -crash-preset), not the link",
+			o.Spec.Name)
 	}
 	return &Impairment{
 		inner:       inner,

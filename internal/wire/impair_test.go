@@ -172,11 +172,15 @@ func TestImpairmentReorderEveryN(t *testing.T) {
 }
 
 func TestImpairPresetRejectsProcessFaults(t *testing.T) {
-	for _, name := range []string{"crash-sender", "crash-receiver"} {
+	for _, name := range []string{"crash-sender", "crash-receiver", "crash-scramble-both"} {
 		if _, err := ImpairPreset(name); err == nil {
 			t.Errorf("ImpairPreset(%s) accepted a process-fault preset", name)
 		} else if !strings.Contains(err.Error(), "crash-restart") {
 			t.Errorf("ImpairPreset(%s) error %q does not explain the rejection", name, err)
+		} else if !strings.Contains(err.Error(), "-crash-preset") {
+			// The rejection must route the user to the supervisor API, not
+			// dead-end them: crash presets are valid, just not on the link.
+			t.Errorf("ImpairPreset(%s) error %q does not point at the supervisor", name, err)
 		}
 	}
 	spec, err := faults.PresetSpec("crash-sender")

@@ -137,14 +137,23 @@ type muxMetrics struct {
 	outboxFull     *obs.Counter
 	batchFrames    *obs.Histogram
 
-	activeN     atomic.Int64
-	active      *obs.Gauge
-	completed   *obs.Counter
-	unfinished  *obs.Counter
-	violations  *obs.Counter
-	retransmits *obs.Counter
-	goodput     *obs.Histogram
-	learn       *obs.Histogram
+	activeN       atomic.Int64
+	active        *obs.Gauge
+	completed     *obs.Counter
+	unfinished    *obs.Counter
+	violations    *obs.Counter
+	retransmits   *obs.Counter
+	retransmitIvl *obs.Histogram
+	goodput       *obs.Histogram
+	learn         *obs.Histogram
+
+	// wire_stabilize_*: the supervised-session (chaos) metrics — see
+	// supervisor.go for the crash-restart and stabilization semantics.
+	stabIncarnations *obs.Counter
+	stabBadWrites    *obs.Counter
+	stabPostViol     *obs.Counter
+	stabEscalations  *obs.Counter
+	stabTime         *obs.Histogram
 
 	reg *obs.Registry
 }
@@ -171,9 +180,16 @@ func newMuxMetrics(reg *obs.Registry) *muxMetrics {
 		unfinished:   reg.Counter("wire_sessions_unfinished_total"),
 		violations:   reg.Counter("wire_safety_violations_total"),
 		retransmits:  reg.Counter("wire_retransmits_total"),
-		goodput:      reg.Histogram("wire_session_goodput_items_per_sec", GoodputBuckets),
-		learn:        reg.Histogram("wire_session_learn_time_seconds", obs.DurationBuckets),
-		reg:          reg,
+		retransmitIvl: reg.Histogram("wire_retransmit_interval_seconds",
+			obs.DurationBuckets),
+		goodput:          reg.Histogram("wire_session_goodput_items_per_sec", GoodputBuckets),
+		learn:            reg.Histogram("wire_session_learn_time_seconds", obs.DurationBuckets),
+		stabIncarnations: reg.Counter("wire_stabilize_incarnations_total"),
+		stabBadWrites:    reg.Counter("wire_stabilize_bad_writes_total"),
+		stabPostViol:     reg.Counter("wire_stabilize_post_violations_total"),
+		stabEscalations:  reg.Counter("wire_stabilize_watchdog_escalations_total"),
+		stabTime:         reg.Histogram("wire_stabilize_time_seconds", obs.DurationBuckets),
+		reg:              reg,
 	}
 }
 

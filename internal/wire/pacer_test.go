@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPacerChurn hammers subscribe/unsubscribe from many goroutines
+// while the timer loop runs — the supervisor pattern, where every
+// incarnation's loops re-subscribe. Meant for -race: the shared pacer
+// must tolerate rapid session churn without losing its loop or leaking
+// subscribers.
+func TestPacerChurn(t *testing.T) {
+	p := newPacer()
+	go p.run()
+	defer p.close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sub := p.subscribe(time.Duration(50+10*g) * time.Microsecond)
+				if i%3 == 0 {
+					// Sometimes wait for a tick, sometimes churn straight
+					// through — both orders must be safe.
+					select {
+					case <-sub.ch:
+					case <-time.After(5 * time.Millisecond):
+					}
+				}
+				p.unsubscribe(sub)
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.mu.Lock()
+	leaked := len(p.subs)
+	p.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d subscribers leaked after churn", leaked)
+	}
+	// The loop must still be alive: a fresh subscriber ticks.
+	sub := p.subscribe(100 * time.Microsecond)
+	defer p.unsubscribe(sub)
+	select {
+	case <-sub.ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pacer stopped ticking after churn")
+	}
+}

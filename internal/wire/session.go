@@ -39,6 +39,15 @@ type SessionConfig struct {
 	// Deadline, when positive, bounds the session's wall-clock life; an
 	// expired session reports Complete=false (never a safety verdict).
 	Deadline time.Duration
+	// Seed feeds the session's deterministic jitter streams (retransmit
+	// backoff). Zero derives a per-session default from ID.
+	Seed int64
+	// Stabilize, when non-nil, replaces the strict prefix audit with the
+	// supervisor's suffix-alignment audit: transient bad writes after a
+	// scrambled crash-restart are measured instead of fatal, and
+	// completion means the audit reached aligned end-of-tape. Plain
+	// (unsupervised) sessions leave it nil and keep the hard audit.
+	Stabilize *StabilizeAudit
 }
 
 // Report is one session's outcome.
@@ -119,6 +128,9 @@ func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = DefaultTick
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID) + 1 // jitter stream still deterministic per session
 	}
 	s := &Session{
 		cfg:              cfg,
@@ -206,16 +218,33 @@ func (s *Session) Run(ctx context.Context) Report {
 }
 
 // senderLoop drives S: retransmit ticks plus inbound acknowledgements,
-// drained a burst at a time.
+// drained a burst at a time. Spontaneous steps are paced by a capped
+// exponential backoff instead of the raw tick: consecutive
+// retransmissions double the interval (up to BackoffCapFactor ticks,
+// ±25% seeded jitter), and any progress — a fresh send, or an
+// acknowledgement the sender does not answer with a retransmission —
+// resets it to the base tick. The pacer still fires at the base rate;
+// non-due ticks are skipped with one time comparison.
 func (s *Session) senderLoop(ctx context.Context) {
 	sub := s.mux.pacer.subscribe(s.cfg.Tick)
 	defer s.mux.pacer.unsubscribe(sub)
+	bo := newBackoff(s.cfg.Tick, s.cfg.Seed, time.Now())
+	var lastRetransmitAt time.Time
 	var last msg.Msg
 	haveLast := false
 	step := func(ev protocol.Event) bool {
+		retrans, fresh := false, false
 		for _, mg := range s.cfg.Sender.Step(ev) {
 			if haveLast && mg == last {
 				s.retransmits++
+				retrans = true
+				now := time.Now()
+				if !lastRetransmitAt.IsZero() {
+					s.mux.met.retransmitIvl.Observe(now.Sub(lastRetransmitAt).Seconds())
+				}
+				lastRetransmitAt = now
+			} else {
+				fresh = true
 			}
 			last, haveLast = mg, true
 			s.framesTx++
@@ -223,7 +252,25 @@ func (s *Session) senderLoop(ctx context.Context) {
 				return false // transport closed under us: shut down
 			}
 		}
+		switch {
+		case fresh, ev.Kind == protocol.Recv && !retrans:
+			bo.reset()
+		case retrans:
+			bo.grow()
+		}
 		return true
+	}
+	// tick runs one spontaneous step if the backoff says it is due; the
+	// step's own grow/reset lands before re-arming, so a retransmission's
+	// doubled interval takes effect immediately.
+	tick := func() bool {
+		now := time.Now()
+		if !bo.due(now) {
+			return true
+		}
+		ok := step(protocol.TickEvent())
+		bo.arm(now)
+		return ok
 	}
 	batch := make([]msg.Msg, 0, 64)
 	q := s.senderInbox
@@ -237,7 +284,7 @@ func (s *Session) senderLoop(ctx context.Context) {
 		}
 		select {
 		case <-sub.ch:
-			if !step(protocol.TickEvent()) {
+			if !tick() {
 				return
 			}
 		default:
@@ -253,7 +300,7 @@ func (s *Session) senderLoop(ctx context.Context) {
 			case <-q.notify:
 			case <-sub.ch:
 				q.sleeping.Store(false)
-				if !step(protocol.TickEvent()) {
+				if !tick() {
 					return
 				}
 			}
@@ -286,6 +333,17 @@ func (s *Session) receiverLoop(ctx context.Context, cancel context.CancelFunc, s
 		for _, item := range writes {
 			s.output = append(s.output, item)
 			s.learnTimes = append(s.learnTimes, time.Since(start))
+			if a := s.cfg.Stabilize; a != nil {
+				// Supervised session: the audit judges suffix alignment
+				// across incarnations; done means aligned through the end
+				// of the tape with no stabilization window open.
+				if a.observe(item) {
+					s.complete = true
+					cancel()
+					return false
+				}
+				continue
+			}
 			if !s.output.IsPrefixOf(s.cfg.Input) {
 				s.violation = fmt.Errorf(
 					"wire: session %d safety violated: Y = %s is not a prefix of X = %s",
@@ -298,7 +356,7 @@ func (s *Session) receiverLoop(ctx context.Context, cancel context.CancelFunc, s
 				return false
 			}
 		}
-		if len(s.output) == len(s.cfg.Input) {
+		if s.cfg.Stabilize == nil && len(s.output) == len(s.cfg.Input) {
 			s.complete = true
 			cancel()
 			return false
