@@ -31,7 +31,9 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"seqtx/internal/cliutil"
@@ -52,6 +54,7 @@ func main() {
 type report struct {
 	Transport      string  `json:"transport"`
 	Proto          string  `json:"proto"`
+	Engine         string  `json:"engine"`
 	Impair         string  `json:"impair"`
 	SessionsPerWav int     `json:"sessions_per_wave"`
 	Waves          int     `json:"waves"`
@@ -77,6 +80,13 @@ type report struct {
 	FramesRx     int64   `json:"frames_rx"`
 	FramesPerSec float64 `json:"frames_per_sec"`
 	Retransmits  int64   `json:"retransmits"`
+	InboxDrops   int64   `json:"inbox_drops"`
+
+	// Footprint block: peak resident memory and peak goroutine count over
+	// the whole run — the scale sweep's evidence that the event-loop
+	// engine's cost per session is flat.
+	MaxRSSBytes    int64 `json:"max_rss_bytes"`
+	GoroutinesPeak int   `json:"goroutines_peak"`
 
 	ItemsDelivered int64   `json:"items_delivered"`
 	GoodputMean    float64 `json:"goodput_items_per_sec_mean"`
@@ -99,6 +109,9 @@ func run() int {
 		rate      = flag.Float64("rate", 0, "target session-start rate per second (0 = unpaced waves)")
 		duration  = flag.Duration("duration", 5*time.Second, "load window: new waves start until this elapses")
 		transport = flag.String("transport", "inproc", "transport: inproc|udp")
+		engineStr = flag.String("engine", "loop", "session engine: loop|goroutine")
+		inboxSize = flag.Int("inbox", 0, "per-session inbox capacity (0 = wire default)")
+		evSample  = flag.Uint64("event-sample", 0, "emit lifecycle events for every Nth session id (0 = auto-scale to fleet size, 1 = every session)")
 		impair    = flag.String("impair", "none", "impairment: "+strings.Join(wire.ImpairPresetNames(), "|"))
 		crashPre  = flag.String("crash-preset", "none", "crash-restart chaos preset (e.g. crash-scramble-both); runs sessions supervised")
 		restart   = flag.String("restart-policy", "preset", "restart state for crashed processes: preset|amnesia|scramble")
@@ -134,6 +147,25 @@ func run() int {
 	if *transport != "inproc" && *transport != "udp" {
 		fmt.Fprintf(os.Stderr, "stpload: unknown transport %q (have inproc, udp)\n", *transport)
 		return 2
+	}
+	engine, err := wire.ParseEngine(*engineStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpload:", err)
+		return 2
+	}
+	if *inboxSize < 0 {
+		fmt.Fprintln(os.Stderr, "stpload: -inbox must be >= 0")
+		return 2
+	}
+	// Auto-scale event sampling: the obs event ring holds 4096 entries, so
+	// at large fleets per-session lifecycle events are sampled down to
+	// roughly half the ring per wave (counters stay exact regardless).
+	sampleEvery := *evSample
+	if sampleEvery == 0 {
+		sampleEvery = 1
+		if every := uint64(2*(*sessions)) / 4096; every > 1 {
+			sampleEvery = every
+		}
 	}
 
 	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed, Cap: *capBound}
@@ -173,6 +205,7 @@ func run() int {
 	rep := report{
 		Transport:      *transport,
 		Proto:          *proto,
+		Engine:         engine.String(),
 		Impair:         *impair,
 		SessionsPerWav: *sessions,
 	}
@@ -183,6 +216,25 @@ func run() int {
 	var goodputSum float64
 	var goodputN int
 	runDigest := fnv.New64a()
+
+	// Goroutine-peak sampler: the footprint claim of the event-loop engine
+	// is precisely that this number stays flat as fleets grow.
+	var goroutinePeak atomic.Int64
+	samplerStop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-t.C:
+				if n := int64(runtime.NumGoroutine()); n > goroutinePeak.Load() {
+					goroutinePeak.Store(n)
+				}
+			}
+		}
+	}()
 
 	start := time.Now()
 	for wave := 0; ; wave++ {
@@ -206,9 +258,15 @@ func run() int {
 
 		cfgs := make([]wire.SessionConfig, *sessions)
 		inputs := make([]seq.Seq, *sessions)
+		// One reseeded source for the whole wave: rand.NewSource(s) and
+		// src.Seed(s) yield the same stream, and the source is ~5 KB — per
+		// session at 1M it would be gigabytes of construction garbage
+		// inflating peak RSS.
+		src := rand.NewSource(0)
+		rng := rand.New(src)
 		for i := range cfgs {
 			sessSeed := *seed + int64(wave)*int64(*sessions) + int64(i)
-			rng := rand.New(rand.NewSource(sessSeed))
+			src.Seed(sessSeed)
 			x, err := seq.RandomRepetitionFree(rng, *m, *items)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "stpload:", err)
@@ -221,12 +279,14 @@ func run() int {
 			}
 			inputs[i] = x
 			cfgs[i] = wire.SessionConfig{
-				ID:       uint64(i + 1),
-				Sender:   s,
-				Receiver: r,
-				Input:    x,
-				Tick:     *tick,
-				Deadline: *deadline,
+				ID:        uint64(i + 1),
+				Sender:    s,
+				Receiver:  r,
+				Input:     x,
+				Tick:      *tick,
+				Deadline:  *deadline,
+				InboxSize: *inboxSize,
+				Seed:      sessSeed,
 			}
 		}
 
@@ -234,7 +294,10 @@ func run() int {
 		waveComplete := 0
 		if supervised {
 			sreports, serr := wire.ServeSupervised(ctx, wire.ChaosServeConfig{
-				ServeConfig: wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg},
+				ServeConfig: wire.ServeConfig{
+					Transport: tr, Sessions: cfgs, Obs: reg,
+					Engine: engine, EventSampleEvery: sampleEvery,
+				},
 				Chaos: wire.ChaosConfig{
 					Crashes: crashSpec.Crashes,
 					Policy:  policy,
@@ -277,7 +340,10 @@ func run() int {
 				runDigest.Write(d[:])
 			}
 		} else {
-			reports, serr := wire.Serve(ctx, wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
+			reports, serr := wire.Serve(ctx, wire.ServeConfig{
+				Transport: tr, Sessions: cfgs, Obs: reg,
+				Engine: engine, EventSampleEvery: sampleEvery,
+			})
 			cancel()
 			if serr != nil {
 				fmt.Fprintln(os.Stderr, "stpload:", serr)
@@ -321,6 +387,12 @@ func run() int {
 		}
 	}
 	rep.ElapsedSeconds = time.Since(start).Seconds()
+	close(samplerStop)
+	if n := int64(runtime.NumGoroutine()); n > goroutinePeak.Load() {
+		goroutinePeak.Store(n)
+	}
+	rep.GoroutinesPeak = int(goroutinePeak.Load())
+	rep.MaxRSSBytes = cliutil.MaxRSSBytes()
 
 	snap := reg.Snapshot()
 	// The report is an aggregate document; the per-session event stream
@@ -337,6 +409,9 @@ func run() int {
 		case strings.HasPrefix(name, "wire_frames_dropped_total"):
 			if v > 0 {
 				rep.DroppedByCause[dropCause(name)] = v
+				if dropCause(name) == "inbox_full" {
+					rep.InboxDrops = v
+				}
 			}
 		case name == "wire_retransmits_total":
 			rep.Retransmits = v
@@ -358,8 +433,9 @@ func run() int {
 		}
 	}
 
-	fmt.Printf("stpload: transport=%s proto=%s impair=%s waves=%d sessions=%d complete=%d violations=%d frames/s=%.0f\n",
-		rep.Transport, rep.Proto, rep.Impair, rep.Waves, rep.Sessions, rep.Completed, rep.Violations, rep.FramesPerSec)
+	fmt.Printf("stpload: transport=%s engine=%s proto=%s impair=%s waves=%d sessions=%d complete=%d violations=%d frames/s=%.0f rss=%dMB goroutines_peak=%d\n",
+		rep.Transport, rep.Engine, rep.Proto, rep.Impair, rep.Waves, rep.Sessions, rep.Completed, rep.Violations,
+		rep.FramesPerSec, rep.MaxRSSBytes>>20, rep.GoroutinesPeak)
 	if supervised {
 		fmt.Printf("stpload: chaos preset=%s policy=%s incarnations=%d crashes=%d scrambled=%d watchdog=%d bad_writes=%d post_stab_violations=%d digest=%s\n",
 			rep.CrashPreset, rep.RestartPolicy, rep.Incarnations, rep.Crashes, rep.ScrambledRestarts,

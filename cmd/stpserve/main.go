@@ -53,6 +53,9 @@ func run() int {
 		sessions  = flag.Int("sessions", 8, "number of concurrent sessions")
 		items     = flag.Int("items", 6, "input items per session (repetition-free, so at most -m)")
 		transport = flag.String("transport", "inproc", "transport: inproc|udp|det")
+		engineStr = flag.String("engine", "loop", "session engine for live transports: loop|goroutine")
+		inboxSize = flag.Int("inbox", 0, "per-session inbox capacity (0 = wire default)")
+		evSample  = flag.Uint64("event-sample", 1, "emit lifecycle events for every Nth session id (1 = every session)")
 		impair    = flag.String("impair", "none", "impairment: "+strings.Join(wire.ImpairPresetNames(), "|"))
 		crashPre  = flag.String("crash-preset", "none", "crash-restart chaos preset (e.g. crash-scramble-both); runs sessions supervised")
 		restart   = flag.String("restart-policy", "preset", "restart state for crashed processes: preset|amnesia|scramble")
@@ -97,6 +100,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "stpserve:", err)
 		return 2
 	}
+	engine, err := wire.ParseEngine(*engineStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 2
+	}
+	if *inboxSize < 0 {
+		fmt.Fprintln(os.Stderr, "stpserve: -inbox must be >= 0")
+		return 2
+	}
 
 	var chaos *chaosPlan
 	if *crashPre != "" && *crashPre != "none" {
@@ -122,8 +134,10 @@ func run() int {
 	}
 
 	inputs := make([]seq.Seq, *sessions)
+	src := rand.NewSource(0)
+	rng := rand.New(src)
 	for i := range inputs {
-		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		src.Seed(*seed + int64(i))
 		x, err := seq.RandomRepetitionFree(rng, *m, *items)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stpserve:", err)
@@ -138,12 +152,20 @@ func run() int {
 		code = runDet(*proto, params, inputs, *seed, opts, *verbose)
 	case "inproc", "udp":
 		code = runLive(*transport, *proto, params, inputs, opts, chaos, metrics.Registry(),
+			liveOptions{engine: engine, inboxSize: *inboxSize, eventSampleEvery: *evSample},
 			*tick, *duration, *deadline, *require, *verbose)
 	default:
 		fmt.Fprintf(os.Stderr, "stpserve: unknown transport %q (have det, inproc, udp)\n", *transport)
 		return 2
 	}
 	return metrics.Finish("stpserve", code, os.Stderr)
+}
+
+// liveOptions carries the engine-selection flags into runLive.
+type liveOptions struct {
+	engine           wire.Engine
+	inboxSize        int
+	eventSampleEvery uint64
 }
 
 // chaosPlan carries the resolved -crash-preset schedule into runLive.
@@ -157,8 +179,8 @@ type chaosPlan struct {
 // runLive drives the sessions over a real transport; with a chaos plan
 // they run supervised, crash-restarted per the plan's schedule.
 func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
-	opts wire.Options, chaos *chaosPlan, reg *obs.Registry, tick, duration, deadline time.Duration,
-	require, verbose bool) int {
+	opts wire.Options, chaos *chaosPlan, reg *obs.Registry, live liveOptions,
+	tick, duration, deadline time.Duration, require, verbose bool) int {
 
 	var (
 		tr  wire.Transport
@@ -187,12 +209,13 @@ func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
 			return 2
 		}
 		cfgs[i] = wire.SessionConfig{
-			ID:       uint64(i + 1),
-			Sender:   s,
-			Receiver: r,
-			Input:    x,
-			Tick:     tick,
-			Deadline: deadline,
+			ID:        uint64(i + 1),
+			Sender:    s,
+			Receiver:  r,
+			Input:     x,
+			Tick:      tick,
+			Deadline:  deadline,
+			InboxSize: live.inboxSize,
 		}
 	}
 
@@ -203,9 +226,12 @@ func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
 		defer cancel()
 	}
 	if chaos != nil {
-		return runSupervised(ctx, tr, cfgs, proto, params, inputs, chaos, reg, require, verbose)
+		return runSupervised(ctx, tr, cfgs, proto, params, inputs, chaos, reg, live, require, verbose)
 	}
-	reports, err := wire.Serve(ctx, wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg})
+	reports, err := wire.Serve(ctx, wire.ServeConfig{
+		Transport: tr, Sessions: cfgs, Obs: reg,
+		Engine: live.engine, EventSampleEvery: live.eventSampleEvery,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpserve:", err)
 		return 1
@@ -227,8 +253,8 @@ func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
 				rep.Elapsed.Round(time.Millisecond), rep.GoodputItemsPerSec)
 		}
 	}
-	fmt.Printf("stpserve: transport=%s proto=%s sessions=%d complete=%d safety violations %d\n",
-		tr.Name(), proto, len(reports), complete, violations)
+	fmt.Printf("stpserve: transport=%s engine=%s proto=%s sessions=%d complete=%d safety violations %d\n",
+		tr.Name(), live.engine, proto, len(reports), complete, violations)
 	if violations > 0 {
 		return 1
 	}
@@ -245,10 +271,13 @@ func runLive(transport, proto string, params registry.Params, inputs []seq.Seq,
 // the failure signal — bad writes outside every recovery window.
 func runSupervised(ctx context.Context, tr wire.Transport, cfgs []wire.SessionConfig,
 	proto string, params registry.Params, inputs []seq.Seq, chaos *chaosPlan,
-	reg *obs.Registry, require, verbose bool) int {
+	reg *obs.Registry, live liveOptions, require, verbose bool) int {
 
 	reports, err := wire.ServeSupervised(ctx, wire.ChaosServeConfig{
-		ServeConfig: wire.ServeConfig{Transport: tr, Sessions: cfgs, Obs: reg},
+		ServeConfig: wire.ServeConfig{
+			Transport: tr, Sessions: cfgs, Obs: reg,
+			Engine: live.engine, EventSampleEvery: live.eventSampleEvery,
+		},
 		Chaos: wire.ChaosConfig{
 			Crashes: chaos.crashes,
 			Policy:  chaos.policy,

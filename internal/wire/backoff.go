@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"math/rand"
 	"time"
 )
 
@@ -20,29 +19,43 @@ const backoffJitter = 0.25
 
 // backoff is the sender's retransmission pacer state: exponential
 // growth under consecutive retransmissions, reset on progress, capped,
-// jittered. The mux pacer still ticks at the base interval; backoff
-// decides which of those ticks are due — so the mechanism adds no
-// timers, only a time comparison per tick.
+// jittered. The mux pacer (goroutine engine) and the worker timer heap
+// (event-loop engine) both tick at the base interval; backoff decides
+// which of those ticks are due — so the mechanism adds no timers, only
+// a time comparison per tick.
 //
 // The struct is pure (no goroutines, no clocks of its own) so the cap
-// and growth law can be pinned by unit tests.
+// and growth law can be pinned by unit tests. The jitter stream is an
+// inline SplitMix64 state — eight bytes per session — instead of a
+// *rand.Rand, whose lagged-Fibonacci table costs ~5 KB each and would
+// dominate per-session memory at a million sessions.
 type backoff struct {
 	base time.Duration
 	max  time.Duration
 	cur  time.Duration
-	rng  *rand.Rand
+	rng  uint64
 	next time.Time
 }
 
-func newBackoff(base time.Duration, seed int64, now time.Time) *backoff {
-	b := &backoff{
+func newBackoff(base time.Duration, seed int64, now time.Time) backoff {
+	b := backoff{
 		base: base,
 		max:  BackoffCapFactor * base,
 		cur:  base,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  uint64(seed),
 	}
 	b.arm(now)
 	return b
+}
+
+// splitmix64 advances the eight-byte jitter state and returns the next
+// draw (Steele–Lea–Flood mixing, the same law as faults.SubSeed).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // due reports whether a spontaneous step may fire at now.
@@ -55,7 +68,8 @@ func (b *backoff) arm(now time.Time) { b.next = now.Add(b.jittered()) }
 // jittered returns the current interval ±backoffJitter, drawn from the
 // seeded stream.
 func (b *backoff) jittered() time.Duration {
-	f := 1 + backoffJitter*(2*b.rng.Float64()-1)
+	u := float64(splitmix64(&b.rng)>>11) / (1 << 53) // uniform [0,1)
+	f := 1 + backoffJitter*(2*u-1)
 	return time.Duration(float64(b.cur) * f)
 }
 

@@ -113,8 +113,12 @@ func benchPump(b *testing.B, tr Transport, nSessions, credits int) {
 		if err != nil {
 			b.Fatalf("Pair: %v", err)
 		}
+		// The credit bound assumes the original 1024-slot inboxes (credits
+		// round-robin across sessions must fit below aggregate capacity);
+		// the leaner DefaultInboxSize would drop frames and leak credits.
 		sess, err := mux.NewSession(SessionConfig{
 			ID: uint64(i + 1), Sender: s, Receiver: r, Input: input,
+			InboxSize: 1024,
 		})
 		if err != nil {
 			b.Fatalf("NewSession: %v", err)

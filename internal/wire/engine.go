@@ -1,0 +1,435 @@
+package wire
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/protocol"
+)
+
+// Engine selects how a mux executes its sessions.
+//
+// The event-loop engine (the default) runs every session as an inline
+// state machine on a fixed pool of workers: frame arrival and pacing
+// ticks become events on a per-worker queue, the protocol Step runs to
+// completion on the loop, and a session at rest costs a struct, two
+// inboxes, and one timer-heap entry — no goroutines, no runtime timers,
+// no contexts. That flat footprint is what lets one mux hold a million
+// concurrent sessions; the goroutine engine's 2N stacks and 2N
+// scheduler entities stop far short of that.
+//
+// The goroutine engine is the original execution model — a dedicated
+// sender+receiver goroutine pair per session — kept as a comparison
+// baseline and as the reference semantics the equivalence suite holds
+// the loop engine to.
+type Engine int
+
+const (
+	// EngineLoop is the event-loop engine (the zero value, so every
+	// config that does not choose gets the scalable engine).
+	EngineLoop Engine = iota
+	// EngineGoroutine is the goroutine-pair-per-session engine.
+	EngineGoroutine
+)
+
+// String names the engine as the -engine flag spells it.
+func (e Engine) String() string {
+	if e == EngineGoroutine {
+		return "goroutine"
+	}
+	return "loop"
+}
+
+// ParseEngine resolves an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "loop", "":
+		return EngineLoop, nil
+	case "goroutine":
+		return EngineGoroutine, nil
+	}
+	return 0, fmt.Errorf("wire: unknown engine %q (have loop, goroutine)", s)
+}
+
+// maxLoopWorkers caps the worker pool: past the point where every CPU
+// has a worker, more loops only add queues to migrate sessions across.
+const maxLoopWorkers = 64
+
+// timerEntry is one session's pending wakeup: the earlier of its next
+// pacing tick and its deadline, as nanoseconds since the epoch. Each
+// attached unfinished session has exactly one live entry; a finished
+// session's entry stays in the heap and is discarded when popped
+// (lazy removal keeps pop O(log n) with no search).
+type timerEntry struct {
+	at int64
+	s  *Session
+}
+
+// timerHeap is a binary min-heap on wake time, hand-rolled on a slice
+// so push and pop stay inlineable and allocation-free at steady state
+// (the backing array reaches fleet size once and is reused).
+type timerHeap []timerEntry
+
+func (h *timerHeap) push(at int64, s *Session) {
+	*h = append(*h, timerEntry{at: at, s: s})
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if hh[p].at <= hh[i].at {
+			break
+		}
+		hh[p], hh[i] = hh[i], hh[p]
+		i = p
+	}
+}
+
+func (h *timerHeap) pop() timerEntry {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = timerEntry{} // release the *Session so finished fleets collect
+	*h = hh[:n]
+	hh = hh[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && hh[l].at < hh[small].at {
+			small = l
+		}
+		if r < n && hh[r].at < hh[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hh[i], hh[small] = hh[small], hh[i]
+		i = small
+	}
+	return top
+}
+
+// loopEngine is the mux's event-loop executor: a fixed pool of workers,
+// each owning a shard group of sessions. A session is pinned to one
+// worker by id hash for its whole life, so all of its state is
+// single-threaded with no per-field locking — the same ownership
+// discipline the goroutine engine gets from its two loops, at a
+// fraction of the footprint.
+type loopEngine struct {
+	m       *Mux
+	workers []*loopWorker
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+func newLoopEngine(m *Mux, workers int) *loopEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxLoopWorkers {
+		workers = maxLoopWorkers
+	}
+	e := &loopEngine{
+		m:       m,
+		workers: make([]*loopWorker, workers),
+		stop:    make(chan struct{}),
+	}
+	for i := range e.workers {
+		w := &loopWorker{
+			eng:    e,
+			notify: make(chan struct{}, 1),
+			batch:  make([]msg.Msg, 0, 64),
+		}
+		e.workers[i] = w
+		e.wg.Add(1)
+		go w.run()
+	}
+	return e
+}
+
+// workerFor pins a session id to a worker (Fibonacci hash, like the
+// mux's shard and stripe selection, so sequential ids spread evenly).
+func (e *loopEngine) workerFor(id uint64) *loopWorker {
+	return e.workers[((id*fibMul)>>32)%uint64(len(e.workers))]
+}
+
+// start attaches a registered session to its worker and schedules its
+// first service. deadlineAt zero means no deadline. onDone, when
+// non-nil, receives the report on the worker goroutine as the session
+// finishes; when nil the report is delivered through s.done for Run to
+// collect. The first pacing tick is phase-shifted by a per-session
+// hash so a fleet started together does not put every session's tick
+// on the same instant (the million-session thundering herd).
+func (e *loopEngine) start(s *Session, deadlineAt time.Time, onDone func(Report)) {
+	now := time.Now()
+	s.start = now
+	s.deadlineAt = deadlineAt
+	phase := time.Duration((uint64(s.cfg.Seed) * fibMul) % uint64(s.cfg.Tick))
+	s.tickNext = now.Add(s.cfg.Tick/2 + phase)
+	s.bo = newBackoff(s.cfg.Tick, s.cfg.Seed, now)
+	s.onDone = onDone
+	if onDone == nil {
+		s.done = make(chan struct{})
+	}
+	w := e.workerFor(s.cfg.ID)
+	s.worker = w
+	s.mux.noteSessionStart(s)
+	s.loopLive.Store(true)
+	w.schedule(s)
+}
+
+// cancel requests a session finish early (the event-loop counterpart
+// of ctx cancellation); the worker delivers the incomplete report.
+func (e *loopEngine) cancel(s *Session) {
+	s.cancelReq.Store(true)
+	s.worker.schedule(s)
+}
+
+// close stops the workers and finishes any sessions still attached, so
+// no Run or Serve caller is left waiting on a report.
+func (e *loopEngine) close() {
+	e.once.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+// loopWorker drives one shard group of sessions: a ready queue fed by
+// the routers (frame arrivals) and control operations (start, cancel),
+// plus a timer heap for pacing ticks and deadlines. The ready queue is
+// a mutex-guarded slice with the same Dekker-style sleep handshake as
+// the session inboxes: a producer only touches the notify channel when
+// the worker has declared itself parked, so a busy worker costs
+// producers one atomic load per wakeup attempt, not a channel op.
+type loopWorker struct {
+	eng *loopEngine
+
+	mu      sync.Mutex
+	ready   []*Session
+	stopped bool
+
+	sleeping atomic.Bool
+	notify   chan struct{}
+
+	// Worker-owned (no locking): the timer heap and the drain scratch
+	// buffer shared by every session on this worker — per-session state
+	// stays flat because the burst buffer is pooled here, not there.
+	timers timerHeap
+	batch  []msg.Msg
+}
+
+// schedule queues s for service. The scheduled flag makes the queue
+// idempotent: however many frames land between services, the session
+// occupies at most one ready slot. Callers may race freely — the CAS
+// admits exactly one enqueue per wakeup.
+func (w *loopWorker) schedule(s *Session) {
+	if !s.scheduled.CompareAndSwap(false, true) {
+		return
+	}
+	w.mu.Lock()
+	if w.stopped {
+		// Engine shut down under the session: deliver its (incomplete)
+		// report here so no Run/Serve caller hangs. The mutex serializes
+		// this with the worker's own shutdown sweep.
+		if !s.finished {
+			w.finish(s)
+		}
+		w.mu.Unlock()
+		return
+	}
+	w.ready = append(w.ready, s)
+	w.mu.Unlock()
+	if w.sleeping.Load() {
+		w.sleeping.Store(false)
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the worker loop: swap the ready queue, service each session,
+// fire due timers, park when idle until the next event or timer.
+func (w *loopWorker) run() {
+	defer w.eng.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	ready := make([]*Session, 0, 256)
+	for {
+		select {
+		case <-w.eng.stop:
+			w.shutdown()
+			return
+		default:
+		}
+		w.mu.Lock()
+		ready, w.ready = w.ready, ready[:0]
+		w.mu.Unlock()
+		progress := len(ready) > 0
+		for i, s := range ready {
+			w.service(s)
+			ready[i] = nil // no stale *Session pins in the swap buffer
+		}
+		if len(w.timers) > 0 {
+			now := time.Now()
+			nowNs := now.UnixNano()
+			for len(w.timers) > 0 && w.timers[0].at <= nowNs {
+				e := w.timers.pop()
+				w.fire(e.s, now)
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Idle: arm the sleep flag, re-check the queue once (the Dekker
+		// handshake with schedule), then park until a wakeup, the next
+		// timer deadline, or engine stop.
+		w.sleeping.Store(true)
+		w.mu.Lock()
+		n := len(w.ready)
+		w.mu.Unlock()
+		if n > 0 {
+			w.sleeping.Store(false)
+			continue
+		}
+		d := time.Hour
+		if len(w.timers) > 0 {
+			if d = time.Until(time.Unix(0, w.timers[0].at)); d <= 0 {
+				w.sleeping.Store(false)
+				continue
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+		select {
+		case <-w.eng.stop:
+			w.sleeping.Store(false)
+			w.shutdown()
+			return
+		case <-w.notify:
+		case <-timer.C:
+		}
+		w.sleeping.Store(false)
+	}
+}
+
+// service runs one session's queued work: first-time attach, pending
+// cancellation, then a burst drain of both inboxes through the shared
+// step machines. Clearing the scheduled flag before draining closes
+// the race with a concurrent router publish — a frame staged after the
+// drain re-queues the session; a frame published before the clear is
+// seen by this drain.
+func (w *loopWorker) service(s *Session) {
+	s.scheduled.Store(false)
+	if s.finished {
+		return
+	}
+	if !s.attached {
+		s.attached = true
+		w.timers.push(s.nextWake(), s)
+	}
+	if s.cancelReq.Load() {
+		w.finish(s)
+		return
+	}
+	w.batch = s.senderInbox.drain(w.batch)
+	for _, mg := range w.batch {
+		if !s.senderEvent(protocol.RecvEvent(mg)) {
+			w.finish(s)
+			return
+		}
+	}
+	w.batch = s.receiverInbox.drain(w.batch)
+	for _, mg := range w.batch {
+		if s.receiverEvent(protocol.RecvEvent(mg)) != stepRunning {
+			w.finish(s)
+			return
+		}
+	}
+}
+
+// fire handles a session's timer wakeup: deadline expiry finishes it
+// (Complete=false — never a safety verdict), a due pacing tick steps
+// the receiver and, when the retransmission backoff agrees, the
+// sender; then the one live heap entry is re-armed at the next wake.
+func (w *loopWorker) fire(s *Session, now time.Time) {
+	if s.finished {
+		return // lazily removed entry
+	}
+	if s.cancelReq.Load() {
+		w.finish(s)
+		return
+	}
+	if !s.deadlineAt.IsZero() && !now.Before(s.deadlineAt) {
+		w.finish(s)
+		return
+	}
+	if !now.Before(s.tickNext) {
+		if s.receiverEvent(protocol.TickEvent()) != stepRunning {
+			w.finish(s)
+			return
+		}
+		if s.bo.due(now) {
+			if !s.senderEvent(protocol.TickEvent()) {
+				w.finish(s)
+				return
+			}
+			s.bo.arm(now)
+		}
+		s.tickNext = now.Add(s.cfg.Tick)
+	}
+	w.timers.push(s.nextWake(), s)
+}
+
+// finish retires a session on its worker: close the inboxes (late
+// frames count as late), drop it from the routing table, build and
+// deliver the report, and fold the aggregate metrics. The session's
+// timer entry, if still in the heap, is discarded lazily on pop.
+func (w *loopWorker) finish(s *Session) {
+	s.finished = true
+	s.loopLive.Store(false)
+	s.senderInbox.close()
+	s.receiverInbox.close()
+	s.mux.unregister(s.cfg.ID)
+	rep := s.buildReport(time.Since(s.start))
+	s.mux.noteSessionEnd(s, rep)
+	if s.onDone != nil {
+		s.onDone(rep)
+	} else {
+		s.rep = rep
+		close(s.done)
+	}
+}
+
+// shutdown finishes every session still owned by this worker — queued,
+// attached, or both — under the mutex, so a racing schedule on another
+// goroutine either hands its session to this sweep or finishes it
+// itself, never both.
+func (w *loopWorker) shutdown() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	for _, s := range w.ready {
+		if !s.finished {
+			w.finish(s)
+		}
+	}
+	w.ready = nil
+	for len(w.timers) > 0 {
+		e := w.timers.pop()
+		if !e.s.finished {
+			w.finish(e.s)
+		}
+	}
+}

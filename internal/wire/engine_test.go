@@ -1,0 +1,479 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"seqtx/internal/obs"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+)
+
+// zooParams satisfies every registered protocol's constructor (hybrid
+// needs Timeout, the windowed family needs Window).
+var zooParams = registry.Params{M: 8, Timeout: 4, Window: 4}
+
+// equivalenceZoo is the registry zoo the engine-equivalence suite runs,
+// and the impairment presets each protocol must survive. naive is
+// excluded by design: it is the paper's deliberately unsafe strawman.
+// afwz skips dup-replay and reorder because its model assumes a
+// duplication-free FIFO channel — on those presets it (correctly)
+// violates or stalls on either engine, so neither cell says anything
+// about engine equivalence.
+var equivalenceZoo = []struct {
+	proto   string
+	presets []string
+}{
+	{"alpha", []string{"none", "burst-drop", "dup-replay", "reorder", "corrupt", "partition-heal"}},
+	{"afwz", []string{"none", "burst-drop", "corrupt", "partition-heal"}},
+	{"hybrid", []string{"none", "burst-drop", "dup-replay"}},
+	{"abp", []string{"none", "burst-drop", "dup-replay"}},
+	{"stenning", []string{"none", "burst-drop", "dup-replay"}},
+	{"modseq", []string{"none", "burst-drop", "dup-replay"}},
+	{"gobackn", []string{"none", "burst-drop", "dup-replay"}},
+	{"selrepeat", []string{"none", "burst-drop", "dup-replay"}},
+	{"stab", []string{"none", "burst-drop", "dup-replay"}},
+}
+
+// runZooFleet runs n sessions of one protocol under one impairment
+// preset on the given engine, with per-session seeds fixed by index so
+// both engines draw identical jitter streams.
+func runZooFleet(t *testing.T, engine Engine, proto, preset string, n int) []Report {
+	t.Helper()
+	var tr Transport = NewInproc(0, nil)
+	if preset != "none" {
+		opts, err := ImpairPreset(preset)
+		if err != nil {
+			t.Fatalf("ImpairPreset: %v", err)
+		}
+		if tr, err = NewImpairment(tr, opts, nil); err != nil {
+			t.Fatalf("NewImpairment: %v", err)
+		}
+	}
+	cfgs := make([]SessionConfig, n)
+	for i := range cfgs {
+		x := make(seq.Seq, 4)
+		for j := range x {
+			x[j] = seq.Item((i + j) % zooParams.M)
+		}
+		s, r, err := registry.Pair(proto, zooParams, x)
+		if err != nil {
+			t.Fatalf("Pair(%s): %v", proto, err)
+		}
+		cfgs[i] = SessionConfig{
+			ID: uint64(i + 1), Sender: s, Receiver: r, Input: x,
+			Tick: 200 * time.Microsecond, Deadline: 30 * time.Second,
+			Seed: int64(1000*i + 7),
+		}
+	}
+	reports, err := Serve(context.Background(), ServeConfig{
+		Transport: tr, Sessions: cfgs, Engine: engine,
+	})
+	if err != nil {
+		t.Fatalf("Serve(%s/%s/%v): %v", proto, preset, engine, err)
+	}
+	return reports
+}
+
+// TestEngineEquivalence is the engine-equivalence suite: the registry
+// zoo × impairment presets, run on both engines with the same seeds.
+// Both engines must reach the same verdict on every cell — every
+// session completes with Output exactly equal to Input and no safety
+// violation. Wall-clock-dependent fields (Elapsed, Retransmits,
+// LearnTimes) legitimately differ between engines on a live transport
+// — the engines schedule real time differently — so equivalence is
+// asserted on the observable protocol outcome, the same observable the
+// DESIGN §8 sim↔wire fidelity argument uses; DESIGN §11 makes the
+// argument for why this is the right equivalence.
+func TestEngineEquivalence(t *testing.T) {
+	for _, z := range equivalenceZoo {
+		for _, preset := range z.presets {
+			z, preset := z, preset
+			t.Run(fmt.Sprintf("%s/%s", z.proto, preset), func(t *testing.T) {
+				t.Parallel()
+				loop := runZooFleet(t, EngineLoop, z.proto, preset, 2)
+				gor := runZooFleet(t, EngineGoroutine, z.proto, preset, 2)
+				for i := range loop {
+					for eng, rep := range map[string]Report{"loop": loop[i], "goroutine": gor[i]} {
+						if rep.SafetyViolation != nil {
+							t.Errorf("%s engine, session %d: safety violation: %v", eng, rep.ID, rep.SafetyViolation)
+						}
+						if !rep.Complete {
+							t.Errorf("%s engine, session %d: incomplete (%d/%d items)", eng, rep.ID, len(rep.Output), len(rep.Input))
+						}
+						if !rep.Output.Equal(rep.Input) {
+							t.Errorf("%s engine, session %d: output %s != input %s", eng, rep.ID, rep.Output, rep.Input)
+						}
+					}
+					if !loop[i].Output.Equal(gor[i].Output) {
+						t.Errorf("session %d: engines disagree on output: loop=%s goroutine=%s",
+							loop[i].ID, loop[i].Output, gor[i].Output)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLoopDeadlineExpiry is the satellite regression for the context
+// tower's replacement: on the event-loop engine a session deadline is
+// carried in session state and enforced by the worker's timer heap, and
+// its expiry must report Complete=false — never a safety verdict.
+func TestLoopDeadlineExpiry(t *testing.T) {
+	mux := NewMuxConfig(NewInproc(0, nil), MuxConfig{Engine: EngineLoop})
+	defer mux.Close()
+	x := seq.Seq{0, 1, 2, 3, 4, 5}
+	s, r, err := registry.Pair("alpha", zooParams, x)
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	sess, err := mux.NewSession(SessionConfig{
+		ID: 1, Sender: s, Receiver: r, Input: x,
+		Tick: 50 * time.Millisecond, Deadline: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	rep := sess.Run(context.Background())
+	if rep.Complete {
+		t.Error("session completed despite a 10ms deadline and 50ms tick")
+	}
+	if rep.SafetyViolation != nil {
+		t.Errorf("deadline expiry reported as safety violation: %v", rep.SafetyViolation)
+	}
+	if rep.Elapsed < 10*time.Millisecond {
+		t.Errorf("session ended at %v, before its 10ms deadline", rep.Elapsed)
+	}
+}
+
+// TestLoopRunCtxDeadline: a ctx deadline folds into the same event-loop
+// deadline state as SessionConfig.Deadline, with the same verdict
+// contract.
+func TestLoopRunCtxDeadline(t *testing.T) {
+	mux := NewMuxConfig(NewInproc(0, nil), MuxConfig{Engine: EngineLoop})
+	defer mux.Close()
+	x := seq.Seq{0, 1, 2, 3}
+	s, r, err := registry.Pair("alpha", zooParams, x)
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	sess, err := mux.NewSession(SessionConfig{
+		ID: 1, Sender: s, Receiver: r, Input: x, Tick: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	rep := sess.Run(ctx)
+	if rep.Complete {
+		t.Error("session completed despite a 10ms ctx deadline and 50ms tick")
+	}
+	if rep.SafetyViolation != nil {
+		t.Errorf("ctx deadline expiry reported as safety violation: %v", rep.SafetyViolation)
+	}
+}
+
+// TestLoopRunContextCancellation: cancelling the Run ctx on the loop
+// engine finishes the session promptly through the engine's cancel
+// path (no contexts inside the loop).
+func TestLoopRunContextCancellation(t *testing.T) {
+	mux := NewMuxConfig(NewInproc(0, nil), MuxConfig{Engine: EngineLoop})
+	defer mux.Close()
+	x := seq.Seq{0, 1, 2, 3}
+	s, r, err := registry.Pair("alpha", zooParams, x)
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	sess, err := mux.NewSession(SessionConfig{
+		ID: 1, Sender: s, Receiver: r, Input: x, Tick: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan Report, 1)
+	go func() { done <- sess.Run(ctx) }()
+	select {
+	case rep := <-done:
+		if rep.Complete {
+			t.Error("idle session reported complete after cancellation")
+		}
+		if rep.SafetyViolation != nil {
+			t.Errorf("cancellation reported as safety violation: %v", rep.SafetyViolation)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after ctx cancellation")
+	}
+}
+
+// TestOverflowSessionIDs drives sessions whose ids are past the dense
+// table's range through the copy-on-write shard path: registration,
+// routing, duplicate rejection, and completion must all behave exactly
+// as for ordinary ids.
+func TestOverflowSessionIDs(t *testing.T) {
+	mux := NewMuxConfig(NewInproc(0, nil), MuxConfig{Engine: EngineLoop})
+	defer mux.Close()
+	base := denseLimit + 17
+	sessions := make([]*Session, 4)
+	for i := range sessions {
+		x := seq.Seq{0, 1, 2}
+		s, r, err := registry.Pair("alpha", zooParams, x)
+		if err != nil {
+			t.Fatalf("Pair: %v", err)
+		}
+		sess, err := mux.NewSession(SessionConfig{
+			ID: base + uint64(i)*denseLimit, Sender: s, Receiver: r, Input: x,
+			Tick: 200 * time.Microsecond, Deadline: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("NewSession(overflow id): %v", err)
+		}
+		sessions[i] = sess
+	}
+	if got := mux.lookup(base); got != sessions[0] {
+		t.Fatal("overflow lookup did not find the registered session")
+	}
+	if mux.lookup(base+1) != nil {
+		t.Fatal("overflow lookup found an unregistered id")
+	}
+	x := seq.Seq{0}
+	s2, r2, _ := registry.Pair("alpha", zooParams, x)
+	if _, err := mux.NewSession(SessionConfig{ID: base, Sender: s2, Receiver: r2, Input: x}); err == nil {
+		t.Fatal("duplicate overflow session id accepted")
+	}
+	for _, sess := range sessions {
+		rep := sess.Run(context.Background())
+		if rep.SafetyViolation != nil || !rep.Complete {
+			t.Errorf("overflow session %d: complete=%v violation=%v", rep.ID, rep.Complete, rep.SafetyViolation)
+		}
+	}
+	if mux.lookup(base) != nil {
+		t.Error("finished overflow session still registered")
+	}
+}
+
+// TestTimerHeapOrdering pins the worker timer heap's min-heap law: pops
+// come out in non-decreasing wake order whatever the push order.
+func TestTimerHeapOrdering(t *testing.T) {
+	var h timerHeap
+	rng := uint64(42)
+	want := make([]int64, 0, 200)
+	for i := 0; i < 200; i++ {
+		at := int64(splitmix64(&rng) % 1_000_000)
+		want = append(want, at)
+		h.push(at, nil)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		if got := h.pop().at; got != w {
+			t.Fatalf("pop %d: at=%d, want %d", i, got, w)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not empty after draining: %d left", len(h))
+	}
+}
+
+// TestLoopPrimitivesZeroAlloc pins the per-event allocation contract of
+// the event-loop engine's worker-local primitives: once the heap's
+// backing array and the inbox are warm, a timer cycle and an inbox
+// cycle must not allocate — these run once per session event at
+// million-session scale.
+func TestLoopPrimitivesZeroAlloc(t *testing.T) {
+	var h timerHeap
+	for i := 0; i < 64; i++ {
+		h.push(int64(i), nil)
+	}
+	for len(h) > 0 {
+		h.pop()
+	}
+	assertZeroAlloc(t, "timer heap push/pop cycle", func() {
+		for i := 0; i < 32; i++ {
+			h.push(int64(i%7), nil)
+		}
+		for len(h) > 0 {
+			h.pop()
+		}
+	})
+
+	q := newInbox(64)
+	batch := q.drain(nil)
+	assertZeroAlloc(t, "inbox stage/publish/drain cycle", func() {
+		for i := 0; i < 16; i++ {
+			if q.stage("d:1") != pushOK {
+				t.Fatal("stage failed")
+			}
+		}
+		q.publish()
+		batch = q.drain(batch)
+		if len(batch) != 16 {
+			t.Fatalf("drained %d, want 16", len(batch))
+		}
+	})
+}
+
+// TestLoopFlatMemory is the tentpole's footprint contract in miniature:
+// a fleet of idle event-loop sessions must cost no goroutines and a
+// bounded, flat number of bytes each. 20k sessions keep the test fast;
+// the per-session bound (8 KB) is far under a goroutine-pair's stacks
+// and catches regressions like a per-session *rand.Rand (~5 KB) or
+// restored 1024-slot inboxes (~32 KB) immediately.
+func TestLoopFlatMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory census in -short mode")
+	}
+	const n = 20000
+	mux := NewMuxConfig(NewInproc(0, nil), MuxConfig{Engine: EngineLoop, EventSampleEvery: 1024})
+	defer mux.Close()
+
+	baseGoroutines := runtime.NumGoroutine()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	x := seq.Seq{0, 1, 2, 3}
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		s, r, err := registry.Pair("alpha", zooParams, x)
+		if err != nil {
+			t.Fatalf("Pair: %v", err)
+		}
+		sess, err := mux.NewSession(SessionConfig{
+			ID: uint64(i + 1), Sender: s, Receiver: r, Input: x,
+			// An hour-scale tick keeps every session attached but inert:
+			// the census measures resident state, not traffic.
+			Tick: time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		sessions[i] = sess
+		mux.loop.start(sess, time.Time{}, func(Report) {})
+	}
+	// Let the workers attach everything, then census.
+	time.Sleep(50 * time.Millisecond)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	perSession := float64(after.HeapInuse-before.HeapInuse) / n
+	t.Logf("%d idle loop sessions: %.0f B/session heap-in-use", n, perSession)
+	if perSession > 8192 {
+		t.Errorf("per-session heap %.0f B exceeds the 8 KB flat-memory bound", perSession)
+	}
+	if g := runtime.NumGoroutine(); g > baseGoroutines+maxLoopWorkers+8 {
+		t.Errorf("%d goroutines for %d loop sessions (started with %d): engine is not goroutine-free",
+			g, n, baseGoroutines)
+	}
+}
+
+// TestInboxSizeAndDropAccounting: a deliberately tiny inbox under a
+// frame flood drops the overflow, and the drops surface both in the
+// mux-wide inbox_full counter and in the session's own report — the
+// observability contract that makes a small default safe to ship.
+func TestInboxSizeAndDropAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	mux := NewMuxConfig(NewInproc(0, reg), MuxConfig{Obs: reg, Engine: EngineLoop})
+	x := seq.Seq{0, 1, 2, 3}
+	s, r, err := registry.Pair("alpha", zooParams, x)
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	sess, err := mux.NewSession(SessionConfig{
+		ID: 1, Sender: s, Receiver: r, Input: x, Tick: time.Hour, InboxSize: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if got := len(sess.receiverInbox.slots); got != 1 {
+		t.Fatalf("InboxSize 1 allocated %d slots", got)
+	}
+	// Flood the unstarted session's receiver inbox: nothing drains it, so
+	// everything past the first frame must drop.
+	payload := s.Alphabet().Msgs()[0]
+	for i := 0; i < 64; i++ {
+		if err := mux.send(1, SenderEnd.Dir(), payload); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sess.inboxDrops.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	drops := sess.inboxDrops.Load()
+	if drops == 0 {
+		t.Fatal("no inbox drops recorded for a 1-slot inbox under a 64-frame flood")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`wire_frames_dropped_total{cause="inbox_full"}`]; got < drops {
+		t.Errorf("mux inbox_full counter %d < session drops %d", got, drops)
+	}
+	rep := sess.Run(contextWithTimeout(t, 50*time.Millisecond))
+	if rep.InboxDrops < int(drops) {
+		t.Errorf("Report.InboxDrops = %d, want >= %d", rep.InboxDrops, drops)
+	}
+	mux.Close()
+}
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestEventSampling: with EventSampleEvery set, only the sampled
+// sessions' lifecycle events reach the bounded event ring, while the
+// aggregate counters stay exact for the whole fleet.
+func TestEventSampling(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfgs := make([]SessionConfig, 8)
+	for i := range cfgs {
+		x := seq.Seq{0, 1}
+		s, r, err := registry.Pair("alpha", zooParams, x)
+		if err != nil {
+			t.Fatalf("Pair: %v", err)
+		}
+		cfgs[i] = SessionConfig{
+			ID: uint64(i + 1), Sender: s, Receiver: r, Input: x,
+			Tick: 200 * time.Microsecond, Deadline: 30 * time.Second,
+		}
+	}
+	reports, err := Serve(context.Background(), ServeConfig{
+		Transport: NewInproc(0, reg), Sessions: cfgs, Obs: reg,
+		EventSampleEvery: 4,
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	for _, rep := range reports {
+		if !rep.Complete {
+			t.Errorf("session %d incomplete", rep.ID)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["wire_sessions_completed_total"]; got != int64(len(cfgs)) {
+		t.Errorf("completed counter = %d, want %d (aggregates must stay exact under sampling)", got, len(cfgs))
+	}
+	starts, ends := 0, 0
+	for _, ev := range snap.Events {
+		switch ev.Kind {
+		case "wire.session.start":
+			starts++
+		case "wire.session.end":
+			ends++
+		}
+	}
+	// Ids 1..8 sampled every 4 → exactly ids 4 and 8 emit.
+	if starts != 2 || ends != 2 {
+		t.Errorf("sampled lifecycle events: %d starts, %d ends; want 2 and 2", starts, ends)
+	}
+}

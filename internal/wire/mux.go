@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -19,15 +20,30 @@ import (
 // enforcement.
 //
 // The hot paths are built to scale with session count on one transport:
-// the session table is lock-striped into sessionShardCount shards, each
-// end's outbound traffic is appended into a double-buffered outbox that a
-// flusher goroutine drains in writev-style bursts (sendFrames), and all
-// pacing ticks come from a single shared pacer instead of per-session
-// tickers.
+// the session table is a dense direct-index array for realistic id
+// ranges (registration, lookup, and removal are O(1) — the property that
+// lets a million sessions come and go), each end's outbound traffic is
+// appended into a double-buffered outbox that a flusher goroutine drains
+// in writev-style bursts (sendFrames), and session execution is owned by
+// the configured engine — the event-loop worker pool by default, the
+// goroutine-pair-per-session engine as the comparison baseline.
 type Mux struct {
 	tr  Transport
 	met *muxMetrics
 
+	engine      Engine
+	loop        *loopEngine
+	sampleEvery uint64
+
+	// dense is the direct-index session table for ids below denseLimit:
+	// lookup is a bounds check plus two atomic loads, registration a
+	// slot store (amortized over rare doublings). denseMu serializes
+	// writers; readers go through the atomic pointers only.
+	denseMu sync.Mutex
+	dense   atomic.Pointer[[]atomic.Pointer[Session]]
+
+	// shards is the overflow table for ids at or above denseLimit
+	// (copy-on-write stripes, scanned on lookup).
 	shards [sessionShardCount]sessionShard
 
 	out   [2]outbox // indexed End-1
@@ -37,9 +53,38 @@ type Mux struct {
 	flusherWg sync.WaitGroup
 }
 
-// sessionShardBits gives 64 session shards; lookups on the receive path
-// take a per-shard read lock, so 64 routers'-worth of concurrency costs
-// one multiply and a shift.
+// MuxConfig tunes a mux beyond its transport and metrics sink.
+type MuxConfig struct {
+	// Obs receives the wire metrics and events (nil = no-op sink).
+	Obs *obs.Registry
+	// Engine selects the session executor; the zero value is the
+	// event-loop engine.
+	Engine Engine
+	// LoopWorkers sizes the event-loop worker pool (0 = GOMAXPROCS,
+	// capped at 64). Ignored by the goroutine engine.
+	LoopWorkers int
+	// EventSampleEvery emits the per-session lifecycle events
+	// (wire.session.start / wire.session.end and the supervisor's crash
+	// and watchdog events) for one session in every EventSampleEvery;
+	// 0 or 1 emits for all. Aggregate counters stay exact regardless —
+	// only the bounded event ring is sampled, so a million sessions do
+	// not scroll it into noise. Safety-violation events are never
+	// sampled away.
+	EventSampleEvery uint64
+}
+
+// denseBits bounds the direct-index session table: ids below 1<<22
+// (~4.2M, comfortably past the million-session target) take the O(1)
+// path; larger ids fall back to the copy-on-write shard scan.
+const (
+	denseBits  = 22
+	denseLimit = uint64(1) << denseBits
+	// denseSeed is the table's initial capacity; it doubles as needed.
+	denseSeed = 1024
+)
+
+// sessionShardBits gives 64 overflow shards; lookups there are one
+// atomic pointer load plus a linear scan.
 const (
 	sessionShardBits  = 6
 	sessionShardCount = 1 << sessionShardBits
@@ -48,13 +93,10 @@ const (
 	fibMul = 0x9E3779B97F4A7C15
 )
 
-// sessionShard holds one stripe of the session table as a copy-on-write
-// slice: register/unregister (rare) rebuild the slice under the stripe
-// mutex, while the routers' per-frame lookups are one atomic pointer load
-// plus a linear scan — no reader lock, no hashing. With 64 shards a
-// stripe holds a handful of sessions at realistic loads, so the scan is
-// a few integer compares against hot cache lines, cheaper than a map
-// probe.
+// sessionShard holds one stripe of the overflow session table as a
+// copy-on-write slice: register/unregister (rare) rebuild the slice
+// under the stripe mutex, while lookups are one atomic pointer load
+// plus a linear scan — no reader lock, no hashing.
 type sessionShard struct {
 	mu   sync.Mutex // serializes writers; readers go through list only
 	list atomic.Pointer[[]sessionEntry]
@@ -69,7 +111,7 @@ func (m *Mux) shard(id uint64) *sessionShard {
 	return &m.shards[(id*fibMul)>>(64-sessionShardBits)]
 }
 
-// outboxStripeBits gives 8 append stripes per end, keyed by session id,
+// outboxStripeBits gives 2 append stripes per end, keyed by session id,
 // so concurrent session loops rarely contend on the same append mutex.
 const (
 	outboxStripeBits  = 1
@@ -197,13 +239,23 @@ func newMuxMetrics(reg *obs.Registry) *muxMetrics {
 func (m *muxMetrics) sessionStarted() { m.active.Set(float64(m.activeN.Add(1))) }
 func (m *muxMetrics) sessionEnded()   { m.active.Set(float64(m.activeN.Add(-1))) }
 
-// NewMux builds a mux over tr and starts its router, flusher, and pacer
-// goroutines. reg may be nil (the obs nil-sink).
+// NewMux builds a mux over tr with default configuration (event-loop
+// engine, unsampled events) and starts its goroutines. reg may be nil
+// (the obs nil-sink).
 func NewMux(tr Transport, reg *obs.Registry) *Mux {
+	return NewMuxConfig(tr, MuxConfig{Obs: reg})
+}
+
+// NewMuxConfig builds a mux over tr per cfg and starts its router and
+// flusher goroutines, plus the engine's workers (event loop) — the
+// goroutine engine's pacer starts lazily on first subscription.
+func NewMuxConfig(tr Transport, cfg MuxConfig) *Mux {
 	m := &Mux{
-		tr:    tr,
-		met:   newMuxMetrics(reg),
-		pacer: newPacer(),
+		tr:          tr,
+		met:         newMuxMetrics(cfg.Obs),
+		engine:      cfg.Engine,
+		sampleEvery: cfg.EventSampleEvery,
+		pacer:       newPacer(),
 	}
 	empty := make([]sessionEntry, 0)
 	for s := range m.shards {
@@ -211,7 +263,9 @@ func NewMux(tr Transport, reg *obs.Registry) *Mux {
 	}
 	m.out[SenderEnd-1].init()
 	m.out[ReceiverEnd-1].init()
-	go m.pacer.run()
+	if m.engine == EngineLoop {
+		m.loop = newLoopEngine(m, cfg.LoopWorkers)
+	}
 	m.flusherWg.Add(2)
 	go m.flush(SenderEnd)
 	go m.flush(ReceiverEnd)
@@ -224,20 +278,109 @@ func NewMux(tr Transport, reg *obs.Registry) *Mux {
 // Transport returns the mux's transport.
 func (m *Mux) Transport() Transport { return m.tr }
 
-// register adds a session to the routing table (copy-on-write).
+// Engine returns the mux's session executor.
+func (m *Mux) Engine() Engine { return m.engine }
+
+// sampled reports whether per-session lifecycle events should be
+// emitted for this session id (see MuxConfig.EventSampleEvery).
+func (m *Mux) sampled(id uint64) bool {
+	return m.sampleEvery <= 1 || id%m.sampleEvery == 0
+}
+
+// noteSessionStart folds a session start into the metrics and, when the
+// id is sampled, the event ring.
+func (m *Mux) noteSessionStart(s *Session) {
+	m.met.sessionStarted()
+	if m.sampled(s.cfg.ID) {
+		m.met.reg.Emit("wire.session.start",
+			"session", strconv.FormatUint(s.cfg.ID, 10),
+			"items", strconv.Itoa(len(s.cfg.Input)))
+	}
+}
+
+// noteSessionEnd folds a finished session's outcome into the aggregate
+// metrics (always exact) and, when the id is sampled, the event ring.
+func (m *Mux) noteSessionEnd(s *Session, rep Report) {
+	met := m.met
+	met.retransmits.Add(int64(s.retransmits))
+	for _, t := range s.learnTimes {
+		met.learn.Observe(t.Seconds())
+	}
+	met.goodput.Observe(rep.GoodputItemsPerSec)
+	switch {
+	case rep.SafetyViolation != nil:
+		// counted when detected, in noteViolation
+	case rep.Complete:
+		met.completed.Inc()
+	default:
+		met.unfinished.Inc()
+	}
+	if m.sampled(s.cfg.ID) {
+		met.reg.Emit("wire.session.end",
+			"session", strconv.FormatUint(s.cfg.ID, 10),
+			"complete", strconv.FormatBool(rep.Complete),
+			"frames_tx", strconv.Itoa(rep.FramesTx))
+	}
+	met.sessionEnded()
+}
+
+// noteViolation records a prefix-safety violation. Violations are never
+// sampled away: each one is a counter increment and an event.
+func (m *Mux) noteViolation(s *Session) {
+	m.met.violations.Inc()
+	m.met.reg.Emit("wire.safety.violation",
+		"session", strconv.FormatUint(s.cfg.ID, 10),
+		"output", s.output.String())
+}
+
+// register adds a session to the routing table: a slot store in the
+// dense table for ordinary ids, a copy-on-write rebuild in the overflow
+// shards otherwise. The dense path is what keeps registering a million
+// sessions linear — the old all-shards copy-on-write rebuild was
+// O(fleet) per registration, O(fleet²/shards) for a fleet.
 func (m *Mux) register(s *Session) error {
-	sh := m.shard(s.cfg.ID)
+	id := s.cfg.ID
+	if id < denseLimit {
+		m.denseMu.Lock()
+		defer m.denseMu.Unlock()
+		tbl := m.dense.Load()
+		if tbl == nil || uint64(len(*tbl)) <= id {
+			n := uint64(denseSeed)
+			if tbl != nil {
+				n = uint64(len(*tbl))
+			}
+			for n <= id {
+				n <<= 1
+			}
+			next := make([]atomic.Pointer[Session], n)
+			if tbl != nil {
+				// Slot-by-slot atomic copy: concurrent lookups read the
+				// old table until the pointer swap publishes the new one.
+				for i := range *tbl {
+					next[i].Store((*tbl)[i].Load())
+				}
+			}
+			m.dense.Store(&next)
+			tbl = &next
+		}
+		if (*tbl)[id].Load() != nil {
+			return fmt.Errorf("wire: duplicate session id %d", id)
+		}
+		(*tbl)[id].Store(s)
+		return nil
+	}
+	sh := m.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	old := *sh.list.Load()
 	for _, e := range old {
-		if e.id == s.cfg.ID {
-			return fmt.Errorf("wire: duplicate session id %d", s.cfg.ID)
+		if e.id == id {
+			return fmt.Errorf("wire: duplicate session id %d", id)
 		}
 	}
 	next := make([]sessionEntry, len(old), len(old)+1)
 	copy(next, old)
-	next = append(next, sessionEntry{id: s.cfg.ID, s: s})
+	next = append(next, sessionEntry{id: id, s: s})
 	sh.list.Store(&next)
 	return nil
 }
@@ -245,6 +388,14 @@ func (m *Mux) register(s *Session) error {
 // unregister removes a finished session; late frames for it count as
 // unknown-session drops.
 func (m *Mux) unregister(id uint64) {
+	if id < denseLimit {
+		m.denseMu.Lock()
+		defer m.denseMu.Unlock()
+		if tbl := m.dense.Load(); tbl != nil && id < uint64(len(*tbl)) {
+			(*tbl)[id].Store(nil)
+		}
+		return
+	}
 	sh := m.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -258,8 +409,15 @@ func (m *Mux) unregister(id uint64) {
 	sh.list.Store(&next)
 }
 
-// lookup finds a live session: one atomic load plus a short scan.
+// lookup finds a live session: a bounds check plus two atomic loads on
+// the dense path, an atomic load plus a short scan on the overflow one.
 func (m *Mux) lookup(id uint64) *Session {
+	if id < denseLimit {
+		if tbl := m.dense.Load(); tbl != nil && id < uint64(len(*tbl)) {
+			return (*tbl)[id].Load()
+		}
+		return nil
+	}
 	for _, e := range *m.shard(id).list.Load() {
 		if e.id == id {
 			return e.s
@@ -404,17 +562,22 @@ func (m *Mux) flush(from End) {
 // the hot loop touches no shared counters and publishes each inbox once:
 // plain local increments per frame, then one flush per blob (atomic
 // counter Adds for the non-zero tallies, one tail publish per dirty
-// inbox).
+// inbox, one ready-queue schedule per dirty loop-engine session).
 type routeSink struct {
 	dirty                                     []*inbox
 	rx, decodeErrs, alien, unknown, inboxFull int64
 }
 
-// flush publishes the dirty inboxes and folds the tallies into the mux
-// metrics. rx is the arriving-direction receive counter.
+// flush publishes the dirty inboxes, wakes their sessions' event-loop
+// workers, and folds the tallies into the mux metrics. rx is the
+// arriving-direction receive counter.
 func (k *routeSink) flush(m *Mux, rx *obs.Counter) {
-	for _, q := range k.dirty {
+	for i, q := range k.dirty {
 		q.publish()
+		if o := q.owner; o.loopLive.Load() {
+			o.worker.schedule(o)
+		}
+		k.dirty[i] = nil
 	}
 	k.dirty = k.dirty[:0]
 	if k.rx > 0 {
@@ -529,11 +692,13 @@ func (m *Mux) dispatch(at End, wantDir channel.Dir, sink *routeSink, frame []byt
 		sink.unknown++
 	default:
 		sink.inboxFull++
+		s.inboxDrops.Add(1)
 	}
 }
 
-// Close flushes and stops the outboxes, closes the transport, and waits
-// for the routers to drain.
+// Close flushes and stops the outboxes, closes the transport, waits for
+// the routers to drain, and stops the engine — the loop workers finish
+// any still-attached sessions so no Run or Serve caller hangs.
 func (m *Mux) Close() error {
 	for i := range m.out {
 		ob := &m.out[i]
@@ -547,5 +712,8 @@ func (m *Mux) Close() error {
 	m.pacer.close()
 	err := m.tr.Close()
 	m.routerWg.Wait()
+	if m.loop != nil {
+		m.loop.close()
+	}
 	return err
 }

@@ -25,6 +25,10 @@ type pacer struct {
 	wake chan struct{}
 	done chan struct{}
 	once sync.Once
+	// startOnce launches the timer goroutine on first subscription, so
+	// a mux whose engine never subscribes (the event-loop engine paces
+	// through its workers' timer heaps) costs no pacer goroutine.
+	startOnce sync.Once
 }
 
 func newPacer() *pacer {
@@ -35,9 +39,11 @@ func newPacer() *pacer {
 	}
 }
 
-// subscribe registers a tick stream with the given interval. The first
-// tick arrives one interval from now.
+// subscribe registers a tick stream with the given interval, starting
+// the timer goroutine on first use. The first tick arrives one interval
+// from now.
 func (p *pacer) subscribe(interval time.Duration) *pacerSub {
+	p.startOnce.Do(func() { go p.run() })
 	s := &pacerSub{
 		ch:       make(chan struct{}, 1),
 		interval: interval,

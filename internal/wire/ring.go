@@ -23,6 +23,11 @@ type inbox struct {
 	slots []msg.Msg // len is a power of two
 	mask  uint64
 
+	// owner is the session this inbox feeds. The routers use it after a
+	// publish to wake the session's event-loop worker (a no-op while
+	// the goroutine engine, or nobody, is driving the session).
+	owner *Session
+
 	head   atomic.Uint64 // next slot to read (consumer-owned)
 	tail   atomic.Uint64 // next slot to write (producer-owned)
 	closed atomic.Bool

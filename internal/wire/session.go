@@ -3,8 +3,8 @@ package wire
 import (
 	"context"
 	"fmt"
-	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seqtx/internal/msg"
@@ -18,9 +18,13 @@ import (
 // these).
 const DefaultTick = time.Millisecond
 
-// sessionInboxSize buffers inbound messages per process; a full inbox
-// drops frames (counted), which the protocols tolerate as channel loss.
-const sessionInboxSize = 1024
+// DefaultInboxSize buffers inbound messages per process when
+// SessionConfig.InboxSize is not positive. A full inbox drops frames
+// (counted per mux and per session), which the protocols tolerate as
+// channel loss. 64 slots absorb a full stop-and-wait retransmission
+// burst with room to spare while keeping a million idle sessions at
+// ~2 KB of queue each; traffic-heavy fleets can raise it per session.
+const DefaultInboxSize = 64
 
 // SessionConfig describes one transfer session: a sender/receiver pair
 // (typically from registry.Pair), the input tape to transmit, and pacing.
@@ -40,8 +44,12 @@ type SessionConfig struct {
 	// expired session reports Complete=false (never a safety verdict).
 	Deadline time.Duration
 	// Seed feeds the session's deterministic jitter streams (retransmit
-	// backoff). Zero derives a per-session default from ID.
+	// backoff, tick phase). Zero derives a per-session default from ID.
 	Seed int64
+	// InboxSize bounds each direction's inbound queue (rounded up to a
+	// power of two; DefaultInboxSize when not positive). A full inbox
+	// drops frames, surfaced in Report.InboxDrops.
+	InboxSize int
 	// Stabilize, when non-nil, replaces the strict prefix audit with the
 	// supervisor's suffix-alignment audit: transient bad writes after a
 	// scrambled crash-restart are measured instead of fatal, and
@@ -72,6 +80,10 @@ type Report struct {
 	// Retransmits counts consecutive re-sends of the same data message
 	// (for stop-and-wait protocols, exactly the paper's retransmissions).
 	Retransmits int
+	// InboxDrops counts inbound frames dropped because this session's
+	// inbox was full — the observable cost of a small InboxSize, which
+	// the protocols absorb as channel loss.
+	InboxDrops int
 	// LearnTimes[i] is the wall-clock time at which Y first had length
 	// i+1 — the live counterpart of the paper's t_i.
 	LearnTimes []time.Duration
@@ -79,14 +91,14 @@ type Report struct {
 	GoodputItemsPerSec float64
 }
 
-// Session is one live transfer: two step-machine loops (sender and
-// receiver goroutines) exchanging frames through the mux. Each protocol
-// state machine is touched only by its own goroutine; the loops share
-// nothing but the inbox queues. Inbound messages arrive through burst
-// inboxes (one locked append per message, one wakeup per burst) and
-// pacing ticks come from the mux's shared pacer, so a session at rest
-// costs no timers and a session under load costs no per-message channel
-// operations.
+// Session is one live transfer: a sender and a receiver step machine
+// exchanging frames through the mux. Which engine drives the machines
+// is the mux's choice (MuxConfig.Engine): the event-loop engine runs
+// both inline on the session's pinned worker; the goroutine engine
+// dedicates a goroutine per machine. Either way each protocol state
+// machine is touched by exactly one goroutine at a time, and inbound
+// messages arrive through burst inboxes (one staged write per message,
+// one publish per burst).
 type Session struct {
 	cfg SessionConfig
 	mux *Mux
@@ -109,8 +121,21 @@ type Session struct {
 		mg  msg.Msg
 	}
 
-	// Written by the loops before their goroutines exit; read by Run
-	// after the WaitGroup (the Wait is the happens-before edge).
+	// inboxDrops counts this session's inbox-full frame drops. Written
+	// by the routers (either end's), read at report time — the only
+	// session counter crossing goroutines, hence the only atomic one.
+	inboxDrops atomic.Int64
+
+	// Sender-machine state, touched only by the sender's driver (its
+	// goroutine, or the session's pinned loop worker).
+	bo               backoff
+	last             msg.Msg
+	haveLast         bool
+	lastRetransmitAt time.Time
+
+	// Outcome state, written by the step machines before the report is
+	// built (the goroutine engine's WaitGroup or the loop worker's
+	// single-threaded service is the happens-before edge).
 	framesTx    int
 	acksTx      int
 	retransmits int
@@ -118,10 +143,30 @@ type Session struct {
 	learnTimes  []time.Duration
 	violation   error
 	complete    bool
+
+	// Event-loop engine state. loopLive, scheduled, and cancelReq are
+	// the only fields other goroutines touch while the loop runs the
+	// session; everything else below is owned by the pinned worker
+	// (start/deadline/tick fields are written once in loopEngine.start,
+	// before the first schedule publishes them).
+	loopLive  atomic.Bool
+	scheduled atomic.Bool
+	cancelReq atomic.Bool
+	worker    *loopWorker
+
+	start      time.Time
+	deadlineAt time.Time
+	tickNext   time.Time
+	attached   bool
+	finished   bool
+	onDone     func(Report)
+	rep        Report
+	done       chan struct{}
 }
 
 // NewSession registers a session on the mux. The session does not run
-// until Run is called.
+// until Run is called (or, on the event-loop engine, until Serve or
+// Run hands it to the loop).
 func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Sender == nil || cfg.Receiver == nil {
 		return nil, fmt.Errorf("wire: session %d missing processes", cfg.ID)
@@ -132,14 +177,21 @@ func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = int64(cfg.ID) + 1 // jitter stream still deterministic per session
 	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = DefaultInboxSize
+	}
 	s := &Session{
 		cfg:              cfg,
 		mux:              m,
 		senderAlphabet:   cfg.Sender.Alphabet(),
 		receiverAlphabet: cfg.Receiver.Alphabet(),
-		senderInbox:      newInbox(sessionInboxSize),
-		receiverInbox:    newInbox(sessionInboxSize),
+		senderInbox:      newInbox(cfg.InboxSize),
+		receiverInbox:    newInbox(cfg.InboxSize),
+		output:           make(seq.Seq, 0, len(cfg.Input)),
+		learnTimes:       make([]time.Duration, 0, len(cfg.Input)),
 	}
+	s.senderInbox.owner = s
+	s.receiverInbox.owner = s
 	if err := m.register(s); err != nil {
 		return nil, err
 	}
@@ -149,11 +201,39 @@ func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
 // Run drives the session to completion, violation, deadline, or ctx
 // cancellation, and returns its report. It must be called at most once.
 func (s *Session) Run(ctx context.Context) Report {
-	met := s.mux.met
-	met.sessionStarted()
-	met.reg.Emit("wire.session.start",
-		"session", strconv.FormatUint(s.cfg.ID, 10),
-		"items", strconv.Itoa(len(s.cfg.Input)))
+	if s.mux.engine == EngineLoop {
+		return s.runLoop(ctx)
+	}
+	return s.runGoroutine(ctx)
+}
+
+// runLoop hands the session to the mux's event-loop engine and waits
+// for its report. Deadlines (SessionConfig.Deadline and any ctx
+// deadline) collapse into one wall-clock instant carried in session
+// state and enforced by the worker's timer heap — no context tower, no
+// runtime timers, zero allocations beyond the completion channel.
+func (s *Session) runLoop(ctx context.Context) Report {
+	var deadlineAt time.Time
+	if s.cfg.Deadline > 0 {
+		deadlineAt = time.Now().Add(s.cfg.Deadline)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadlineAt.IsZero() || d.Before(deadlineAt)) {
+		deadlineAt = d
+	}
+	s.mux.loop.start(s, deadlineAt, nil)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		s.mux.loop.cancel(s)
+		<-s.done
+	}
+	return s.rep
+}
+
+// runGoroutine is the goroutine-pair engine: two blocking loops, one
+// per step machine, joined by a WaitGroup.
+func (s *Session) runGoroutine(ctx context.Context) Report {
+	s.mux.noteSessionStart(s)
 	if s.cfg.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
@@ -162,7 +242,8 @@ func (s *Session) Run(ctx context.Context) Report {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	start := time.Now()
+	s.start = time.Now()
+	s.bo = newBackoff(s.cfg.Tick, s.cfg.Seed, s.start)
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
@@ -171,15 +252,20 @@ func (s *Session) Run(ctx context.Context) Report {
 	}()
 	go func() {
 		defer wg.Done()
-		s.receiverLoop(ctx, cancel, start)
+		s.receiverLoop(ctx, cancel)
 	}()
 	wg.Wait()
 	// Closing the inboxes makes the routers count later frames as late.
 	s.senderInbox.close()
 	s.receiverInbox.close()
 	s.mux.unregister(s.cfg.ID)
-	elapsed := time.Since(start)
+	rep := s.buildReport(time.Since(s.start))
+	s.mux.noteSessionEnd(s, rep)
+	return rep
+}
 
+// buildReport assembles the session's report from its outcome state.
+func (s *Session) buildReport(elapsed time.Duration) Report {
 	rep := Report{
 		ID:              s.cfg.ID,
 		Input:           s.cfg.Input.Clone(),
@@ -190,86 +276,133 @@ func (s *Session) Run(ctx context.Context) Report {
 		FramesTx:        s.framesTx,
 		AcksTx:          s.acksTx,
 		Retransmits:     s.retransmits,
+		InboxDrops:      int(s.inboxDrops.Load()),
 		LearnTimes:      s.learnTimes,
 	}
 	if elapsed > 0 {
 		rep.GoodputItemsPerSec = float64(len(rep.Output)) / elapsed.Seconds()
 	}
-
-	met.retransmits.Add(int64(s.retransmits))
-	for _, t := range s.learnTimes {
-		met.learn.Observe(t.Seconds())
-	}
-	met.goodput.Observe(rep.GoodputItemsPerSec)
-	switch {
-	case rep.SafetyViolation != nil:
-		// counted when detected, in receiverLoop
-	case rep.Complete:
-		met.completed.Inc()
-	default:
-		met.unfinished.Inc()
-	}
-	met.reg.Emit("wire.session.end",
-		"session", strconv.FormatUint(s.cfg.ID, 10),
-		"complete", strconv.FormatBool(rep.Complete),
-		"frames_tx", strconv.Itoa(rep.FramesTx))
-	met.sessionEnded()
 	return rep
 }
 
-// senderLoop drives S: retransmit ticks plus inbound acknowledgements,
-// drained a burst at a time. Spontaneous steps are paced by a capped
-// exponential backoff instead of the raw tick: consecutive
-// retransmissions double the interval (up to BackoffCapFactor ticks,
-// ±25% seeded jitter), and any progress — a fresh send, or an
-// acknowledgement the sender does not answer with a retransmission —
-// resets it to the base tick. The pacer still fires at the base rate;
-// non-due ticks are skipped with one time comparison.
+// senderEvent runs one sender step (a delivery or a spontaneous tick):
+// protocol Step, retransmit bookkeeping, outbound sends, and backoff
+// control. Spontaneous steps are paced by a capped exponential backoff
+// instead of the raw tick: consecutive retransmissions double the
+// interval (up to BackoffCapFactor ticks, ±25% seeded jitter), and any
+// progress — a fresh send, or an acknowledgement the sender does not
+// answer with a retransmission — resets it to the base tick. It
+// returns false when the transport closed under the session.
+func (s *Session) senderEvent(ev protocol.Event) bool {
+	retrans, fresh := false, false
+	for _, mg := range s.cfg.Sender.Step(ev) {
+		if s.haveLast && mg == s.last {
+			s.retransmits++
+			retrans = true
+			now := time.Now()
+			if !s.lastRetransmitAt.IsZero() {
+				s.mux.met.retransmitIvl.Observe(now.Sub(s.lastRetransmitAt).Seconds())
+			}
+			s.lastRetransmitAt = now
+		} else {
+			fresh = true
+		}
+		s.last, s.haveLast = mg, true
+		s.framesTx++
+		if err := s.mux.send(s.cfg.ID, SenderEnd.Dir(), mg); err != nil {
+			return false // transport closed under us: shut down
+		}
+	}
+	switch {
+	case fresh, ev.Kind == protocol.Recv && !retrans:
+		s.bo.reset()
+	case retrans:
+		s.bo.grow()
+	}
+	return true
+}
+
+// stepOutcome is receiverEvent's verdict on the session's life.
+type stepOutcome int
+
+const (
+	// stepRunning: the session continues.
+	stepRunning stepOutcome = iota
+	// stepDone: the session ended on its merits — completion or a
+	// safety violation, already recorded in session state.
+	stepDone
+	// stepClosed: the transport closed under the session.
+	stepClosed
+)
+
+// receiverEvent runs one receiver step (a delivery or a tick): protocol
+// Step, acknowledgement sends, and the write audit — strict prefix
+// safety for plain sessions, the supervisor's suffix-alignment audit
+// for stabilizing ones. It stops mid-burst on a verdict so no writes
+// land after it.
+func (s *Session) receiverEvent(ev protocol.Event) stepOutcome {
+	sends, writes := s.cfg.Receiver.Step(ev)
+	for _, mg := range sends {
+		s.acksTx++
+		if err := s.mux.send(s.cfg.ID, ReceiverEnd.Dir(), mg); err != nil {
+			return stepClosed
+		}
+	}
+	for _, item := range writes {
+		s.output = append(s.output, item)
+		s.learnTimes = append(s.learnTimes, time.Since(s.start))
+		if a := s.cfg.Stabilize; a != nil {
+			// Supervised session: the audit judges suffix alignment
+			// across incarnations; done means aligned through the end
+			// of the tape with no stabilization window open.
+			if a.observe(item) {
+				s.complete = true
+				return stepDone
+			}
+			continue
+		}
+		if !s.output.IsPrefixOf(s.cfg.Input) {
+			s.violation = fmt.Errorf(
+				"wire: session %d safety violated: Y = %s is not a prefix of X = %s",
+				s.cfg.ID, s.output, s.cfg.Input)
+			s.mux.noteViolation(s)
+			return stepDone
+		}
+	}
+	if s.cfg.Stabilize == nil && len(s.output) == len(s.cfg.Input) {
+		s.complete = true
+		return stepDone
+	}
+	return stepRunning
+}
+
+// nextWake is the session's earliest pending timer: its next pacing
+// tick, or its deadline if that comes first.
+func (s *Session) nextWake() int64 {
+	at := s.tickNext
+	if !s.deadlineAt.IsZero() && s.deadlineAt.Before(at) {
+		at = s.deadlineAt
+	}
+	return at.UnixNano()
+}
+
+// senderLoop drives S on the goroutine engine: retransmit ticks plus
+// inbound acknowledgements, drained a burst at a time. The pacer fires
+// at the base tick rate; non-due ticks (backoff) are skipped with one
+// time comparison.
 func (s *Session) senderLoop(ctx context.Context) {
 	sub := s.mux.pacer.subscribe(s.cfg.Tick)
 	defer s.mux.pacer.unsubscribe(sub)
-	bo := newBackoff(s.cfg.Tick, s.cfg.Seed, time.Now())
-	var lastRetransmitAt time.Time
-	var last msg.Msg
-	haveLast := false
-	step := func(ev protocol.Event) bool {
-		retrans, fresh := false, false
-		for _, mg := range s.cfg.Sender.Step(ev) {
-			if haveLast && mg == last {
-				s.retransmits++
-				retrans = true
-				now := time.Now()
-				if !lastRetransmitAt.IsZero() {
-					s.mux.met.retransmitIvl.Observe(now.Sub(lastRetransmitAt).Seconds())
-				}
-				lastRetransmitAt = now
-			} else {
-				fresh = true
-			}
-			last, haveLast = mg, true
-			s.framesTx++
-			if err := s.mux.send(s.cfg.ID, SenderEnd.Dir(), mg); err != nil {
-				return false // transport closed under us: shut down
-			}
-		}
-		switch {
-		case fresh, ev.Kind == protocol.Recv && !retrans:
-			bo.reset()
-		case retrans:
-			bo.grow()
-		}
-		return true
-	}
 	// tick runs one spontaneous step if the backoff says it is due; the
 	// step's own grow/reset lands before re-arming, so a retransmission's
 	// doubled interval takes effect immediately.
 	tick := func() bool {
 		now := time.Now()
-		if !bo.due(now) {
+		if !s.bo.due(now) {
 			return true
 		}
-		ok := step(protocol.TickEvent())
-		bo.arm(now)
+		ok := s.senderEvent(protocol.TickEvent())
+		s.bo.arm(now)
 		return ok
 	}
 	batch := make([]msg.Msg, 0, 64)
@@ -307,61 +440,26 @@ func (s *Session) senderLoop(ctx context.Context) {
 			continue
 		}
 		for _, m := range batch {
-			if !step(protocol.RecvEvent(m)) {
+			if !s.senderEvent(protocol.RecvEvent(m)) {
 				return
 			}
 		}
 	}
 }
 
-// receiverLoop drives R: deliveries plus ticks; it audits safety on
-// every write and ends the session on completion or violation.
-func (s *Session) receiverLoop(ctx context.Context, cancel context.CancelFunc, start time.Time) {
+// receiverLoop drives R on the goroutine engine: deliveries plus
+// ticks; it ends the session on completion or violation.
+func (s *Session) receiverLoop(ctx context.Context, cancel context.CancelFunc) {
 	sub := s.mux.pacer.subscribe(s.cfg.Tick)
 	defer s.mux.pacer.unsubscribe(sub)
-	// step returns false when the session is over (complete, violated, or
-	// the transport closed); the drain loop stops mid-burst so no writes
-	// land after the verdict.
 	step := func(ev protocol.Event) bool {
-		sends, writes := s.cfg.Receiver.Step(ev)
-		for _, mg := range sends {
-			s.acksTx++
-			if err := s.mux.send(s.cfg.ID, ReceiverEnd.Dir(), mg); err != nil {
-				return false
-			}
-		}
-		for _, item := range writes {
-			s.output = append(s.output, item)
-			s.learnTimes = append(s.learnTimes, time.Since(start))
-			if a := s.cfg.Stabilize; a != nil {
-				// Supervised session: the audit judges suffix alignment
-				// across incarnations; done means aligned through the end
-				// of the tape with no stabilization window open.
-				if a.observe(item) {
-					s.complete = true
-					cancel()
-					return false
-				}
-				continue
-			}
-			if !s.output.IsPrefixOf(s.cfg.Input) {
-				s.violation = fmt.Errorf(
-					"wire: session %d safety violated: Y = %s is not a prefix of X = %s",
-					s.cfg.ID, s.output, s.cfg.Input)
-				s.mux.met.violations.Inc()
-				s.mux.met.reg.Emit("wire.safety.violation",
-					"session", strconv.FormatUint(s.cfg.ID, 10),
-					"output", s.output.String())
-				cancel()
-				return false
-			}
-		}
-		if s.cfg.Stabilize == nil && len(s.output) == len(s.cfg.Input) {
-			s.complete = true
+		switch s.receiverEvent(ev) {
+		case stepRunning:
+			return true
+		case stepDone:
 			cancel()
-			return false
 		}
-		return true
+		return false
 	}
 	batch := make([]msg.Msg, 0, 64)
 	q := s.receiverInbox

@@ -463,9 +463,11 @@ func Supervise(ctx context.Context, mux *Mux, cfg SessionConfig,
 			srep.Incarnations = append(srep.Incarnations, irec)
 			srep.WatchdogEscalations++
 			met.stabEscalations.Inc()
-			met.reg.Emit("wire.session.watchdog",
-				"session", strconv.FormatUint(cfg.ID, 10),
-				"incarnation", strconv.Itoa(inc))
+			if mux.sampled(cfg.ID) {
+				met.reg.Emit("wire.session.watchdog",
+					"session", strconv.FormatUint(cfg.ID, 10),
+					"incarnation", strconv.Itoa(inc))
+			}
 			continue
 		}
 		if ev != nil && !now.Before(crashAt) {
@@ -495,10 +497,12 @@ func Supervise(ctx context.Context, mux *Mux, cfg SessionConfig,
 			irec.RestartKey = victim.Key()
 			audit.onCrash(ev.who == faults.Receiver, now)
 			srep.Incarnations = append(srep.Incarnations, irec)
-			met.reg.Emit("wire.session.crash",
-				"session", strconv.FormatUint(cfg.ID, 10),
-				"victim", ev.who.String(),
-				"scrambled", strconv.FormatBool(irec.Scrambled))
+			if mux.sampled(cfg.ID) {
+				met.reg.Emit("wire.session.crash",
+					"session", strconv.FormatUint(cfg.ID, 10),
+					"victim", ev.who.String(),
+					"scrambled", strconv.FormatBool(irec.Scrambled))
+			}
 			continue
 		}
 		// Ended on its own (per-incarnation deadline) with no crash due:
@@ -575,7 +579,12 @@ func ServeSupervised(ctx context.Context, cfg ChaosServeConfig) ([]SupervisedRep
 	if cfg.Rebuild == nil {
 		return nil, fmt.Errorf("wire: supervised serve needs a rebuild constructor")
 	}
-	mux := NewMux(cfg.Transport, cfg.Obs)
+	mux := NewMuxConfig(cfg.Transport, MuxConfig{
+		Obs:              cfg.Obs,
+		Engine:           cfg.Engine,
+		LoopWorkers:      cfg.LoopWorkers,
+		EventSampleEvery: cfg.EventSampleEvery,
+	})
 	reports := make([]SupervisedReport, len(cfg.Sessions))
 	errs := make([]error, len(cfg.Sessions))
 	var wg sync.WaitGroup
