@@ -20,6 +20,14 @@
 //	stpload -transport inproc -sessions 64 -duration 5s -report -
 //	stpload -transport udp -sessions 16 -rate 200 -impair burst-drop
 //	stpload -proto stab -crash-preset crash-scramble-both -restart-policy scramble -report -
+//
+// With -master, stpload instead joins a distributed cluster as a client
+// node: it runs the sender halves of the sessions an stpmaster
+// coordinator assigns it, over peer-addressed UDP toward a remote
+// stpserve server node, rate-paced per the assignment. Every load flag
+// is then ignored — the assignment carries the configuration.
+//
+//	stpload -master 127.0.0.1:7700 -node-name cli-a -data-host 10.0.0.6
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"seqtx/internal/cliutil"
+	"seqtx/internal/cluster"
 	"seqtx/internal/faults"
 	"seqtx/internal/obs"
 	"seqtx/internal/protocol"
@@ -121,9 +130,17 @@ func run() int {
 		deadline  = flag.Duration("deadline", 30*time.Second, "per-session deadline (0 = none)")
 		reportTo  = flag.String("report", "", "write the JSON report to this file (\"-\" = stdout)")
 		verbose   = flag.Bool("v", false, "print one line per wave")
+
+		master   = flag.String("master", "", "join a cluster as a client node: stpmaster control address (host:port); load flags then come from the assignment")
+		nodeName = flag.String("node-name", "", "cluster node name (default cli-<pid>)")
+		dataHost = flag.String("data-host", "", "host/IP the data-plane UDP sockets bind on (default 127.0.0.1; on a real fleet, the interface the peer can reach)")
 	)
 	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *master != "" {
+		return runNode(*master, *nodeName, *dataHost, *verbose)
+	}
 
 	for _, check := range []error{
 		cliutil.Positive("sessions", *sessions),
@@ -457,6 +474,33 @@ func run() int {
 		code = 1
 	}
 	return metrics.Finish("stpload", code, os.Stderr)
+}
+
+// runNode joins a distributed cluster as a client node (sender halves)
+// and serves assignments until the master shuts the sweep down.
+func runNode(master, name, dataHost string, verbose bool) int {
+	if err := cliutil.HostPort("master", master); err != nil {
+		fmt.Fprintln(os.Stderr, "stpload:", err)
+		return 2
+	}
+	if name == "" {
+		name = fmt.Sprintf("cli-%d", os.Getpid())
+	}
+	cfg := cluster.NodeConfig{
+		Master: master, Role: cluster.RoleClient,
+		Name: name, DataHost: dataHost,
+	}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stpload: "+format+"\n", args...)
+		}
+	}
+	if err := cluster.RunNode(context.Background(), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "stpload:", err)
+		return 1
+	}
+	fmt.Printf("stpload: node %s done\n", name)
+	return 0
 }
 
 // dropCause extracts the cause label from a

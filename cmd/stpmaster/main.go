@@ -1,0 +1,216 @@
+// Command stpmaster coordinates a distributed STP cluster sweep: it
+// waits for a fleet of stpserve nodes (receiver halves) and stpload
+// nodes (sender halves) to connect over the line-JSON control plane,
+// then drives every sessions × rate × impairment cell of the evaluation
+// grid across the fleet — each cell runs over fresh peer-addressed UDP
+// sockets whose addresses the master exchanges — and writes the
+// aggregated bench document (per-cell latency percentiles, throughput,
+// violation and drop counts) as JSON.
+//
+// The exit contract mirrors the single-process tools: load may slow
+// sessions down or leave them incomplete, but a single prefix-safety
+// violation anywhere in the fleet fails the run.
+//
+// Usage:
+//
+//	stpmaster sweep -listen 127.0.0.1:7700 -servers 2 -clients 2 \
+//	    -proto alpha -sessions 4,16 -rates 0,100 -impairs none,burst-drop \
+//	    -report BENCH_cluster.json
+//
+// then on each node machine:
+//
+//	stpserve -master 127.0.0.1:7700 -node-name srv-a
+//	stpload  -master 127.0.0.1:7700 -node-name cli-a
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"seqtx/internal/cliutil"
+	"seqtx/internal/cluster"
+	"seqtx/internal/registry"
+	"seqtx/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// "sweep" is the (only) subcommand; accept and shift it so the
+	// documented invocation works, but don't require it.
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "sweep" {
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("stpmaster", flag.ExitOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7700", "control-plane listen address (host:port; :0 = kernel-assigned)")
+		servers  = fs.Int("servers", 2, "stpserve nodes to wait for (must equal -clients)")
+		clients  = fs.Int("clients", 2, "stpload nodes to wait for")
+		proto    = fs.String("proto", "alpha", "protocol: "+strings.Join(registry.ProtocolNames(), "|"))
+		m        = fs.Int("m", 8, "domain / sender-alphabet size parameter")
+		items    = fs.Int("items", 6, "input items per session (repetition-free, so at most -m)")
+		timeout  = fs.Int("timeout", 0, "hybrid timeout (ticks; 0 = protocol default)")
+		window   = fs.Int("window", 4, "modseq sequence-number window")
+		capBound = fs.Int("cap", 0, "channel-capacity bound c for the stab protocol (0 = its default)")
+		sessions = fs.String("sessions", "8", "comma-separated sessions-per-cell axis, e.g. 4,16,64")
+		rates    = fs.String("rates", "0", "comma-separated client session-start rates per second (0 = unpaced), e.g. 0,100")
+		impairs  = fs.String("impairs", "none", "comma-separated impairment presets: "+strings.Join(wire.ImpairPresetNames(), "|"))
+		tick     = fs.Duration("tick", wire.DefaultTick, "per-process pacing tick")
+		deadline = fs.Duration("deadline", 30*time.Second, "per-session deadline")
+		seed     = fs.Int64("seed", 1, "base seed (cell c, session i derives from seed+c*stride+i)")
+		engine   = fs.String("engine", "loop", "node-side session engine: loop|goroutine")
+		assemble = fs.Duration("assemble-timeout", 60*time.Second, "how long to wait for the fleet to connect")
+		reportTo = fs.String("report", "BENCH_cluster.json", "write the bench document to this file (\"-\" = stdout)")
+		verbose  = fs.Bool("v", false, "log fleet assembly and per-cell progress")
+	)
+	fs.Parse(args)
+
+	for _, check := range []error{
+		cliutil.HostPort("listen", *listen),
+		cliutil.Positive("servers", *servers),
+		cliutil.Positive("clients", *clients),
+		cliutil.Positive("m", *m),
+		cliutil.Positive("items", *items),
+		cliutil.NonNegative("timeout", *timeout),
+	} {
+		if check != nil {
+			fmt.Fprintln(os.Stderr, "stpmaster:", check)
+			return 2
+		}
+	}
+	sessionsAxis, err := parseInts(*sessions)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stpmaster: -sessions: %v\n", err)
+		return 2
+	}
+	ratesAxis, err := parseFloats(*rates)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stpmaster: -rates: %v\n", err)
+		return 2
+	}
+	impairAxis := splitList(*impairs)
+	for _, im := range impairAxis {
+		if _, err := wire.ImpairPreset(im); err != nil {
+			fmt.Fprintln(os.Stderr, "stpmaster:", err)
+			return 2
+		}
+	}
+	if _, err := wire.ParseEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "stpmaster:", err)
+		return 2
+	}
+
+	cfg := cluster.MasterConfig{
+		Listen:  *listen,
+		Servers: *servers,
+		Clients: *clients,
+		Sweep: cluster.SweepConfig{
+			Proto: *proto, M: *m, Items: *items,
+			Timeout: *timeout, Window: *window, Cap: *capBound,
+			Sessions: sessionsAxis, Rates: ratesAxis, Impairs: impairAxis,
+			Tick: *tick, Deadline: *deadline, Seed: *seed, Engine: *engine,
+		},
+		AssembleTimeout: *assemble,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stpmaster: "+format+"\n", args...)
+		}
+	}
+	master, err := cluster.NewMaster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpmaster:", err)
+		return 2
+	}
+	fmt.Printf("stpmaster: control plane on %s, waiting for %d servers + %d clients\n",
+		master.Addr(), *servers, *clients)
+
+	doc, err := master.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpmaster:", err)
+		return 1
+	}
+
+	for _, cell := range doc.Cells {
+		fmt.Printf("stpmaster: cell %v: complete=%d/%d violations=%d p50=%.1fms p99=%.1fms throughput=%.1f items/s foreign=%d\n",
+			cell.Cell, cell.Completed, cell.Sessions, cell.Violations,
+			cell.Latency.P50, cell.Latency.P99, cell.ThroughputItemsPerSec, cell.ForeignDrops)
+	}
+	fmt.Printf("stpmaster: sweep done: cells=%d sessions=%d complete=%d safety violations %d\n",
+		len(doc.Cells), doc.TotalSessions, doc.TotalCompleted, doc.TotalViolations)
+
+	if *reportTo != "" {
+		if err := writeDoc(*reportTo, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "stpmaster:", err)
+			return 1
+		}
+	}
+	if doc.TotalViolations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty axis")
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty axis")
+	}
+	return out, nil
+}
+
+// writeDoc marshals the bench document to path ("-" = stdout).
+func writeDoc(path string, doc *cluster.BenchDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -16,6 +16,14 @@
 //	stpserve -transport udp -sessions 8 -duration 10s
 //	stpserve -transport det -impair dup-replay -seed 7   # sim cross-check
 //	stpserve -proto stab -crash-preset crash-scramble-both -v
+//
+// With -master, stpserve instead joins a distributed cluster as a
+// server node: it runs the receiver halves of the sessions an stpmaster
+// coordinator assigns it, over peer-addressed UDP toward a remote
+// stpload client node. Every session flag is then ignored — the
+// assignment carries the configuration.
+//
+//	stpserve -master 127.0.0.1:7700 -node-name srv-a -data-host 10.0.0.5
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"seqtx/internal/channel"
 	"seqtx/internal/cliutil"
+	"seqtx/internal/cluster"
 	"seqtx/internal/faults"
 	"seqtx/internal/obs"
 	"seqtx/internal/protocol"
@@ -66,9 +75,17 @@ func run() int {
 		deadline  = flag.Duration("deadline", 30*time.Second, "per-session deadline (0 = none)")
 		require   = flag.Bool("require-complete", false, "also fail if any session did not finish its tape")
 		verbose   = flag.Bool("v", false, "print one line per session")
+
+		master   = flag.String("master", "", "join a cluster as a server node: stpmaster control address (host:port); session flags then come from the assignment")
+		nodeName = flag.String("node-name", "", "cluster node name (default srv-<pid>)")
+		dataHost = flag.String("data-host", "", "host/IP the data-plane UDP sockets bind on (default 127.0.0.1; on a real fleet, the interface the peer can reach)")
 	)
 	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *master != "" {
+		return runNode(*master, *nodeName, *dataHost, *verbose)
+	}
 
 	for _, check := range []error{
 		cliutil.Positive("sessions", *sessions),
@@ -159,6 +176,33 @@ func run() int {
 		return 2
 	}
 	return metrics.Finish("stpserve", code, os.Stderr)
+}
+
+// runNode joins a distributed cluster as a server node (receiver
+// halves) and serves assignments until the master shuts the sweep down.
+func runNode(master, name, dataHost string, verbose bool) int {
+	if err := cliutil.HostPort("master", master); err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 2
+	}
+	if name == "" {
+		name = fmt.Sprintf("srv-%d", os.Getpid())
+	}
+	cfg := cluster.NodeConfig{
+		Master: master, Role: cluster.RoleServer,
+		Name: name, DataHost: dataHost,
+	}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stpserve: "+format+"\n", args...)
+		}
+	}
+	if err := cluster.RunNode(context.Background(), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "stpserve:", err)
+		return 1
+	}
+	fmt.Printf("stpserve: node %s done\n", name)
+	return 0
 }
 
 // liveOptions carries the engine-selection flags into runLive.

@@ -8,6 +8,7 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"net"
 	"strconv"
 	"strings"
 
@@ -46,6 +47,20 @@ func NonNegative(name string, v int) error {
 func Positive(name string, v int) error {
 	if v <= 0 {
 		return fmt.Errorf("-%s must be > 0, got %d", name, v)
+	}
+	return nil
+}
+
+// HostPort rejects flag values that are not a host:port address (the
+// cluster control- and data-plane flags). The port must be present —
+// cluster addresses are always concrete or explicitly :0 — and the host
+// may be empty ("listen on all interfaces") or any name or IP.
+func HostPort(name, v string) error {
+	if v == "" {
+		return fmt.Errorf("-%s must be host:port, got empty", name)
+	}
+	if _, _, err := net.SplitHostPort(v); err != nil {
+		return fmt.Errorf("-%s must be host:port: %v", name, err)
 	}
 	return nil
 }

@@ -49,6 +49,19 @@ func TestValidators(t *testing.T) {
 	}
 }
 
+func TestHostPort(t *testing.T) {
+	for _, good := range []string{"127.0.0.1:9000", ":0", "example.com:80", "[::1]:7700"} {
+		if err := HostPort("master", good); err != nil {
+			t.Errorf("HostPort(%q) = %v, want nil", good, err)
+		}
+	}
+	for _, bad := range []string{"", "127.0.0.1", "host:port:extra", "[::1]"} {
+		if err := HostPort("master", bad); err == nil || !strings.Contains(err.Error(), "-master") {
+			t.Errorf("HostPort(%q) = %v, want named error", bad, err)
+		}
+	}
+}
+
 func TestMetricsDisabled(t *testing.T) {
 	var m Metrics
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runFleet starts a master plus the named fleet in-process over real
+// TCP/UDP sockets and returns the sweep document.
+func runFleet(t *testing.T, servers, clients int, sweep SweepConfig) *BenchDoc {
+	t.Helper()
+	master, err := NewMaster(MasterConfig{
+		Listen: "127.0.0.1:0", Servers: servers, Clients: clients,
+		Sweep: sweep, AssembleTimeout: 10 * time.Second,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewMaster: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	nodeErrs := make(chan error, servers+clients)
+	spawn := func(role string, i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := RunNode(ctx, NodeConfig{
+				Master: master.Addr(), Role: role,
+				Name: roleName(role, i), Logf: t.Logf,
+			})
+			if err != nil {
+				nodeErrs <- err
+			}
+		}()
+	}
+	for i := 0; i < servers; i++ {
+		spawn(RoleServer, i)
+	}
+	for i := 0; i < clients; i++ {
+		spawn(RoleClient, i)
+	}
+	doc, err := master.Run(ctx)
+	if err != nil {
+		t.Fatalf("master.Run: %v", err)
+	}
+	wg.Wait()
+	close(nodeErrs)
+	for err := range nodeErrs {
+		t.Errorf("node: %v", err)
+	}
+	return doc
+}
+
+func roleName(role string, i int) string {
+	return role + "-" + string(rune('a'+i))
+}
+
+func TestMasterConfigValidation(t *testing.T) {
+	if _, err := NewMaster(MasterConfig{Listen: "127.0.0.1:0", Servers: 2, Clients: 1}); err == nil {
+		t.Error("unequal servers/clients accepted")
+	}
+	if _, err := NewMaster(MasterConfig{Listen: "127.0.0.1:0", Servers: 0, Clients: 0}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewMaster(MasterConfig{
+		Listen: "127.0.0.1:0", Servers: 1, Clients: 1,
+		Sweep: SweepConfig{M: 4, Items: 9},
+	}); err == nil || !strings.Contains(err.Error(), "repetition-free") {
+		t.Errorf("items > m accepted: %v", err)
+	}
+	if err := RunNode(context.Background(), NodeConfig{Master: "127.0.0.1:1", Role: "observer", Name: "x"}); err == nil {
+		t.Error("unknown role accepted")
+	}
+}
+
+// TestClusterSingleCell runs the smallest real fleet — one server, one
+// client, one cell — and checks the full contract: every session
+// completes, zero violations, latency and throughput populated, and the
+// data plane genuinely crossed sockets (frames on both sides).
+func TestClusterSingleCell(t *testing.T) {
+	doc := runFleet(t, 1, 1, SweepConfig{
+		Proto: "alpha", M: 8, Items: 5,
+		Sessions: []int{6},
+		Tick:     500 * time.Microsecond,
+		Deadline: 30 * time.Second,
+		Seed:     7,
+	})
+	if len(doc.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(doc.Cells))
+	}
+	cell := doc.Cells[0]
+	if cell.Sessions != 6 || cell.Completed != 6 {
+		t.Errorf("completed %d/%d, want 6/6", cell.Completed, cell.Sessions)
+	}
+	if cell.Violations != 0 {
+		t.Errorf("violations = %d, want 0", cell.Violations)
+	}
+	if cell.ItemsDelivered != 6*5 {
+		t.Errorf("items delivered = %d, want 30", cell.ItemsDelivered)
+	}
+	if cell.Latency.P50 <= 0 || cell.Latency.P99 < cell.Latency.P50 {
+		t.Errorf("latency summary degenerate: %+v", cell.Latency)
+	}
+	if cell.ThroughputItemsPerSec <= 0 {
+		t.Errorf("throughput = %g, want > 0", cell.ThroughputItemsPerSec)
+	}
+	if cell.FramesTx == 0 || cell.FramesRx == 0 {
+		t.Errorf("no frames crossed the wire: tx=%d rx=%d", cell.FramesTx, cell.FramesRx)
+	}
+	if len(cell.Nodes) != 2 {
+		t.Errorf("node reports = %d, want 2", len(cell.Nodes))
+	}
+}
+
+// TestClusterSweepGrid drives a multi-node fleet through a 2×2×2 grid —
+// sessions × rate × impairment — the shape the stpmaster CLI runs. The
+// impaired, rate-paced cells may finish slower but must stay safe, and
+// the rate>0 cells exercise the paced client path (goroutine starts over
+// a shared mux) against Serve-driven servers.
+func TestClusterSweepGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep in -short mode")
+	}
+	sweep := SweepConfig{
+		Proto: "alpha", M: 8, Items: 4,
+		Sessions: []int{2, 4},
+		Rates:    []float64{0, 200},
+		Impairs:  []string{"none", "burst-drop"},
+		Tick:     500 * time.Microsecond,
+		Deadline: 20 * time.Second,
+		Seed:     11,
+	}
+	doc := runFleet(t, 2, 2, sweep)
+	if want := 8; len(doc.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(doc.Cells), want)
+	}
+	if doc.TotalViolations != 0 {
+		t.Errorf("violations = %d, want 0", doc.TotalViolations)
+	}
+	if doc.TotalSessions != 2*(2+4)*2 {
+		t.Errorf("total sessions = %d, want %d", doc.TotalSessions, 2*(2+4)*2)
+	}
+	if doc.TotalCompleted != doc.TotalSessions {
+		t.Errorf("completed %d/%d sessions", doc.TotalCompleted, doc.TotalSessions)
+	}
+	for _, cell := range doc.Cells {
+		if cell.ItemsDelivered != int64(cell.Cell.Sessions)*4 {
+			t.Errorf("cell %v: items = %d, want %d", cell.Cell, cell.ItemsDelivered, cell.Cell.Sessions*4)
+		}
+		// The 4-session cells split 2+2 across the two pairs; the
+		// 2-session cells run 1 per pair. Every node must have reported.
+		if len(cell.Nodes) != 4 {
+			t.Errorf("cell %v: node reports = %d, want 4", cell.Cell, len(cell.Nodes))
+		}
+	}
+}
+
+// TestClusterCellIsolation runs two consecutive cells and checks the
+// second is clean: fresh sockets per cell mean no cross-cell session-id
+// collisions or stale-datagram leaks (which would surface as violations
+// or incomplete tapes in cell 2).
+func TestClusterCellIsolation(t *testing.T) {
+	doc := runFleet(t, 1, 1, SweepConfig{
+		Proto: "alpha", M: 8, Items: 3,
+		Sessions: []int{3, 3},
+		Tick:     500 * time.Microsecond,
+		Deadline: 20 * time.Second,
+		Seed:     3,
+	})
+	if len(doc.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(doc.Cells))
+	}
+	for i, cell := range doc.Cells {
+		if cell.Completed != 3 || cell.Violations != 0 {
+			t.Errorf("cell %d: completed=%d violations=%d, want 3/0", i, cell.Completed, cell.Violations)
+		}
+	}
+}

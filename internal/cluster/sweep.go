@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"seqtx/internal/stats"
+)
+
+// SweepConfig is the evaluation grid the master drives: every
+// combination of Sessions × Rates × Impairs is one cell, run across the
+// whole node fleet before the next cell starts.
+type SweepConfig struct {
+	// Protocol construction parameters, shared by every cell.
+	Proto   string
+	M       int
+	Items   int
+	Timeout int
+	Window  int
+	Cap     int
+
+	// The grid axes. Zero-length axes default to a single neutral value.
+	Sessions []int     // total concurrent sessions per cell (split across node pairs)
+	Rates    []float64 // client session-start pacing, sessions/sec (0 = unpaced)
+	Impairs  []string  // wire impairment presets ("none" = clean)
+
+	// Pacing shared by every session.
+	Tick     time.Duration
+	Deadline time.Duration
+
+	// Seed is the base seed; cell c, session id i derives its input from
+	// Seed + c*CellSeedStride + i, so no two cells share a tape stream.
+	Seed int64
+
+	// Engine selects the node-side session executor ("" = "loop").
+	Engine string
+}
+
+// CellSeedStride spaces the per-cell seed bases far enough apart that no
+// realistic cell's id range collides with the next cell's.
+const CellSeedStride = 1 << 20
+
+// CellKey identifies one cell of the sweep grid.
+type CellKey struct {
+	Sessions int     `json:"sessions"`
+	Rate     float64 `json:"rate"`
+	Impair   string  `json:"impair"`
+}
+
+func (k CellKey) String() string {
+	return fmt.Sprintf("sessions=%d rate=%g impair=%s", k.Sessions, k.Rate, k.Impair)
+}
+
+// normalize fills defaulted axes and validates the grid.
+func (c *SweepConfig) normalize() error {
+	if c.Proto == "" {
+		c.Proto = "alpha"
+	}
+	if c.M <= 0 {
+		c.M = 8
+	}
+	if c.Items <= 0 {
+		c.Items = 6
+	}
+	if c.Items > c.M {
+		return fmt.Errorf("cluster: sweep items %d exceeds m %d (inputs are repetition-free)", c.Items, c.M)
+	}
+	if len(c.Sessions) == 0 {
+		c.Sessions = []int{8}
+	}
+	for _, n := range c.Sessions {
+		if n <= 0 {
+			return fmt.Errorf("cluster: sweep sessions axis has non-positive value %d", n)
+		}
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{0}
+	}
+	for _, r := range c.Rates {
+		if r < 0 {
+			return fmt.Errorf("cluster: sweep rates axis has negative value %g", r)
+		}
+	}
+	if len(c.Impairs) == 0 {
+		c.Impairs = []string{"none"}
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.Engine == "" {
+		c.Engine = "loop"
+	}
+	return nil
+}
+
+// cells enumerates the grid in deterministic order: sessions outermost,
+// then rate, then impairment.
+func (c *SweepConfig) cells() []CellKey {
+	keys := make([]CellKey, 0, len(c.Sessions)*len(c.Rates)*len(c.Impairs))
+	for _, n := range c.Sessions {
+		for _, r := range c.Rates {
+			for _, im := range c.Impairs {
+				keys = append(keys, CellKey{Sessions: n, Rate: r, Impair: im})
+			}
+		}
+	}
+	return keys
+}
+
+// LatencyMS summarizes per-session completion latency in milliseconds.
+type LatencyMS struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// BenchCell is one cell's aggregated outcome across the fleet.
+type BenchCell struct {
+	Cell CellKey `json:"cell"`
+
+	Sessions   int `json:"sessions"`
+	Completed  int `json:"completed"`
+	Violations int `json:"violations"`
+
+	ItemsDelivered        int64   `json:"items_delivered"`
+	ThroughputItemsPerSec float64 `json:"throughput_items_per_sec"`
+	Latency               LatencyMS `json:"latency_ms"`
+
+	FramesTx          int64 `json:"frames_tx"`
+	FramesRx          int64 `json:"frames_rx"`
+	ForeignDrops      int64 `json:"foreign_drops"`
+	BackpressureDrops int64 `json:"backpressure_drops"`
+	OversizeDrops     int64 `json:"oversize_drops"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	// Nodes keeps each node's raw report for the cell (latency samples
+	// stripped — the summary above carries them).
+	Nodes []NodeReport `json:"nodes"`
+}
+
+// BenchDoc is the sweep's output document (BENCH_cluster.json).
+type BenchDoc struct {
+	Proto    string  `json:"proto"`
+	M        int     `json:"m"`
+	Items    int     `json:"items"`
+	Engine   string  `json:"engine"`
+	Servers  int     `json:"servers"`
+	Clients  int     `json:"clients"`
+	Seed     int64   `json:"seed"`
+	TickMS   float64 `json:"tick_ms"`
+	Deadline string  `json:"deadline"`
+
+	Cells []BenchCell `json:"cells"`
+
+	TotalSessions   int `json:"total_sessions"`
+	TotalCompleted  int `json:"total_completed"`
+	TotalViolations int `json:"total_violations"`
+}
+
+// aggregate folds one cell's node reports into a BenchCell. Latency
+// percentiles come from the client side (a sender half's elapsed spans
+// first send to final ack — the full round-trip pipeline); item and
+// violation counts come from wherever they were observed (the receiver
+// half owns the tape, so servers report deliveries; either side can
+// observe a violation).
+func aggregate(key CellKey, reports []NodeReport, elapsed time.Duration) BenchCell {
+	cell := BenchCell{Cell: key, ElapsedSeconds: elapsed.Seconds()}
+	var lat []float64
+	for _, r := range reports {
+		if r.Role == RoleClient {
+			cell.Sessions += r.Sessions
+			lat = append(lat, r.LatenciesMS...)
+		}
+		cell.Violations += r.Violations
+		cell.ItemsDelivered += r.ItemsDelivered
+		cell.FramesTx += r.FramesTx
+		cell.FramesRx += r.FramesRx
+		cell.ForeignDrops += r.ForeignDrops
+		cell.BackpressureDrops += r.BackpressureDrops
+		cell.OversizeDrops += r.OversizeDrops
+		if r.Role == RoleServer {
+			cell.Completed += r.Completed
+		}
+		stripped := r
+		stripped.LatenciesMS = nil
+		cell.Nodes = append(cell.Nodes, stripped)
+	}
+	if s := stats.Summarize(lat); s.N > 0 {
+		cell.Latency = LatencyMS{P50: s.P50, P90: s.P90, P99: s.P99, Mean: s.Mean, Max: s.Max}
+	}
+	if cell.ElapsedSeconds > 0 {
+		cell.ThroughputItemsPerSec = float64(cell.ItemsDelivered) / cell.ElapsedSeconds
+	}
+	return cell
+}

@@ -51,6 +51,25 @@ func AppendBatch(dst []byte, frames [][]byte) []byte {
 // (header plus one maximal length prefix per frame).
 func batchOverhead(n int) int { return 2 + binary.MaxVarintLen64*(n+1) }
 
+// blobFrames reports how many protocol frames a wire blob carries: the
+// declared count for a well-formed batch header, 1 for everything else
+// (a bare frame, or a blob too damaged for the count to be trusted —
+// the router will charge it as one decode error anyway). Drop
+// accounting uses this so a lost blob is counted in frames, the same
+// unit every other transport and hop reports in: the inproc path knows
+// its frame count at the send site, while the UDP read loop only holds
+// opaque blob bytes and must peek the header.
+func blobFrames(blob []byte) int {
+	if !IsBatch(blob) || blob[1] != batchVersion {
+		return 1
+	}
+	count, n := binary.Uvarint(blob[2:])
+	if n <= 0 || count == 0 || count > maxBatchFrames {
+		return 1
+	}
+	return int(count)
+}
+
 // In-place batch accumulation: the mux's outboxes build batch blobs
 // incrementally — frames are appended as they are sent, so the finished
 // blob can be handed to a blobSender transport without re-encoding or

@@ -343,18 +343,27 @@ func (w *loopWorker) service(s *Session) {
 		w.finish(s)
 		return
 	}
-	w.batch = s.senderInbox.drain(w.batch)
-	for _, mg := range w.batch {
-		if !s.senderEvent(protocol.RecvEvent(mg)) {
+	if s.runsSender() {
+		w.batch = s.senderInbox.drain(w.batch)
+		for _, mg := range w.batch {
+			if !s.senderEvent(protocol.RecvEvent(mg)) {
+				w.finish(s)
+				return
+			}
+		}
+		if s.senderFinished() {
+			s.complete = true
 			w.finish(s)
 			return
 		}
 	}
-	w.batch = s.receiverInbox.drain(w.batch)
-	for _, mg := range w.batch {
-		if s.receiverEvent(protocol.RecvEvent(mg)) != stepRunning {
-			w.finish(s)
-			return
+	if s.runsReceiver() {
+		w.batch = s.receiverInbox.drain(w.batch)
+		for _, mg := range w.batch {
+			if s.receiverEvent(protocol.RecvEvent(mg)) != stepRunning {
+				w.finish(s)
+				return
+			}
 		}
 	}
 }
@@ -376,16 +385,23 @@ func (w *loopWorker) fire(s *Session, now time.Time) {
 		return
 	}
 	if !now.Before(s.tickNext) {
-		if s.receiverEvent(protocol.TickEvent()) != stepRunning {
-			w.finish(s)
-			return
+		if s.runsReceiver() {
+			if s.receiverEvent(protocol.TickEvent()) != stepRunning {
+				w.finish(s)
+				return
+			}
 		}
-		if s.bo.due(now) {
+		if s.runsSender() && s.bo.due(now) {
 			if !s.senderEvent(protocol.TickEvent()) {
 				w.finish(s)
 				return
 			}
 			s.bo.arm(now)
+			if s.senderFinished() {
+				s.complete = true
+				w.finish(s)
+				return
+			}
 		}
 		s.tickNext = now.Add(s.cfg.Tick)
 	}

@@ -50,6 +50,16 @@ type SessionConfig struct {
 	// power of two; DefaultInboxSize when not positive). A full inbox
 	// drops frames, surfaced in Report.InboxDrops.
 	InboxSize int
+	// Half, when non-zero, runs only that end's process locally: the
+	// opposite process lives in a remote node reached through a
+	// peer-addressed transport (wire.UDPPeer), which is how the cluster
+	// runtime splits one session across machines. Both machine objects
+	// are still required — the remote side's alphabet drives the
+	// receive-side enforcement — but only the Half end's machine is ever
+	// stepped here. A sender half completes when Sender.Done() reports
+	// quiescence; a receiver half keeps the usual tape audit (it knows X
+	// from the coordinator's seed). Zero runs both ends in-process.
+	Half End
 	// Stabilize, when non-nil, replaces the strict prefix audit with the
 	// supervisor's suffix-alignment audit: transient bad writes after a
 	// scrambled crash-restart are measured instead of fatal, and
@@ -171,6 +181,9 @@ func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Sender == nil || cfg.Receiver == nil {
 		return nil, fmt.Errorf("wire: session %d missing processes", cfg.ID)
 	}
+	if cfg.Half != 0 && cfg.Half != SenderEnd && cfg.Half != ReceiverEnd {
+		return nil, fmt.Errorf("wire: session %d bad half end %d", cfg.ID, int(cfg.Half))
+	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = DefaultTick
 	}
@@ -196,6 +209,19 @@ func (m *Mux) NewSession(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// runsSender / runsReceiver report which machines this process steps:
+// both for an in-process session, exactly one for a cluster half.
+func (s *Session) runsSender() bool   { return s.cfg.Half != ReceiverEnd }
+func (s *Session) runsReceiver() bool { return s.cfg.Half != SenderEnd }
+
+// senderFinished reports whether a sender half has completed: the local
+// S transmitted its whole tape and holds every acknowledgement it
+// needs. Full sessions always report false — their completion verdict
+// belongs to the receiver's tape audit, here or on the remote node.
+func (s *Session) senderFinished() bool {
+	return s.cfg.Half == SenderEnd && s.cfg.Sender.Done()
 }
 
 // Run drives the session to completion, violation, deadline, or ctx
@@ -245,15 +271,20 @@ func (s *Session) runGoroutine(ctx context.Context) Report {
 	s.start = time.Now()
 	s.bo = newBackoff(s.cfg.Tick, s.cfg.Seed, s.start)
 	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		s.senderLoop(ctx)
-	}()
-	go func() {
-		defer wg.Done()
-		s.receiverLoop(ctx, cancel)
-	}()
+	if s.runsSender() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.senderLoop(ctx, cancel)
+		}()
+	}
+	if s.runsReceiver() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.receiverLoop(ctx, cancel)
+		}()
+	}
 	wg.Wait()
 	// Closing the inboxes makes the routers count later frames as late.
 	s.senderInbox.close()
@@ -389,10 +420,25 @@ func (s *Session) nextWake() int64 {
 // senderLoop drives S on the goroutine engine: retransmit ticks plus
 // inbound acknowledgements, drained a burst at a time. The pacer fires
 // at the base tick rate; non-due ticks (backoff) are skipped with one
-// time comparison.
-func (s *Session) senderLoop(ctx context.Context) {
+// time comparison. On a sender half this loop also owns the session's
+// ending: S's quiescence (Done) is completion, since no local receiver
+// will ever reach end-of-tape.
+func (s *Session) senderLoop(ctx context.Context, cancel context.CancelFunc) {
 	sub := s.mux.pacer.subscribe(s.cfg.Tick)
 	defer s.mux.pacer.unsubscribe(sub)
+	// step runs one sender event and folds in the sender-half completion
+	// check; false means this loop (and the session) is over.
+	step := func(ev protocol.Event) bool {
+		if !s.senderEvent(ev) {
+			return false
+		}
+		if s.senderFinished() {
+			s.complete = true
+			cancel()
+			return false
+		}
+		return true
+	}
 	// tick runs one spontaneous step if the backoff says it is due; the
 	// step's own grow/reset lands before re-arming, so a retransmission's
 	// doubled interval takes effect immediately.
@@ -401,7 +447,7 @@ func (s *Session) senderLoop(ctx context.Context) {
 		if !s.bo.due(now) {
 			return true
 		}
-		ok := s.senderEvent(protocol.TickEvent())
+		ok := step(protocol.TickEvent())
 		s.bo.arm(now)
 		return ok
 	}
@@ -440,7 +486,7 @@ func (s *Session) senderLoop(ctx context.Context) {
 			continue
 		}
 		for _, m := range batch {
-			if !s.senderEvent(protocol.RecvEvent(m)) {
+			if !step(protocol.RecvEvent(m)) {
 				return
 			}
 		}

@@ -27,6 +27,8 @@ type UDP struct {
 	toSender     chan []byte
 	toReceiver   chan []byte
 	dropped      *obs.Counter
+	foreign      *obs.Counter
+	oversize     *obs.Counter
 
 	closeOnce sync.Once
 	closeErr  error
@@ -41,6 +43,20 @@ var _ BatchSender = (*UDP)(nil)
 // 65,507-byte UDP limit and under blobCap, so batch scratch buffers stay
 // pooled.
 const udpMaxPayload = 60 * 1024
+
+// udpMaxDatagram is the hard UDP payload ceiling (65,535 minus the IP
+// and UDP headers): a single frame larger than this cannot go on the
+// wire at all, so the send path drops and counts it instead of letting
+// the kernel error the whole burst.
+const udpMaxDatagram = 65507
+
+// sameSource reports whether a datagram's source address matches the
+// expected peer. Ports must match exactly; addresses are compared
+// unmapped, so an IPv4 peer seen through an IPv4-in-IPv6 socket still
+// matches its configured IPv4 form.
+func sameSource(got, want netip.AddrPort) bool {
+	return got.Port() == want.Port() && got.Addr().Unmap() == want.Addr().Unmap()
+}
 
 // udpRecvBuffer is the per-end inbound frame buffer; frames arriving
 // while it is full are dropped (as UDP itself would under load).
@@ -66,11 +82,18 @@ func NewUDP(reg *obs.Registry) (*UDP, error) {
 		toSender:     make(chan []byte, udpRecvBuffer),
 		toReceiver:   make(chan []byte, udpRecvBuffer),
 		dropped:      reg.Counter(`wire_frames_dropped_total{cause="backpressure"}`),
+		foreign:      reg.Counter(`wire_frames_dropped_total{cause="foreign"}`),
+		oversize:     reg.Counter(`wire_frames_dropped_total{cause="oversize"}`),
 		done:         make(chan struct{}),
 	}
 	t.wg.Add(2)
-	go t.read(senderConn, t.toSender)
-	go t.read(receiverConn, t.toReceiver)
+	// Each socket accepts datagrams only from its configured peer — the
+	// opposite end's socket. Anything else (another process that guessed
+	// the port, a stray datagram) is counted as foreign and never copied
+	// toward the mux: the frame checksum proves integrity, the source
+	// check proves origin.
+	go t.read(senderConn, t.toSender, t.receiverPort)
+	go t.read(receiverConn, t.toReceiver, t.senderPort)
 	return t, nil
 }
 
@@ -86,12 +109,18 @@ func (t *UDP) Addr(e End) *net.UDPAddr {
 }
 
 // Send implements Transport: one datagram per frame toward the opposite
-// end's socket.
+// end's socket. A frame past the UDP payload ceiling is dropped and
+// counted — the kernel would reject the write, and a link dropping an
+// unsendable frame is channel loss, not an error.
 func (t *UDP) Send(from End, frame []byte) error {
 	select {
 	case <-t.done:
 		return ErrClosed
 	default:
+	}
+	if len(frame) > udpMaxDatagram {
+		t.oversize.Inc()
+		return nil
 	}
 	var err error
 	if from == SenderEnd {
@@ -126,6 +155,16 @@ func (t *UDP) SendBatch(from End, frames [][]byte) error {
 		n, size := batchFit(frames[start:], udpMaxPayload)
 		var err error
 		if n == 1 {
+			// A lone frame bigger than udpMaxPayload goes out as a raw
+			// datagram — but past the hard UDP ceiling the kernel write
+			// fails, and that failure used to error out the entire burst.
+			// An unsendable frame is channel loss: drop it, count it, and
+			// keep the rest of the burst moving.
+			if len(frames[start]) > udpMaxDatagram {
+				t.oversize.Inc()
+				start++
+				continue
+			}
 			_, err = conn.WriteToUDPAddrPort(frames[start], to)
 		} else {
 			blob := AppendBatch(getBuf(size), frames[start:start+n])
@@ -154,24 +193,34 @@ func (t *UDP) Recv(at End) <-chan []byte {
 }
 
 // read pumps datagrams from conn into out until the socket closes, then
-// closes out (read is the channel's only writer). The socket is read into
-// one reused scratch buffer; only the datagram's actual bytes are copied
-// out, into a pooled blob the consumer releases — the loop itself never
-// allocates in steady state.
-func (t *UDP) read(conn *net.UDPConn, out chan []byte) {
+// closes out (read is the channel's only writer). Datagrams whose source
+// is not the configured peer are rejected before any bytes are copied:
+// the checksum downstream verifies integrity but never origin, so
+// without this check any process that learned the port could inject
+// well-formed frames straight into the session mux. The socket is read
+// into one reused scratch buffer; only an accepted datagram's bytes are
+// copied out, into a pooled blob the consumer releases — the loop itself
+// never allocates in steady state. A backpressure drop is charged with
+// the blob's frame count (peeked from the batch header), so drop rates
+// stay comparable with the inproc transport's per-frame accounting.
+func (t *UDP) read(conn *net.UDPConn, out chan []byte, peer netip.AddrPort) {
 	defer t.wg.Done()
 	defer close(out)
 	buf := make([]byte, 64*1024)
 	for {
-		n, _, err := conn.ReadFromUDPAddrPort(buf)
+		n, from, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // socket closed (or fatally broken): stop pumping
+		}
+		if !sameSource(from, peer) {
+			t.foreign.Add(int64(blobFrames(buf[:n])))
+			continue
 		}
 		blob := append(getBuf(n), buf[:n]...)
 		select {
 		case out <- blob:
 		default:
-			t.dropped.Inc()
+			t.dropped.Add(int64(blobFrames(blob)))
 			putBuf(blob)
 		}
 	}

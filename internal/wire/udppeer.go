@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"seqtx/internal/obs"
+)
+
+// UDPPeer is the distributed datagram transport: ONE socket, bound to a
+// configurable local address, speaking the batch-blob wire format with
+// ONE configured remote peer — the other half of the link, running in a
+// different process (typically on a different machine). This is what
+// replaces the loopback-era UDP transport's two-sockets-one-struct
+// assumption: a cluster node no longer owns both ends of the link, it
+// owns its end and a peer address.
+//
+// The process hosting a UDPPeer hosts exactly one End (its sessions run
+// as halves, SessionConfig.Half): Send from the hosted end writes
+// datagrams to the peer; Recv at the hosted end yields datagrams that
+// arrived *from* the peer. Source-address validation is mandatory on
+// every datagram — the frame checksum proves integrity but never
+// origin, so without it any host that learned the port could inject
+// well-formed frames straight into the session mux. Foreign datagrams
+// are counted (wire_frames_dropped_total{cause="foreign"}) and never
+// copied toward the mux.
+//
+// The non-hosted end's Recv channel stays empty until Close (the mux
+// starts a router per end; the remote end's router simply has nothing
+// to do in this process), and Send from the non-hosted end is an error.
+type UDPPeer struct {
+	host  End
+	conn  *net.UDPConn
+	local netip.AddrPort
+	// remote is the configured peer (atomic: SetRemote may land after
+	// the read loop started, in the cluster's bind-then-exchange
+	// handshake). nil means "not configured yet": every inbound datagram
+	// is foreign and sends fail.
+	remote atomic.Pointer[netip.AddrPort]
+
+	inbound chan []byte // datagrams from the peer, toward the hosted end
+	ghost   chan []byte // the non-hosted end's Recv: empty, closed on Close
+
+	dropped  *obs.Counter
+	foreign  *obs.Counter
+	oversize *obs.Counter
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Transport = (*UDPPeer)(nil)
+var _ BatchSender = (*UDPPeer)(nil)
+
+// NewUDPPeer binds one end of a distributed link: host names the End
+// this process runs, laddr the local UDP address to bind (port 0 asks
+// the kernel), raddr the remote peer ("" defers to SetRemote — the
+// cluster runtime binds first, exchanges concrete addresses through the
+// coordinator, then points the peers at each other). reg (which may be
+// nil) receives the drop counters.
+func NewUDPPeer(host End, laddr, raddr string, reg *obs.Registry) (*UDPPeer, error) {
+	if host != SenderEnd && host != ReceiverEnd {
+		return nil, fmt.Errorf("wire: udp peer: bad host end %d", int(host))
+	}
+	la, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: udp peer local addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("wire: udp peer socket: %w", err)
+	}
+	t := &UDPPeer{
+		host:     host,
+		conn:     conn,
+		local:    conn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		inbound:  make(chan []byte, udpRecvBuffer),
+		ghost:    make(chan []byte),
+		dropped:  reg.Counter(`wire_frames_dropped_total{cause="backpressure"}`),
+		foreign:  reg.Counter(`wire_frames_dropped_total{cause="foreign"}`),
+		oversize: reg.Counter(`wire_frames_dropped_total{cause="oversize"}`),
+		done:     make(chan struct{}),
+	}
+	if raddr != "" {
+		if err := t.SetRemote(raddr); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	t.wg.Add(1)
+	go t.read()
+	return t, nil
+}
+
+// Name implements Transport.
+func (t *UDPPeer) Name() string { return "udp-peer" }
+
+// Host returns the End this process runs.
+func (t *UDPPeer) Host() End { return t.host }
+
+// LocalAddr returns the bound local address — the concrete host:port a
+// node advertises to the coordinator so its peer can be pointed here.
+func (t *UDPPeer) LocalAddr() *net.UDPAddr {
+	return t.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// SetRemote configures (or re-points) the peer address. Until a remote
+// is set, every inbound datagram is foreign and every send fails.
+func (t *UDPPeer) SetRemote(raddr string) error {
+	ra, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return fmt.Errorf("wire: udp peer remote addr: %w", err)
+	}
+	// Unmap IPv4-in-IPv6 (ResolveUDPAddr yields ::ffff:a.b.c.d for
+	// dotted-quad input, which an IPv4-bound socket cannot write to).
+	ap := ra.AddrPort()
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	t.remote.Store(&ap)
+	return nil
+}
+
+// Send implements Transport: one datagram per frame toward the peer.
+// Oversized frames are dropped and counted, not errored — an unsendable
+// frame is channel loss.
+func (t *UDPPeer) Send(from End, frame []byte) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	if from != t.host {
+		return fmt.Errorf("wire: udp peer hosts the %s end; cannot send from %s", t.host, from)
+	}
+	remote := t.remote.Load()
+	if remote == nil {
+		return fmt.Errorf("wire: udp peer: no remote configured")
+	}
+	if len(frame) > udpMaxDatagram {
+		t.oversize.Inc()
+		return nil
+	}
+	if _, err := t.conn.WriteToUDPAddrPort(frame, *remote); err != nil {
+		select {
+		case <-t.done:
+			return ErrClosed // send raced with Close; report the close
+		default:
+		}
+		return fmt.Errorf("wire: udp peer send: %w", err)
+	}
+	return nil
+}
+
+// SendBatch implements BatchSender: the burst is packed into as few
+// batch-framed datagrams as fit, one syscall each. A lone frame past
+// the UDP payload ceiling is dropped and counted without failing the
+// rest of the burst.
+func (t *UDPPeer) SendBatch(from End, frames [][]byte) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	if from != t.host {
+		return fmt.Errorf("wire: udp peer hosts the %s end; cannot send from %s", t.host, from)
+	}
+	remote := t.remote.Load()
+	if remote == nil {
+		return fmt.Errorf("wire: udp peer: no remote configured")
+	}
+	for start := 0; start < len(frames); {
+		n, size := batchFit(frames[start:], udpMaxPayload)
+		var err error
+		if n == 1 {
+			if len(frames[start]) > udpMaxDatagram {
+				t.oversize.Inc()
+				start++
+				continue
+			}
+			_, err = t.conn.WriteToUDPAddrPort(frames[start], *remote)
+		} else {
+			blob := AppendBatch(getBuf(size), frames[start:start+n])
+			_, err = t.conn.WriteToUDPAddrPort(blob, *remote)
+			putBuf(blob)
+		}
+		if err != nil {
+			select {
+			case <-t.done:
+				return ErrClosed // send raced with Close; report the close
+			default:
+			}
+			return fmt.Errorf("wire: udp peer send: %w", err)
+		}
+		start += n
+	}
+	return nil
+}
+
+// Recv implements Transport: the hosted end sees the peer's datagrams;
+// the non-hosted end's channel stays empty (its router in this process
+// has nothing to route) and closes with the transport.
+func (t *UDPPeer) Recv(at End) <-chan []byte {
+	if at == t.host {
+		return t.inbound
+	}
+	return t.ghost
+}
+
+// read pumps datagrams from the socket toward the hosted end until the
+// socket closes. Every datagram's source must match the configured
+// peer; mismatches (and anything arriving before a peer is configured)
+// are counted as foreign and never reach the mux. Backpressure drops
+// are charged with the blob's frame count.
+func (t *UDPPeer) read() {
+	defer t.wg.Done()
+	defer close(t.inbound)
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := t.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return // socket closed (or fatally broken): stop pumping
+		}
+		remote := t.remote.Load()
+		if remote == nil || !sameSource(from, *remote) {
+			t.foreign.Add(int64(blobFrames(buf[:n])))
+			continue
+		}
+		blob := append(getBuf(n), buf[:n]...)
+		select {
+		case t.inbound <- blob:
+		default:
+			t.dropped.Add(int64(blobFrames(blob)))
+			putBuf(blob)
+		}
+	}
+}
+
+// Close implements Transport: closes the socket, waits for the read
+// loop to close the hosted Recv channel, and closes the ghost channel.
+func (t *UDPPeer) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		t.closeErr = t.conn.Close()
+		t.wg.Wait()
+		close(t.ghost)
+	})
+	return t.closeErr
+}
