@@ -1,0 +1,144 @@
+// Command stpfrontier sweeps protocols across the quantitative channel
+// models and writes the empirical capacity frontier as a bench
+// document: per-(protocol, model, m) goodput, completion rate, the
+// lock-step goodput ceiling 0.25·(1−drop)/(1+dup), and the paper's
+// alpha(m) information bound.
+//
+// Protocols are only paired with channel kinds they are verifiably
+// safe on (afwz/hybrid are del-channel protocols — on the iid-dup
+// family they are skipped, and their stalls under genuine loss are
+// reported as low completion, not errors). Any prefix-safety violation
+// anywhere in the sweep exits nonzero.
+//
+// Usage:
+//
+//	stpfrontier -protos alpha,afwz,hybrid,stenning -m 4,8 \
+//	    -trials 20 -report BENCH_frontier.json -markdown -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"seqtx/internal/chanmodel"
+	"seqtx/internal/frontier"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("stpfrontier", flag.ExitOnError)
+	var (
+		protos   = fs.String("protos", strings.Join(frontier.FrontierProtocols(), ","), "comma-separated protocols (must be in the verified-safe table)")
+		models   = fs.String("models", "default", "comma-separated channel-model specs ("+chanmodel.SpecSyntax+"; commas inside parentheses do not split), or \"default\" for the standard 4×4 grid")
+		ms       = fs.String("m", "4,8", "comma-separated alphabet sizes")
+		items    = fs.Int("items", 0, "input items per trial (repetition-free; default min m)")
+		trials   = fs.Int("trials", 20, "Monte-Carlo trials per cell")
+		maxSteps = fs.Int("max-steps", 0, "step budget per trial (0 = 600 + 200·items)")
+		timeout  = fs.Int("timeout", 0, "hybrid timeout (ticks; 0 = protocol default)")
+		seed     = fs.Int64("seed", 1, "base seed (cell c trial i derives from seed+c*10007+i)")
+		par      = fs.Int("par", 0, "trial parallelism per cell (0 = GOMAXPROCS)")
+		reportTo = fs.String("report", "BENCH_frontier.json", "write the bench document to this file (\"-\" = stdout, \"\" = skip)")
+		mdTo     = fs.String("markdown", "", "write the frontier tables as markdown to this file (\"-\" = stdout, \"\" = skip)")
+		verbose  = fs.Bool("v", false, "log per-cell progress")
+	)
+	fs.Parse(os.Args[1:])
+
+	cfg := frontier.Config{
+		Protos:      splitList(*protos),
+		Ms:          nil,
+		Items:       *items,
+		Trials:      *trials,
+		MaxSteps:    *maxSteps,
+		Timeout:     *timeout,
+		Seed:        *seed,
+		Parallelism: *par,
+	}
+	var err error
+	if cfg.Ms, err = parseInts(*ms); err != nil {
+		fmt.Fprintf(os.Stderr, "stpfrontier: -m: %v\n", err)
+		return 2
+	}
+	if *models != "default" {
+		if cfg.Models, err = chanmodel.ParseList(*models); err != nil {
+			fmt.Fprintln(os.Stderr, "stpfrontier:", err)
+			return 2
+		}
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stpfrontier: "+format+"\n", args...)
+		}
+	}
+
+	doc, err := frontier.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stpfrontier:", err)
+		return 2
+	}
+
+	fmt.Printf("stpfrontier: %d cells (%d skipped as unsafe pairings), %d trials each, violations %d\n",
+		doc.TotalCells, len(doc.Skipped), doc.Trials, doc.TotalViolations)
+
+	if *reportTo != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpfrontier:", err)
+			return 1
+		}
+		if err := writeOut(*reportTo, append(data, '\n')); err != nil {
+			fmt.Fprintln(os.Stderr, "stpfrontier:", err)
+			return 1
+		}
+	}
+	if *mdTo != "" {
+		if err := writeOut(*mdTo, []byte(doc.Markdown())); err != nil {
+			fmt.Fprintln(os.Stderr, "stpfrontier:", err)
+			return 1
+		}
+	}
+	if doc.TotalViolations > 0 {
+		fmt.Fprintf(os.Stderr, "stpfrontier: FAIL: %d prefix-safety violations\n", doc.TotalViolations)
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty axis")
+	}
+	return out, nil
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -33,8 +33,10 @@ import (
 	"strings"
 	"time"
 
+	"seqtx/internal/chanmodel"
 	"seqtx/internal/cliutil"
 	"seqtx/internal/cluster"
+	"seqtx/internal/faults"
 	"seqtx/internal/registry"
 	"seqtx/internal/wire"
 )
@@ -63,7 +65,10 @@ func run() int {
 		capBound = fs.Int("cap", 0, "channel-capacity bound c for the stab protocol (0 = its default)")
 		sessions = fs.String("sessions", "8", "comma-separated sessions-per-cell axis, e.g. 4,16,64")
 		rates    = fs.String("rates", "0", "comma-separated client session-start rates per second (0 = unpaced), e.g. 0,100")
-		impairs  = fs.String("impairs", "none", "comma-separated impairment presets: "+strings.Join(wire.ImpairPresetNames(), "|"))
+		impairs  = fs.String("impairs", "none", "comma-separated impairment presets ("+strings.Join(wire.ImpairPresetNames(), "|")+") or channel-model specs ("+chanmodel.SpecSyntax+"; commas inside parentheses do not split)")
+		chaos    = fs.String("crash-presets", "none", "comma-separated crash-restart preset axis (process-fault presets from "+strings.Join(faults.PresetNames(), "|")+"); cells run under wire.ServeSupervised, each node crashing its own half")
+		restart  = fs.String("restart-policy", "preset", "chaos restart policy: preset|amnesia|scramble")
+		cellTO   = fs.Duration("cell-timeout", 0, "per-cell node timeout: a node that misses it fails only that cell (its pair is dropped, the sweep continues); 0 = any node failure aborts the sweep")
 		tick     = fs.Duration("tick", wire.DefaultTick, "per-process pacing tick")
 		deadline = fs.Duration("deadline", 30*time.Second, "per-session deadline")
 		seed     = fs.Int64("seed", 1, "base seed (cell c, session i derives from seed+c*stride+i)")
@@ -97,9 +102,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "stpmaster: -rates: %v\n", err)
 		return 2
 	}
-	impairAxis := splitList(*impairs)
+	// Depth-aware split: model specs like k-del(k=2,n=16) carry commas.
+	impairAxis := chanmodel.SplitSpecs(*impairs)
 	for _, im := range impairAxis {
-		if _, err := wire.ImpairPreset(im); err != nil {
+		if _, err := wire.ImpairSpec(im, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "stpmaster:", err)
 			return 2
 		}
@@ -117,9 +123,11 @@ func run() int {
 			Proto: *proto, M: *m, Items: *items,
 			Timeout: *timeout, Window: *window, Cap: *capBound,
 			Sessions: sessionsAxis, Rates: ratesAxis, Impairs: impairAxis,
+			CrashPresets: splitList(*chaos), RestartPolicy: *restart,
 			Tick: *tick, Deadline: *deadline, Seed: *seed, Engine: *engine,
 		},
 		AssembleTimeout: *assemble,
+		CellTimeout:     *cellTO,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -144,9 +152,16 @@ func run() int {
 		fmt.Printf("stpmaster: cell %v: complete=%d/%d violations=%d p50=%.1fms p99=%.1fms throughput=%.1f items/s foreign=%d\n",
 			cell.Cell, cell.Completed, cell.Sessions, cell.Violations,
 			cell.Latency.P50, cell.Latency.P99, cell.ThroughputItemsPerSec, cell.ForeignDrops)
+		if cell.Cell.Chaos != "" {
+			fmt.Printf("stpmaster:   chaos: incarnations=%d bad-writes=%d post-stab-violations=%d watchdogs=%d\n",
+				cell.Incarnations, cell.BadWrites, cell.PostStabViolations, cell.WatchdogEscalations)
+		}
+		if cell.Err != "" {
+			fmt.Printf("stpmaster:   cell failed: %s\n", cell.Err)
+		}
 	}
-	fmt.Printf("stpmaster: sweep done: cells=%d sessions=%d complete=%d safety violations %d\n",
-		len(doc.Cells), doc.TotalSessions, doc.TotalCompleted, doc.TotalViolations)
+	fmt.Printf("stpmaster: sweep done: cells=%d (%d failed) sessions=%d complete=%d safety violations %d\n",
+		len(doc.Cells), doc.FailedCells, doc.TotalSessions, doc.TotalCompleted, doc.TotalViolations)
 
 	if *reportTo != "" {
 		if err := writeDoc(*reportTo, doc); err != nil {

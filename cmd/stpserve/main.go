@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"seqtx/internal/chanmodel"
 	"seqtx/internal/channel"
 	"seqtx/internal/cliutil"
 	"seqtx/internal/cluster"
@@ -65,7 +66,7 @@ func run() int {
 		engineStr = flag.String("engine", "loop", "session engine for live transports: loop|goroutine")
 		inboxSize = flag.Int("inbox", 0, "per-session inbox capacity (0 = wire default)")
 		evSample  = flag.Uint64("event-sample", 1, "emit lifecycle events for every Nth session id (1 = every session)")
-		impair    = flag.String("impair", "none", "impairment: "+strings.Join(wire.ImpairPresetNames(), "|"))
+		impair    = flag.String("impair", "none", "impairment preset ("+strings.Join(wire.ImpairPresetNames(), "|")+") or channel-model spec ("+chanmodel.SpecSyntax+")")
 		crashPre  = flag.String("crash-preset", "none", "crash-restart chaos preset (e.g. crash-scramble-both); runs sessions supervised")
 		restart   = flag.String("restart-policy", "preset", "restart state for crashed processes: preset|amnesia|scramble")
 		capBound  = flag.Int("cap", 0, "channel-capacity bound c for the stab protocol (0 = its default)")
@@ -112,7 +113,7 @@ func run() int {
 	}
 
 	params := registry.Params{M: *m, Timeout: *timeout, Window: *window, Seed: *seed, Cap: *capBound}
-	opts, err := wire.ImpairPreset(*impair)
+	opts, err := wire.ImpairSpec(*impair, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stpserve:", err)
 		return 2

@@ -1,0 +1,166 @@
+package chanmodel_test
+
+import (
+	"bytes"
+	"testing"
+
+	"seqtx/internal/chanmodel"
+	"seqtx/internal/channel"
+	"seqtx/internal/registry"
+	"seqtx/internal/seq"
+	"seqtx/internal/sim"
+)
+
+func input(m, items int) seq.Seq {
+	x := make(seq.Seq, items)
+	for i := range x {
+		x[i] = seq.Item(i % m)
+	}
+	return x
+}
+
+// TestAdversaryDupFamilyLiveSafe runs the dup-channel protocols under
+// the i.i.d. duplication model: every run must complete with no safety
+// violation. Only protocols safe on dup channels qualify — afwz and
+// hybrid are del-channel protocols (Theorem 1: replayed acks break
+// their gating), so they are exactly NOT in this list.
+func TestAdversaryDupFamilyLiveSafe(t *testing.T) {
+	model := chanmodel.MustParse("iid-dup(p=0.3)")
+	for _, proto := range []string{"alpha", "stenning"} {
+		for seed := int64(1); seed <= 5; seed++ {
+			spec, err := registry.Protocol(proto, registry.Params{M: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			adv := chanmodel.NewAdversary(model, seed)
+			res, err := sim.RunProtocol(spec, input(4, 4), model.Kind(), adv,
+				sim.Config{MaxSteps: 20000, StopWhenComplete: true})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", proto, seed, err)
+			}
+			if res.SafetyViolation != nil {
+				t.Errorf("%s seed %d: safety violation: %v", proto, seed, res.SafetyViolation)
+			}
+			if !res.OutputComplete {
+				t.Errorf("%s seed %d: incomplete after %d steps (Y=%s)", proto, seed, res.Steps, res.Output)
+			}
+		}
+	}
+}
+
+// TestAdversaryLossFamilyLiveSafe runs retransmitting protocols on a
+// del channel under loss models: retransmitted copies get independent
+// decisions, so completion is reached with probability 1.
+func TestAdversaryLossFamilyLiveSafe(t *testing.T) {
+	for _, ms := range []string{
+		"iid-loss(p=0.3)",
+		"k-del(k=4,n=16)",
+		"ge(pgb=0.1,pbg=0.4,lg=0.02,lb=0.8)",
+	} {
+		model := chanmodel.MustParse(ms)
+		for _, proto := range []string{"alpha", "stenning"} {
+			for seed := int64(1); seed <= 5; seed++ {
+				spec, err := registry.Protocol(proto, registry.Params{M: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				adv := chanmodel.NewAdversary(model, seed)
+				res, err := sim.RunProtocol(spec, input(4, 4), model.Kind(), adv,
+					sim.Config{MaxSteps: 40000, StopWhenComplete: true})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", ms, proto, seed, err)
+				}
+				if res.SafetyViolation != nil {
+					t.Errorf("%s/%s seed %d: safety violation: %v", ms, proto, seed, res.SafetyViolation)
+				}
+				if !res.OutputComplete {
+					t.Errorf("%s/%s seed %d: incomplete after %d steps (Y=%s)",
+						ms, proto, seed, res.Steps, res.Output)
+				}
+			}
+		}
+	}
+}
+
+// TestAdversaryLossFamilySafeOnNonRetransmitters: afwz and hybrid never
+// retransmit data, so under genuine probabilistic loss they may stall —
+// but they must stall SAFELY (zero prefix violations), which is the
+// guarantee the frontier's zero-violation criterion rests on.
+func TestAdversaryLossFamilySafeOnNonRetransmitters(t *testing.T) {
+	model := chanmodel.MustParse("iid-loss(p=0.2)")
+	for _, proto := range []string{"afwz", "hybrid"} {
+		for seed := int64(1); seed <= 8; seed++ {
+			spec, err := registry.Protocol(proto, registry.Params{M: 4, Timeout: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			adv := chanmodel.NewAdversary(model, seed)
+			res, err := sim.RunProtocol(spec, input(4, 4), model.Kind(), adv,
+				sim.Config{MaxSteps: 20000, StopWhenComplete: true})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", proto, seed, err)
+			}
+			if res.SafetyViolation != nil {
+				t.Errorf("%s seed %d: safety violation: %v", proto, seed, res.SafetyViolation)
+			}
+		}
+	}
+}
+
+// TestAdversaryRealizedMatchesSchedule pins the sim half of the
+// cross-realization contract: the decision stream the adversary
+// actually consumed is byte-identical to the model's reference
+// schedule for the same seed.
+func TestAdversaryRealizedMatchesSchedule(t *testing.T) {
+	for _, ms := range []string{"iid-dup(p=0.3)", "iid-loss(p=0.25)", "k-del(k=2,n=8)"} {
+		model := chanmodel.MustParse(ms)
+		// One adversary across sequential runs: its schedule is a single
+		// continuous stream, so the realized decisions accumulate.
+		adv := chanmodel.NewAdversary(model, 99)
+		adv.RecordRealized(1 << 20)
+		for run := 0; run < 16; run++ {
+			spec, err := registry.Protocol("alpha", registry.Params{M: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.RunProtocol(spec, input(5, 5), model.Kind(), adv,
+				sim.Config{MaxSteps: 40000, StopWhenComplete: true}); err != nil {
+				t.Fatal(err)
+			}
+			adv.Reset()
+		}
+		got := adv.Realized()
+		if len(got) < 64 {
+			t.Fatalf("%s: only %d decisions realized, too few to pin", ms, len(got))
+		}
+		want := chanmodel.ScheduleBytes(model, 99, len(got))
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: realized decision stream diverges from reference schedule\n got %q\nwant %q",
+				ms, got, want)
+		}
+	}
+}
+
+// TestAdversaryDeterministic pins that equal (model, seed) pairs
+// produce identical runs end to end.
+func TestAdversaryDeterministic(t *testing.T) {
+	model := chanmodel.MustParse("ge(pgb=0.1,pbg=0.4,lg=0.02,lb=0.8)")
+	run := func() (int, string) {
+		spec, err := registry.Protocol("alpha", registry.Params{M: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := chanmodel.NewAdversary(model, 7)
+		res, err := sim.RunProtocol(spec, input(4, 4), channel.KindDel, adv,
+			sim.Config{MaxSteps: 40000, StopWhenComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Steps, res.Output.String()
+	}
+	s1, o1 := run()
+	s2, o2 := run()
+	if s1 != s2 || o1 != o2 {
+		t.Errorf("same (model, seed) diverged: (%d, %s) vs (%d, %s)", s1, o1, s2, o2)
+	}
+}

@@ -1,0 +1,231 @@
+package chanmodel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"seqtx/internal/channel"
+)
+
+// drain pulls n decisions and tallies them.
+func drain(m Model, seed int64, n int) (pass, drop, dup int) {
+	s := m.Schedule(seed)
+	for i := 0; i < n; i++ {
+		switch s.Next() {
+		case Pass:
+			pass++
+		case Drop:
+			drop++
+		case Dup:
+			dup++
+		}
+	}
+	return
+}
+
+// binomialCI returns a 5-sigma half-width for an empirical rate with n
+// samples at true rate p — wide enough that a correct generator passes
+// with overwhelming probability on any fixed seed, tight enough that a
+// swapped or constant rate fails.
+func binomialCI(p float64, n int) float64 {
+	return 5 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+func TestEmpiricalRates(t *testing.T) {
+	const n = 200_000
+	cases := []struct {
+		spec string
+		// inflate widens the CI for models with correlated decisions
+		// (Gilbert–Elliott's Markov chain); 1 for i.i.d. families.
+		inflate float64
+	}{
+		{"iid-dup(p=0.25)", 1},
+		{"iid-dup(p=0.02)", 1},
+		{"iid-loss(p=0.1)", 1},
+		{"iid-loss(p=0.5)", 1},
+		{"k-del(k=2,n=16)", 1},
+		{"k-del(k=1,n=4)", 1},
+		{"ge(pgb=0.05,pbg=0.5,lg=0.01,lb=0.5)", 4},
+		{"ge(pgb=0.1,pbg=0.3,lg=0,lb=1)", 4},
+	}
+	for _, tc := range cases {
+		m := MustParse(tc.spec)
+		for seed := int64(1); seed <= 3; seed++ {
+			pass, drop, dup := drain(m, seed, n)
+			if pass+drop+dup != n {
+				t.Fatalf("%s seed %d: decisions do not sum: %d+%d+%d != %d",
+					tc.spec, seed, pass, drop, dup, n)
+			}
+			gotDrop := float64(drop) / n
+			gotDup := float64(dup) / n
+			if ci := tc.inflate * binomialCI(m.DropRate(), n); math.Abs(gotDrop-m.DropRate()) > ci {
+				t.Errorf("%s seed %d: empirical drop rate %.5f, want %.5f ± %.5f",
+					tc.spec, seed, gotDrop, m.DropRate(), ci)
+			}
+			if ci := tc.inflate * binomialCI(m.DupRate(), n); math.Abs(gotDup-m.DupRate()) > ci {
+				t.Errorf("%s seed %d: empirical dup rate %.5f, want %.5f ± %.5f",
+					tc.spec, seed, gotDup, m.DupRate(), ci)
+			}
+		}
+	}
+}
+
+func TestScheduleSeedDeterminism(t *testing.T) {
+	specs := []string{
+		"iid-dup(p=0.25)",
+		"iid-loss(p=0.1)",
+		"k-del(k=2,n=16)",
+		"ge(pgb=0.05,pbg=0.5,lg=0.01,lb=0.5)",
+	}
+	const n = 4096
+	for _, spec := range specs {
+		m := MustParse(spec)
+		a := ScheduleBytes(m, 42, n)
+		b := ScheduleBytes(m, 42, n)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: equal seeds produced different schedules", spec)
+		}
+		// A freshly parsed equal model must agree too (schedules are a
+		// function of the value, not the instance).
+		c := ScheduleBytes(MustParse(spec), 42, n)
+		if !bytes.Equal(a, c) {
+			t.Errorf("%s: equal models produced different schedules", spec)
+		}
+		d := ScheduleBytes(m, 43, n)
+		if bytes.Equal(a, d) {
+			t.Errorf("%s: different seeds produced identical schedules", spec)
+		}
+	}
+}
+
+func TestKDelExactPerBlock(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{2, 16}, {1, 4}, {0, 8}, {4, 4}} {
+		m, err := NewKDel(tc.k, tc.n)
+		if err != nil {
+			t.Fatalf("NewKDel(%d,%d): %v", tc.k, tc.n, err)
+		}
+		s := m.Schedule(7)
+		const blocks = 500
+		for b := 0; b < blocks; b++ {
+			drops := 0
+			for i := 0; i < tc.n; i++ {
+				if s.Next() == Drop {
+					drops++
+				}
+			}
+			if drops != tc.k {
+				t.Fatalf("k-del(k=%d,n=%d): block %d dropped %d symbols, want exactly %d",
+					tc.k, tc.n, b, drops, tc.k)
+			}
+		}
+	}
+}
+
+// TestKDelPositionsUniform checks the deleted positions are spread over
+// the block, not pinned to a fixed offset.
+func TestKDelPositionsUniform(t *testing.T) {
+	m := MustParse("k-del(k=1,n=8)").(KDel)
+	s := m.Schedule(11)
+	const blocks = 8000
+	hits := make([]int, m.N)
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < m.N; i++ {
+			if s.Next() == Drop {
+				hits[i]++
+			}
+		}
+	}
+	want := float64(blocks) / float64(m.N)
+	ci := 5 * math.Sqrt(want*(1-1/float64(m.N)))
+	for i, h := range hits {
+		if math.Abs(float64(h)-want) > ci {
+			t.Errorf("k-del position %d dropped %d times, want %.0f ± %.0f", i, h, want, ci)
+		}
+	}
+}
+
+func TestGEBurstiness(t *testing.T) {
+	// With lg=0 and lb=1 every drop is a bad-state symbol, so mean burst
+	// length of consecutive drops ≈ mean bad-state dwell time 1/pbg.
+	m := MustParse("ge(pgb=0.05,pbg=0.25,lg=0,lb=1)")
+	s := m.Schedule(3)
+	const n = 400_000
+	bursts, dropTotal := 0, 0
+	inBurst := false
+	for i := 0; i < n; i++ {
+		if s.Next() == Drop {
+			dropTotal++
+			if !inBurst {
+				bursts++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("ge produced no drop bursts")
+	}
+	mean := float64(dropTotal) / float64(bursts)
+	// Dwell time is geometric with mean 1/pbg = 4; allow a wide band.
+	if mean < 2.5 || mean > 6 {
+		t.Errorf("ge mean burst length %.2f, want ≈ 4 (1/pbg)", mean)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []func() error{
+		func() error { _, err := NewIIDDup(-0.1); return err },
+		func() error { _, err := NewIIDDup(1.5); return err },
+		func() error { _, err := NewIIDDup(math.NaN()); return err },
+		func() error { _, err := NewIIDLoss(2); return err },
+		func() error { _, err := NewKDel(5, 4); return err },
+		func() error { _, err := NewKDel(-1, 4); return err },
+		func() error { _, err := NewKDel(1, 0); return err },
+		func() error { _, err := NewGE(0.5, 0, 0, 1); return err },
+		func() error { _, err := NewGE(math.NaN(), 0.5, 0, 0); return err },
+	}
+	for i, f := range bad {
+		if f() == nil {
+			t.Errorf("bad constructor case %d: want error, got nil", i)
+		}
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	dup := MustParse("iid-dup(p=0.25)")
+	loss := MustParse("iid-loss(p=0.1)")
+	if err := Compatible(dup, channel.KindDup); err != nil {
+		t.Errorf("iid-dup on dup channel: %v", err)
+	}
+	if err := Compatible(dup, channel.KindDel); err == nil {
+		t.Error("iid-dup on del channel: want error (del cannot duplicate)")
+	}
+	if err := Compatible(loss, channel.KindDel); err != nil {
+		t.Errorf("iid-loss on del channel: %v", err)
+	}
+	if err := Compatible(loss, channel.KindDup); err == nil {
+		t.Error("iid-loss on dup channel: want error (dup cannot delete)")
+	}
+	if err := Compatible(loss, channel.KindDupDel); err != nil {
+		t.Errorf("iid-loss on dup+del channel: %v", err)
+	}
+}
+
+func TestDropDupRates(t *testing.T) {
+	// GE stationary rate: πB = pgb/(pgb+pbg).
+	ge := MustParse("ge(pgb=0.1,pbg=0.3,lg=0,lb=1)")
+	want := 0.1 / (0.1 + 0.3)
+	if got := ge.DropRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ge stationary drop rate %.6f, want %.6f", got, want)
+	}
+	// Degenerate never-transitioning chain.
+	flat := MustParse("ge(pgb=0,pbg=0,lg=0.2,lb=0.9)")
+	if got := flat.DropRate(); got != 0.2 {
+		t.Errorf("ge(pgb=0,pbg=0) drop rate %.3f, want lg=0.2", got)
+	}
+	if got := MustParse("k-del(k=2,n=16)").DropRate(); got != 0.125 {
+		t.Errorf("k-del(2,16) drop rate %.4f, want 0.125", got)
+	}
+}

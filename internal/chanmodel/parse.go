@@ -1,0 +1,235 @@
+package chanmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Families lists the model family names, sorted.
+func Families() []string {
+	return []string{"ge", "iid-dup", "iid-loss", "k-del"}
+}
+
+// SpecSyntax is the one-line grammar shown in CLI usage strings.
+const SpecSyntax = "iid-dup(p=0.25) | iid-loss(p=0.1) | k-del(k=2,n=16) | ge(pgb=0.05,pbg=0.5,lg=0.01,lb=0.5)"
+
+// Parse builds a model from its spec string: a family name followed by a
+// parenthesized, comma-separated key=value list. Whitespace around
+// tokens is ignored. Every family's keys are mandatory except ge's,
+// which default to the classic bursty profile (pgb=0.05, pbg=0.5,
+// lg=0.01, lb=0.5) for the keys left out.
+func Parse(spec string) (Model, error) {
+	s := strings.TrimSpace(spec)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("chanmodel: spec %q: want family(key=value,...), e.g. %s", spec, SpecSyntax)
+	}
+	family := strings.TrimSpace(s[:open])
+	kv, err := parseArgs(s[open+1 : len(s)-1])
+	if err != nil {
+		return nil, fmt.Errorf("chanmodel: spec %q: %w", spec, err)
+	}
+	used := func(keys ...string) error {
+		for k := range kv {
+			found := false
+			for _, want := range keys {
+				if k == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("chanmodel: spec %q: unknown key %q (want %s)",
+					spec, k, strings.Join(keys, ", "))
+			}
+		}
+		return nil
+	}
+	switch family {
+	case "iid-dup":
+		if err := used("p"); err != nil {
+			return nil, err
+		}
+		p, err := needFloat(kv, "p", spec)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewIIDDup(p)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "iid-loss":
+		if err := used("p"); err != nil {
+			return nil, err
+		}
+		p, err := needFloat(kv, "p", spec)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewIIDLoss(p)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "k-del":
+		if err := used("k", "n"); err != nil {
+			return nil, err
+		}
+		k, err := needInt(kv, "k", spec)
+		if err != nil {
+			return nil, err
+		}
+		n, err := needInt(kv, "n", spec)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewKDel(k, n)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "ge":
+		if err := used("pgb", "pbg", "lg", "lb"); err != nil {
+			return nil, err
+		}
+		get := func(key string, def float64) (float64, error) {
+			if _, ok := kv[key]; !ok {
+				return def, nil
+			}
+			return needFloat(kv, key, spec)
+		}
+		pgb, err := get("pgb", 0.05)
+		if err != nil {
+			return nil, err
+		}
+		pbg, err := get("pbg", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		lg, err := get("lg", 0.01)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := get("lb", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewGE(pgb, pbg, lg, lb)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("chanmodel: spec %q: unknown family %q (have %s)",
+			spec, family, strings.Join(Families(), ", "))
+	}
+}
+
+// MustParse is Parse for known-good specs; it panics otherwise.
+// Intended for tests and default grids.
+func MustParse(spec string) Model {
+	m, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ParseList parses a comma-separated list of specs. Because specs
+// themselves contain commas inside parentheses, the list is split at
+// depth-zero commas only: "iid-loss(p=0.1),k-del(k=2,n=16)" is two
+// specs.
+func ParseList(list string) ([]Model, error) {
+	var models []Model
+	for _, part := range SplitSpecs(list) {
+		m, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("chanmodel: empty model list")
+	}
+	return models, nil
+}
+
+// SplitSpecs splits a comma-separated spec list at depth-zero commas,
+// trimming whitespace and dropping empty entries.
+func SplitSpecs(list string) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if part := strings.TrimSpace(list[start:end]); part != "" {
+			out = append(out, part)
+		}
+	}
+	for i := 0; i < len(list); i++ {
+		switch list[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(list))
+	return out
+}
+
+// parseArgs parses "k1=v1,k2=v2" into a map, rejecting duplicates.
+func parseArgs(args string) (map[string]string, error) {
+	kv := make(map[string]string)
+	for _, part := range strings.Split(args, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("argument %q is not key=value", part)
+		}
+		key := strings.TrimSpace(part[:eq])
+		val := strings.TrimSpace(part[eq+1:])
+		if key == "" || val == "" {
+			return nil, fmt.Errorf("argument %q has an empty key or value", part)
+		}
+		if _, dup := kv[key]; dup {
+			return nil, fmt.Errorf("duplicate key %q", key)
+		}
+		kv[key] = val
+	}
+	return kv, nil
+}
+
+func needFloat(kv map[string]string, key, spec string) (float64, error) {
+	raw, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("chanmodel: spec %q: missing key %q", spec, key)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("chanmodel: spec %q: key %q: %v", spec, key, err)
+	}
+	return v, nil
+}
+
+func needInt(kv map[string]string, key, spec string) (int, error) {
+	raw, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("chanmodel: spec %q: missing key %q", spec, key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("chanmodel: spec %q: key %q: %v", spec, key, err)
+	}
+	return v, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -24,6 +25,14 @@ type MasterConfig struct {
 	// AssembleTimeout bounds the wait for the fleet to connect and say
 	// hello (0 = 30s).
 	AssembleTimeout time.Duration
+	// CellTimeout, when positive, bounds each cell's control-plane wait
+	// per node: a node that fails to deliver its ready or report inside
+	// the window fails only that cell — the master records the failure
+	// in BenchCell.Err, drops the wedged node's pair from the fleet, and
+	// continues the sweep with the survivors. Zero keeps the strict
+	// behavior: any node failure aborts the whole sweep. Set it above
+	// the session deadline, or healthy-but-slow cells will be culled.
+	CellTimeout time.Duration
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -34,6 +43,9 @@ type MasterConfig struct {
 type Master struct {
 	cfg MasterConfig
 	ln  net.Listener
+	// steady is the conn deadline to restore after a timed cell (the
+	// ctx deadline when Run has one, else zero = none).
+	steady time.Time
 }
 
 // NewMaster validates the config and binds the control listener (so the
@@ -93,24 +105,30 @@ func (m *Master) Run(ctx context.Context) (*BenchDoc, error) {
 		}
 	}()
 	if d, ok := ctx.Deadline(); ok {
+		m.steady = d
 		for _, n := range all {
 			n.c.SetDeadline(d)
 		}
 	}
 
 	doc := &BenchDoc{
-		Proto:    m.cfg.Sweep.Proto,
-		M:        m.cfg.Sweep.M,
-		Items:    m.cfg.Sweep.Items,
-		Engine:   m.cfg.Sweep.Engine,
-		Servers:  len(servers),
-		Clients:  len(clients),
-		Seed:     m.cfg.Sweep.Seed,
-		TickMS:   float64(m.cfg.Sweep.Tick) / float64(time.Millisecond),
-		Deadline: m.cfg.Sweep.Deadline.String(),
+		Proto:         m.cfg.Sweep.Proto,
+		M:             m.cfg.Sweep.M,
+		Items:         m.cfg.Sweep.Items,
+		Engine:        m.cfg.Sweep.Engine,
+		Servers:       len(servers),
+		Clients:       len(clients),
+		Seed:          m.cfg.Sweep.Seed,
+		TickMS:        float64(m.cfg.Sweep.Tick) / float64(time.Millisecond),
+		Deadline:      m.cfg.Sweep.Deadline.String(),
+		RestartPolicy: m.cfg.Sweep.RestartPolicy,
 	}
 	for ci, key := range m.cfg.Sweep.cells() {
-		cell, err := m.runCell(ci, key, servers, clients)
+		if len(servers) == 0 {
+			return doc, fmt.Errorf("cluster: no live node pairs remain after %d cells (%d failed)",
+				len(doc.Cells), doc.FailedCells)
+		}
+		cell, dead, err := m.runCell(ci, key, servers, clients)
 		if err != nil {
 			return doc, fmt.Errorf("cluster: cell %v: %w", key, err)
 		}
@@ -118,6 +136,23 @@ func (m *Master) Run(ctx context.Context) (*BenchDoc, error) {
 		doc.TotalSessions += cell.Sessions
 		doc.TotalCompleted += cell.Completed
 		doc.TotalViolations += cell.Violations
+		if cell.Err != "" {
+			doc.FailedCells++
+			m.logf("cell %v: dropped pairs: %s", key, cell.Err)
+		}
+		// Cull dead pairs (descending so earlier indices stay valid). The
+		// wedged node's conn is poisoned — a late report would desync the
+		// framing — and its partner has no peer for future cells, so both
+		// go. Shutdown is best-effort; the close is what matters.
+		for i := len(dead) - 1; i >= 0; i-- {
+			p := dead[i]
+			for _, n := range []*node{servers[p], clients[p]} {
+				n.send(envelope{Type: TypeShutdown, Shutdown: true})
+				n.close()
+			}
+			servers = append(servers[:p], servers[p+1:]...)
+			clients = append(clients[:p], clients[p+1:]...)
+		}
 		m.logf("cell %v: completed=%d/%d violations=%d p50=%.1fms p99=%.1fms throughput=%.1f items/s",
 			key, cell.Completed, cell.Sessions, cell.Violations,
 			cell.Latency.P50, cell.Latency.P99, cell.ThroughputItemsPerSec)
@@ -182,10 +217,33 @@ func (m *Master) assemble(ctx context.Context) (servers, clients []*node, err er
 
 // runCell drives one grid cell across every pair: prepare both ends,
 // exchange their bound data addresses, start them, and collect reports.
-func (m *Master) runCell(ci int, key CellKey, servers, clients []*node) (*BenchCell, error) {
+// With MasterConfig.CellTimeout set, a node failure marks its pair dead
+// (returned indices, ascending) instead of aborting; the cell
+// aggregates whatever reports survived, with BenchCell.Err describing
+// the losses.
+func (m *Master) runCell(ci int, key CellKey, servers, clients []*node) (*BenchCell, []int, error) {
 	pairs := len(servers)
 	sw := &m.cfg.Sweep
 	seedBase := sw.Seed + int64(ci)*CellSeedStride
+
+	// failure[p] non-empty marks pair p dead this cell; abort(p, err)
+	// routes an error either into it (timed mode) or out (strict mode).
+	failure := make([]string, pairs)
+	strict := m.cfg.CellTimeout <= 0
+	if !strict {
+		dl := time.Now().Add(m.cfg.CellTimeout)
+		for _, n := range append(append([]*node{}, servers...), clients...) {
+			n.c.SetDeadline(dl)
+		}
+		defer func() {
+			for p := 0; p < pairs; p++ {
+				if failure[p] == "" {
+					servers[p].c.SetDeadline(m.steady)
+					clients[p].c.SetDeadline(m.steady)
+				}
+			}
+		}()
+	}
 
 	// Split the cell's sessions across pairs; earlier pairs absorb the
 	// remainder. A pair's assignment is identical for both ends except
@@ -211,6 +269,10 @@ func (m *Master) runCell(ci int, key CellKey, servers, clients []*node) (*BenchC
 			TickNS:     int64(sw.Tick),
 			DeadlineNS: int64(sw.Deadline),
 			Engine:     sw.Engine,
+			// Chaos is shared by both ends: each node applies only the
+			// crash points targeting its own half.
+			Chaos:         key.Chaos,
+			RestartPolicy: sw.RestartPolicy,
 		}
 		firstID += uint64(n)
 	}
@@ -255,33 +317,57 @@ func (m *Master) runCell(ci int, key CellKey, servers, clients []*node) (*BenchC
 	}
 	wg.Wait()
 	for p := 0; p < pairs; p++ {
-		if srvBound[p].err != nil {
-			return nil, fmt.Errorf("prepare server %q: %w", servers[p].hello.Name, srvBound[p].err)
+		var perr error
+		switch {
+		case srvBound[p].err != nil:
+			perr = fmt.Errorf("prepare server %q: %w", servers[p].hello.Name, srvBound[p].err)
+		case cliBound[p].err != nil:
+			perr = fmt.Errorf("prepare client %q: %w", clients[p].hello.Name, cliBound[p].err)
 		}
-		if cliBound[p].err != nil {
-			return nil, fmt.Errorf("prepare client %q: %w", clients[p].hello.Name, cliBound[p].err)
+		if perr != nil {
+			if strict {
+				return nil, nil, perr
+			}
+			failure[p] = perr.Error()
 		}
 	}
 
-	// Phase 2: cross the addresses and start both ends. From the first
-	// start onward the data plane is live; the cell clock starts here.
+	// Phase 2: cross the addresses and start both ends of every live
+	// pair. From the first start onward the data plane is live; the
+	// cell clock starts here.
 	cellStart := time.Now()
 	for p := 0; p < pairs; p++ {
-		if err := servers[p].send(envelope{Type: TypeStart, Start: &Start{PeerAddr: cliBound[p].addr}}); err != nil {
-			return nil, err
+		if failure[p] != "" {
+			continue
 		}
-		if err := clients[p].send(envelope{Type: TypeStart, Start: &Start{PeerAddr: srvBound[p].addr}}); err != nil {
-			return nil, err
+		var serr error
+		if serr = servers[p].send(envelope{Type: TypeStart, Start: &Start{PeerAddr: cliBound[p].addr}}); serr == nil {
+			serr = clients[p].send(envelope{Type: TypeStart, Start: &Start{PeerAddr: srvBound[p].addr}})
+		}
+		if serr != nil {
+			if strict {
+				return nil, nil, serr
+			}
+			failure[p] = serr.Error()
 		}
 	}
 
-	// Collect every node's report (they arrive as each node's half of
-	// the cell finishes).
-	all := append(append([]*node{}, servers...), clients...)
-	reports := make([]NodeReport, len(all))
-	errs := make([]error, len(all))
-	wg.Add(len(all))
-	for i, n := range all {
+	// Collect every live node's report (they arrive as each node's half
+	// of the cell finishes).
+	type slot struct {
+		n    *node
+		pair int
+	}
+	var waiting []slot
+	for p := 0; p < pairs; p++ {
+		if failure[p] == "" {
+			waiting = append(waiting, slot{servers[p], p}, slot{clients[p], p})
+		}
+	}
+	reports := make([]NodeReport, len(waiting))
+	errs := make([]error, len(waiting))
+	wg.Add(len(waiting))
+	for i, s := range waiting {
 		go func(i int, n *node) {
 			defer wg.Done()
 			env, err := n.recv(TypeReport)
@@ -294,19 +380,39 @@ func (m *Master) runCell(ci int, key CellKey, servers, clients []*node) (*BenchC
 				return
 			}
 			reports[i] = *env.Report
-		}(i, n)
+		}(i, s.n)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("report from %q: %w", all[i].hello.Name, err)
+	var ok []NodeReport
+	for i, s := range waiting {
+		var rerr error
+		switch {
+		case errs[i] != nil:
+			rerr = fmt.Errorf("report from %q: %w", s.n.hello.Name, errs[i])
+		case reports[i].Err != "":
+			rerr = fmt.Errorf("node %q failed: %s", s.n.hello.Name, reports[i].Err)
+		default:
+			ok = append(ok, reports[i])
+			continue
+		}
+		if strict {
+			return nil, nil, rerr
+		}
+		if failure[s.pair] == "" {
+			failure[s.pair] = rerr.Error()
 		}
 	}
-	for _, r := range reports {
-		if r.Err != "" {
-			return nil, fmt.Errorf("node %q failed: %s", r.Node, r.Err)
+
+	cell := aggregate(key, ok, time.Since(cellStart))
+	var dead []int
+	var msgs []string
+	for p, f := range failure {
+		if f != "" {
+			dead = append(dead, p)
+			msgs = append(msgs, fmt.Sprintf("pair %s↔%s: %s",
+				servers[p].hello.Name, clients[p].hello.Name, f))
 		}
 	}
-	cell := aggregate(key, reports, time.Since(cellStart))
-	return &cell, nil
+	cell.Err = strings.Join(msgs, "; ")
+	return &cell, dead, nil
 }

@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"seqtx/internal/faults"
 	"seqtx/internal/obs"
+	"seqtx/internal/protocol"
 	"seqtx/internal/registry"
 	"seqtx/internal/seq"
 	"seqtx/internal/wire"
@@ -119,7 +121,7 @@ func runCellNode(ctx context.Context, cfg NodeConfig, c *conn, asgn Assignment, 
 	// SetRemote/LocalAddr, which the wrapper hides).
 	var tr wire.Transport = peer
 	if asgn.Impair != "" && asgn.Impair != "none" {
-		opts, err := wire.ImpairPreset(asgn.Impair)
+		opts, err := wire.ImpairSpec(asgn.Impair, asgn.Seed)
 		if err != nil {
 			return fail("impair", err)
 		}
@@ -130,6 +132,10 @@ func runCellNode(ctx context.Context, cfg NodeConfig, c *conn, asgn Assignment, 
 	engine, err := wire.ParseEngine(asgn.Engine)
 	if err != nil {
 		return fail("engine", err)
+	}
+	chaosOn, chaosPts, chaosPolicy, err := nodeChaos(asgn, cfg.Role)
+	if err != nil {
+		return fail("chaos", err)
 	}
 	cfgs, err := buildHalves(asgn, host)
 	if err != nil {
@@ -155,16 +161,41 @@ func runCellNode(ctx context.Context, cfg NodeConfig, c *conn, asgn Assignment, 
 		cfg.Name, asgn.Cell, asgn.Sessions, peer.LocalAddr(), env.Start.PeerAddr)
 
 	start := time.Now()
-	var reports []wire.Report
+	var rep NodeReport
 	var runErr error
-	if cfg.Role == RoleClient && asgn.Rate > 0 {
+	switch {
+	case chaosOn:
+		// Chaos cells run every session under crash-restart supervision,
+		// BOTH halves: the node with the preset's crash points injects
+		// them, and the peer node still needs the supervised audit — a
+		// restarted remote process legitimately replays or rewrites, which
+		// the strict prefix audit would misread as a violation. Rate
+		// pacing does not compose with supervision and is ignored.
+		if cfg.Role == RoleClient && asgn.Rate > 0 {
+			logf("node %s: cell %v: chaos cell ignores rate pacing", cfg.Name, asgn.Cell)
+		}
+		var sreports []wire.SupervisedReport
+		sreports, runErr = wire.ServeSupervised(ctx, wire.ChaosServeConfig{
+			ServeConfig: wire.ServeConfig{
+				Transport: tr, Sessions: cfgs, Obs: reg, Engine: engine,
+			},
+			Chaos: wire.ChaosConfig{Crashes: chaosPts, Policy: chaosPolicy, Seed: asgn.Seed},
+			Rebuild: func(i int) (protocol.Sender, protocol.Receiver, error) {
+				return registry.Pair(asgn.Proto, asgnParams(asgn), cfgs[i].Input)
+			},
+		})
+		rep = summarizeSupervisedNode(cfg, sreports, reg, time.Since(start))
+	case cfg.Role == RoleClient && asgn.Rate > 0:
+		var reports []wire.Report
 		reports, runErr = runPaced(ctx, tr, cfgs, reg, engine, asgn.Rate)
-	} else {
+		rep = summarizeNode(cfg, reports, reg, time.Since(start))
+	default:
+		var reports []wire.Report
 		reports, runErr = wire.Serve(ctx, wire.ServeConfig{
 			Transport: tr, Sessions: cfgs, Obs: reg, Engine: engine,
 		})
+		rep = summarizeNode(cfg, reports, reg, time.Since(start))
 	}
-	rep := summarizeNode(cfg, asgn, reports, reg, time.Since(start))
 	if runErr != nil {
 		rep.Err = runErr.Error()
 	}
@@ -186,10 +217,7 @@ func buildHalves(asgn Assignment, host wire.End) ([]wire.SessionConfig, error) {
 	if asgn.Sessions <= 0 {
 		return nil, fmt.Errorf("non-positive session count %d", asgn.Sessions)
 	}
-	params := registry.Params{
-		M: asgn.M, Timeout: asgn.Timeout, Window: asgn.Window,
-		Seed: asgn.Seed, Cap: asgn.Cap,
-	}
+	params := asgnParams(asgn)
 	tick := time.Duration(asgn.TickNS)
 	deadline := time.Duration(asgn.DeadlineNS)
 	src := rand.NewSource(0)
@@ -214,6 +242,42 @@ func buildHalves(asgn Assignment, host wire.End) ([]wire.SessionConfig, error) {
 		}
 	}
 	return cfgs, nil
+}
+
+// asgnParams maps an assignment's protocol parameters to the registry's.
+func asgnParams(asgn Assignment) registry.Params {
+	return registry.Params{
+		M: asgn.M, Timeout: asgn.Timeout, Window: asgn.Window,
+		Seed: asgn.Seed, Cap: asgn.Cap,
+	}
+}
+
+// nodeChaos resolves an assignment's chaos preset for this node: whether
+// supervision is on at all, and which of the preset's crash points this
+// node injects — only those targeting its own half, since the other
+// half's process lives on the peer machine.
+func nodeChaos(asgn Assignment, role string) (on bool, pts []faults.CrashPoint, policy wire.RestartPolicy, err error) {
+	policy, err = wire.ParseRestartPolicy(asgn.RestartPolicy)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	if asgn.Chaos == "" || asgn.Chaos == "none" {
+		return false, nil, policy, nil
+	}
+	spec, err := faults.PresetSpec(asgn.Chaos)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	who := faults.Sender
+	if role == RoleServer {
+		who = faults.Receiver
+	}
+	for _, p := range spec.Crashes {
+		if p.Who == who {
+			pts = append(pts, p)
+		}
+	}
+	return true, pts, policy, nil
 }
 
 // runPaced is the client-side rate-paced variant of wire.Serve: session
@@ -271,7 +335,7 @@ pacing:
 
 // summarizeNode folds the node's session reports and wire counters into
 // its NodeReport for the cell.
-func summarizeNode(cfg NodeConfig, asgn Assignment, reports []wire.Report,
+func summarizeNode(cfg NodeConfig, reports []wire.Report,
 	reg *obs.Registry, elapsed time.Duration) NodeReport {
 
 	rep := NodeReport{
@@ -294,6 +358,48 @@ func summarizeNode(cfg NodeConfig, asgn Assignment, reports []wire.Report,
 			rep.ItemsDelivered += int64(len(r.Output))
 		}
 	}
+	foldWireCounters(&rep, reg)
+	return rep
+}
+
+// summarizeSupervisedNode is the chaos-cell counterpart: a session's
+// safety verdict is its post-stabilization bad-write count (bad writes
+// inside a recovery window are stabilization debt, not violations), and
+// the incarnation/watchdog totals ride along for the cell report.
+func summarizeSupervisedNode(cfg NodeConfig, reports []wire.SupervisedReport,
+	reg *obs.Registry, elapsed time.Duration) NodeReport {
+
+	rep := NodeReport{
+		Node: cfg.Name, Role: cfg.Role,
+		Sessions:       len(reports),
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	for _, r := range reports {
+		if r.Complete {
+			rep.Completed++
+			if cfg.Role == RoleClient && r.Elapsed > 0 {
+				rep.LatenciesMS = append(rep.LatenciesMS,
+					float64(r.Elapsed)/float64(time.Millisecond))
+			}
+		}
+		if r.PostStabViolations > 0 {
+			rep.Violations++
+		}
+		rep.Incarnations += len(r.Incarnations)
+		rep.BadWrites += r.BadWrites
+		rep.PostStabViolations += r.PostStabViolations
+		rep.WatchdogEscalations += r.WatchdogEscalations
+		if cfg.Role == RoleServer {
+			rep.ItemsDelivered += int64(len(r.Output))
+		}
+	}
+	foldWireCounters(&rep, reg)
+	return rep
+}
+
+// foldWireCounters copies the cell registry's wire counters into the
+// report.
+func foldWireCounters(rep *NodeReport, reg *obs.Registry) {
 	for name, v := range reg.Snapshot().Counters {
 		switch {
 		case strings.HasPrefix(name, "wire_frames_tx_total"):
@@ -308,5 +414,4 @@ func summarizeNode(cfg NodeConfig, asgn Assignment, reports []wire.Report,
 			rep.OversizeDrops = v
 		}
 	}
-	return rep
 }

@@ -91,6 +91,17 @@ type Assignment struct {
 
 	// Engine selects the session executor ("loop" default, "goroutine").
 	Engine string `json:"engine,omitempty"`
+
+	// Chaos names the crash-restart preset driving wire.ServeSupervised
+	// on this node ("" or "none" = plain wire.Serve). Unlike Impair it is
+	// shared by both ends of a pair: each node applies only the crash
+	// points that target its own half — the client crashes senders, the
+	// server crashes receivers — so one preset name describes the whole
+	// pair's process-fault schedule.
+	Chaos string `json:"chaos,omitempty"`
+	// RestartPolicy optionally overrides the preset's per-point scramble
+	// flags ("preset", "amnesia", "scramble").
+	RestartPolicy string `json:"restart_policy,omitempty"`
 }
 
 // Ready carries the concrete data-plane address a node bound for the
@@ -130,6 +141,15 @@ type NodeReport struct {
 	OversizeDrops     int64 `json:"oversize_drops"`
 
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	// Chaos tallies, populated when the cell ran under crash-restart
+	// supervision. Violations above then counts sessions with
+	// post-stabilization bad writes (the supervised analogue of a strict
+	// prefix violation); these fields keep the raw totals.
+	Incarnations        int `json:"incarnations,omitempty"`
+	BadWrites           int `json:"bad_writes,omitempty"`
+	PostStabViolations  int `json:"post_stab_violations,omitempty"`
+	WatchdogEscalations int `json:"watchdog_escalations,omitempty"`
 
 	// Err reports a node-level failure (bind error, bad assignment);
 	// session-level outcomes stay in the counts above.

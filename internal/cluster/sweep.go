@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"seqtx/internal/faults"
 	"seqtx/internal/stats"
+	"seqtx/internal/wire"
 )
 
 // SweepConfig is the evaluation grid the master drives: every
@@ -23,6 +25,15 @@ type SweepConfig struct {
 	Sessions []int     // total concurrent sessions per cell (split across node pairs)
 	Rates    []float64 // client session-start pacing, sessions/sec (0 = unpaced)
 	Impairs  []string  // wire impairment presets ("none" = clean)
+	// CrashPresets is the chaos axis: process-fault preset names (from
+	// faults.PresetNames) whose crash points each node applies to its
+	// own half under wire.ServeSupervised ("none" = unsupervised).
+	CrashPresets []string
+
+	// RestartPolicy overrides the chaos presets' per-point scramble
+	// flags for every supervised cell ("", "preset", "amnesia",
+	// "scramble").
+	RestartPolicy string
 
 	// Pacing shared by every session.
 	Tick     time.Duration
@@ -40,15 +51,22 @@ type SweepConfig struct {
 // realistic cell's id range collides with the next cell's.
 const CellSeedStride = 1 << 20
 
-// CellKey identifies one cell of the sweep grid.
+// CellKey identifies one cell of the sweep grid. Chaos is "" for
+// unsupervised cells (the "none" axis value), so pre-chaos keys
+// compare equal to their modern form.
 type CellKey struct {
 	Sessions int     `json:"sessions"`
 	Rate     float64 `json:"rate"`
 	Impair   string  `json:"impair"`
+	Chaos    string  `json:"chaos,omitempty"`
 }
 
 func (k CellKey) String() string {
-	return fmt.Sprintf("sessions=%d rate=%g impair=%s", k.Sessions, k.Rate, k.Impair)
+	s := fmt.Sprintf("sessions=%d rate=%g impair=%s", k.Sessions, k.Rate, k.Impair)
+	if k.Chaos != "" {
+		s += " chaos=" + k.Chaos
+	}
+	return s
 }
 
 // normalize fills defaulted axes and validates the grid.
@@ -84,6 +102,24 @@ func (c *SweepConfig) normalize() error {
 	if len(c.Impairs) == 0 {
 		c.Impairs = []string{"none"}
 	}
+	if len(c.CrashPresets) == 0 {
+		c.CrashPresets = []string{"none"}
+	}
+	for _, name := range c.CrashPresets {
+		if name == "none" {
+			continue
+		}
+		spec, err := faults.PresetSpec(name)
+		if err != nil {
+			return fmt.Errorf("cluster: sweep crash-presets axis: %w", err)
+		}
+		if !spec.ProcessFaults() {
+			return fmt.Errorf("cluster: sweep crash preset %q injects no process faults — link impairments belong on the impairs axis", name)
+		}
+	}
+	if _, err := wire.ParseRestartPolicy(c.RestartPolicy); err != nil {
+		return err
+	}
 	if c.Tick <= 0 {
 		c.Tick = time.Millisecond
 	}
@@ -97,13 +133,19 @@ func (c *SweepConfig) normalize() error {
 }
 
 // cells enumerates the grid in deterministic order: sessions outermost,
-// then rate, then impairment.
+// then rate, then impairment, then chaos preset ("none" → "" in the
+// key, keeping unsupervised keys in their historical shape).
 func (c *SweepConfig) cells() []CellKey {
-	keys := make([]CellKey, 0, len(c.Sessions)*len(c.Rates)*len(c.Impairs))
+	keys := make([]CellKey, 0, len(c.Sessions)*len(c.Rates)*len(c.Impairs)*len(c.CrashPresets))
 	for _, n := range c.Sessions {
 		for _, r := range c.Rates {
 			for _, im := range c.Impairs {
-				keys = append(keys, CellKey{Sessions: n, Rate: r, Impair: im})
+				for _, ch := range c.CrashPresets {
+					if ch == "none" {
+						ch = ""
+					}
+					keys = append(keys, CellKey{Sessions: n, Rate: r, Impair: im, Chaos: ch})
+				}
 			}
 		}
 	}
@@ -139,6 +181,18 @@ type BenchCell struct {
 
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 
+	// Chaos tallies, summed across the fleet (zero for unsupervised
+	// cells).
+	Incarnations        int `json:"incarnations,omitempty"`
+	BadWrites           int `json:"bad_writes,omitempty"`
+	PostStabViolations  int `json:"post_stab_violations,omitempty"`
+	WatchdogEscalations int `json:"watchdog_escalations,omitempty"`
+
+	// Err records a cell-level failure (e.g. a node pair dropped by the
+	// per-cell timeout); the aggregates above then cover only the
+	// surviving nodes.
+	Err string `json:"err,omitempty"`
+
 	// Nodes keeps each node's raw report for the cell (latency samples
 	// stripped — the summary above carries them).
 	Nodes []NodeReport `json:"nodes"`
@@ -158,9 +212,15 @@ type BenchDoc struct {
 
 	Cells []BenchCell `json:"cells"`
 
+	// RestartPolicy echoes the chaos restart-policy override, when set.
+	RestartPolicy string `json:"restart_policy,omitempty"`
+
 	TotalSessions   int `json:"total_sessions"`
 	TotalCompleted  int `json:"total_completed"`
 	TotalViolations int `json:"total_violations"`
+	// FailedCells counts cells that lost node pairs to the per-cell
+	// timeout (their BenchCell.Err is set).
+	FailedCells int `json:"failed_cells,omitempty"`
 }
 
 // aggregate folds one cell's node reports into a BenchCell. Latency
@@ -187,6 +247,10 @@ func aggregate(key CellKey, reports []NodeReport, elapsed time.Duration) BenchCe
 		if r.Role == RoleServer {
 			cell.Completed += r.Completed
 		}
+		cell.Incarnations += r.Incarnations
+		cell.BadWrites += r.BadWrites
+		cell.PostStabViolations += r.PostStabViolations
+		cell.WatchdogEscalations += r.WatchdogEscalations
 		stripped := r
 		stripped.LatenciesMS = nil
 		cell.Nodes = append(cell.Nodes, stripped)

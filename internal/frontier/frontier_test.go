@@ -1,0 +1,183 @@
+package frontier
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"seqtx/internal/alpha"
+	"seqtx/internal/chanmodel"
+	"seqtx/internal/channel"
+)
+
+func TestSafeOnTable(t *testing.T) {
+	cases := []struct {
+		proto string
+		kind  channel.Kind
+		want  bool
+	}{
+		{"alpha", channel.KindDup, true},
+		{"alpha", channel.KindDel, true},
+		{"stenning", channel.KindDup, true},
+		{"stenning", channel.KindDel, true},
+		{"afwz", channel.KindDel, true},
+		{"afwz", channel.KindDup, false}, // Theorem 1: replayed acks
+		{"hybrid", channel.KindDel, true},
+		{"hybrid", channel.KindDup, false},
+		{"naive", channel.KindDel, false}, // not in the verified table
+	}
+	for _, c := range cases {
+		if got := SafeOn(c.proto, c.kind); got != c.want {
+			t.Errorf("SafeOn(%s, %s) = %v, want %v", c.proto, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestDefaultModelsGrid(t *testing.T) {
+	models := DefaultModels()
+	byFamily := map[string]int{}
+	for _, m := range models {
+		byFamily[m.Family()]++
+	}
+	for _, fam := range chanmodel.Families() {
+		if byFamily[fam] < 4 {
+			t.Errorf("default grid has %d %s points, want >= 4", byFamily[fam], fam)
+		}
+	}
+}
+
+func TestAlphaBits(t *testing.T) {
+	// Exact small values: alpha(2) = 5, alpha(3) = 16.
+	if got, want := AlphaBits(2), math.Log2(5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AlphaBits(2) = %v, want %v", got, want)
+	}
+	if got := AlphaBits(3); got != 4 {
+		t.Errorf("AlphaBits(3) = %v, want 4", got)
+	}
+	// Big-int path agrees with the uint64 path where both exist.
+	for m := 2; m <= 20; m++ {
+		want := math.Log2(float64(alpha.MustAlpha(m)))
+		if got := AlphaBits(m); math.Abs(got-want) > 1e-9 {
+			t.Errorf("AlphaBits(%d) = %v, want %v", m, got, want)
+		}
+	}
+	// Beyond the uint64 range it keeps growing monotonically.
+	if a25, a30 := AlphaBits(25), AlphaBits(30); !(a30 > a25 && a25 > AlphaBits(20)) {
+		t.Errorf("AlphaBits not monotone past uint64 range: %v %v", a25, a30)
+	}
+}
+
+func TestCeiling(t *testing.T) {
+	if got := Ceiling(chanmodel.MustParse("iid-loss(p=0.2)")); math.Abs(got-0.25*0.8) > 1e-12 {
+		t.Errorf("loss ceiling = %v", got)
+	}
+	if got := Ceiling(chanmodel.MustParse("iid-dup(p=1)")); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("dup ceiling = %v", got)
+	}
+}
+
+// TestRunSmallSweep is the end-to-end frontier pin: a small grid over
+// two families and three protocols completes with zero violations,
+// skips the unsafe afwz × dup pairing, and produces goodput below the
+// ceiling for every cell.
+func TestRunSmallSweep(t *testing.T) {
+	models, err := chanmodel.ParseList("iid-loss(p=0.1),iid-dup(p=0.25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Run(Config{
+		Protos: []string{"alpha", "afwz", "stenning"},
+		Models: models,
+		Ms:     []int{4},
+		Items:  4,
+		Trials: 6,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alpha and stenning run both models, afwz only the loss model.
+	if doc.TotalCells != 5 {
+		t.Fatalf("got %d cells, want 5: %+v", doc.TotalCells, doc.Cells)
+	}
+	if len(doc.Skipped) != 1 || !strings.Contains(doc.Skipped[0], "afwz") {
+		t.Errorf("skipped = %v, want the afwz × iid-dup pairing", doc.Skipped)
+	}
+	if doc.TotalViolations != 0 {
+		t.Fatalf("safety violations in a verified-safe sweep: %+v", doc.Cells)
+	}
+	for _, c := range doc.Cells {
+		if c.Trials != 6 {
+			t.Errorf("cell %s × %s ran %d trials, want 6", c.Proto, c.Model, c.Trials)
+		}
+		// The hard structural bound: one data delivery per 4-step cycle,
+		// with at most a truncated final cycle per trial.
+		if hard := (c.Steps + 2*c.Trials) / 4; c.Delivered > hard || c.Goodput < 0 {
+			t.Errorf("cell %s × %s delivered %d in %d steps, exceeds the structural bound %d",
+				c.Proto, c.Model, c.Delivered, c.Steps, hard)
+		}
+		if c.Ceiling <= 0 || c.Ceiling > 0.25 {
+			t.Errorf("cell %s × %s ceiling %v outside (0, 0.25]", c.Proto, c.Model, c.Ceiling)
+		}
+		// Retransmitting protocols complete every trial on this grid.
+		if c.Proto != "afwz" && c.Completed != c.Trials {
+			t.Errorf("cell %s × %s completed %d/%d", c.Proto, c.Model, c.Completed, c.Trials)
+		}
+	}
+}
+
+// TestRunDeterministic pins that two identical sweeps produce
+// identical documents (cells run off disjoint but fixed seed lanes).
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Protos: []string{"alpha"},
+		Models: []chanmodel.Model{chanmodel.MustParse("ge(pgb=0.05,pbg=0.5,lg=0.01,lb=0.5)")},
+		Ms:     []int{4, 6},
+		Items:  3,
+		Trials: 5,
+		Seed:   11,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 1
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Errorf("cell %d differs across parallelism:\n%+v\n%+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}
+
+func TestRunRejectsUnsafeProto(t *testing.T) {
+	_, err := Run(Config{Protos: []string{"naive"}, Trials: 1})
+	if err == nil || !strings.Contains(err.Error(), "verified-safe") {
+		t.Fatalf("unsafe protocol accepted: %v", err)
+	}
+}
+
+func TestMarkdownRender(t *testing.T) {
+	doc, err := Run(Config{
+		Protos: []string{"alpha"},
+		Models: []chanmodel.Model{chanmodel.MustParse("iid-loss(p=0.2)")},
+		Ms:     []int{4},
+		Trials: 3,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := doc.Markdown()
+	for _, want := range []string{"### iid-loss", "| alpha | `iid-loss(p=0.2)` | 4 |", "goodput"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 
+	"seqtx/internal/chanmodel"
 	"seqtx/internal/channel"
 	"seqtx/internal/protocol"
 	"seqtx/internal/seq"
@@ -27,6 +28,8 @@ type Estimate struct {
 	Violations int // runs that broke safety
 	Completed  int // runs with Y = X within the step budget
 	Stalled    int // runs that neither completed nor violated
+	Steps      int // scheduler steps summed over all trials
+	Items      int // output items delivered summed over all trials
 }
 
 // ViolationRate returns the fraction of trials that broke safety.
@@ -43,6 +46,15 @@ func (e Estimate) CompletionRate() float64 {
 		return 0
 	}
 	return float64(e.Completed) / float64(e.Trials)
+}
+
+// Goodput returns delivered items per scheduler step, aggregated over
+// all trials — the frontier's y-axis. Zero when no steps ran.
+func (e Estimate) Goodput() float64 {
+	if e.Steps == 0 {
+		return 0
+	}
+	return float64(e.Items) / float64(e.Steps)
 }
 
 // String renders the estimate.
@@ -77,6 +89,12 @@ type Config struct {
 	// factories must guarantee liveness themselves (e.g. build on
 	// sim.NewRoundRobin or sim.NewReplayer).
 	NewAdversary func(trial int) sim.Adversary
+	// Model, when set, drives every trial with the quantitative channel
+	// model instead of the adversarial random schedule: trial i runs
+	// under chanmodel.NewAdversary(Model, Seed+i). The channel kind
+	// passed to Run should be Model.Kind() (checked). Mutually exclusive
+	// with NewAdversary; DropWeight and FairnessBudget are ignored.
+	Model chanmodel.Model
 }
 
 func (c *Config) normalize(inputLen int) error {
@@ -103,9 +121,19 @@ func Run(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg Config) (Esti
 	if err := cfg.normalize(len(input)); err != nil {
 		return Estimate{}, err
 	}
+	if cfg.Model != nil {
+		if cfg.NewAdversary != nil {
+			return Estimate{}, fmt.Errorf("prob: Model and NewAdversary are mutually exclusive")
+		}
+		if err := chanmodel.Compatible(cfg.Model, kind); err != nil {
+			return Estimate{}, fmt.Errorf("prob: %w", err)
+		}
+	}
 	type outcome struct {
 		violation bool
 		completed bool
+		steps     int
+		items     int
 		err       error
 	}
 	outcomes := make([]outcome, cfg.Trials)
@@ -118,6 +146,8 @@ func Run(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg Config) (Esti
 			for i := range trials {
 				var adv sim.Adversary
 				switch {
+				case cfg.Model != nil:
+					adv = chanmodel.NewAdversary(cfg.Model, cfg.Seed+int64(i))
 				case cfg.NewAdversary != nil:
 					adv = cfg.NewAdversary(i)
 				case cfg.DropWeight > 0:
@@ -132,6 +162,8 @@ func Run(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg Config) (Esti
 				outcomes[i] = outcome{
 					violation: res.SafetyViolation != nil,
 					completed: res.OutputComplete,
+					steps:     res.Steps,
+					items:     len(res.Output),
 					err:       err,
 				}
 			}
@@ -149,6 +181,8 @@ func Run(spec protocol.Spec, input seq.Seq, kind channel.Kind, cfg Config) (Esti
 			return est, fmt.Errorf("prob: trial %d: %w", i, o.err)
 		}
 		est.Trials++
+		est.Steps += o.steps
+		est.Items += o.items
 		switch {
 		case o.violation:
 			est.Violations++

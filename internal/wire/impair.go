@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"seqtx/internal/chanmodel"
 	"seqtx/internal/channel"
 	"seqtx/internal/faults"
 	"seqtx/internal/obs"
@@ -32,6 +33,16 @@ type Options struct {
 	// ReorderEveryN, when > 0, holds every Nth S→R frame back until one
 	// more frame has passed it — a pairwise reordering.
 	ReorderEveryN int
+	// Model, when non-nil, applies a quantitative channel model to the
+	// S→R direction: one seeded schedule decision per offered frame
+	// (pass / drop / duplicate), ahead of the preset pipeline. See
+	// model.go and internal/chanmodel.
+	Model chanmodel.Model
+	// ModelSeed seeds the model's decision schedule.
+	ModelSeed int64
+	// RecordModel, when > 0, keeps the first that many realized model
+	// decisions for Impairment.ModelRealized (cross-realization tests).
+	RecordModel int
 }
 
 // active reports whether any impairment is configured at all; when not,
@@ -39,6 +50,19 @@ type Options struct {
 func (o Options) active() bool {
 	return len(o.Spec.Bursts) > 0 || len(o.Spec.Partitions) > 0 ||
 		len(o.Spec.Corruptions) > 0 || o.DupEveryN > 0 || o.ReorderEveryN > 0
+}
+
+// Name returns the display name of the configured impairment: the fault
+// spec's preset name, the model spec, or "none".
+func (o Options) ImpairName() string {
+	switch {
+	case o.Spec.Name != "":
+		return o.Spec.Name
+	case o.Model != nil:
+		return o.Model.Spec()
+	default:
+		return "none"
+	}
 }
 
 // ImpairPreset returns the named impairment options. The menu is the
@@ -121,6 +145,7 @@ type Impairment struct {
 	inner       Transport
 	opts        Options
 	passthrough bool
+	stage       *modelStage // non-nil when Options.Model is set
 
 	shards [impairShards]impairShard
 
@@ -142,10 +167,15 @@ func NewImpairment(inner Transport, o Options, reg *obs.Registry) (*Impairment, 
 			"wire: fault spec %q injects process faults, which belong to the session supervisor (wire.ServeSupervised / -crash-preset), not the link",
 			o.Spec.Name)
 	}
+	var stage *modelStage
+	if o.Model != nil {
+		stage = newModelStage(o.Model, o.ModelSeed, o.RecordModel, reg)
+	}
 	return &Impairment{
 		inner:       inner,
 		opts:        o,
 		passthrough: !o.active(),
+		stage:       stage,
 		dropped:     reg.Counter(`wire_frames_dropped_total{cause="impair"}`),
 		heldTotal:   reg.Counter("wire_frames_held_total"),
 		corrupted:   reg.Counter("wire_frames_corrupted_total"),
@@ -156,11 +186,7 @@ func NewImpairment(inner Transport, o Options, reg *obs.Registry) (*Impairment, 
 
 // Name implements Transport.
 func (im *Impairment) Name() string {
-	name := im.opts.Spec.Name
-	if name == "" {
-		name = "none"
-	}
-	return im.inner.Name() + "+" + name
+	return im.inner.Name() + "+" + im.opts.ImpairName()
 }
 
 // Recv implements Transport (pass-through).
@@ -237,11 +263,21 @@ func (sc *impairScratch) copyIn(b []byte) []byte {
 	return sc.buf[start:]
 }
 
-// Send implements Transport: it applies, in order, partition release,
-// partition hold, burst drop, corruption substitution, reordering, and
-// duplication, then forwards what survives to the inner transport
-// frame-by-frame.
+// Send implements Transport: the model stage first decides how many
+// copies of the frame enter the wire (1 without a model); each copy then
+// runs the preset pipeline — partition release, partition hold, burst
+// drop, corruption substitution, reordering, duplication — and what
+// survives is forwarded to the inner transport frame-by-frame.
 func (im *Impairment) Send(from End, frame []byte) error {
+	for copies := im.modelCopies(from); copies > 0; copies-- {
+		if err := im.sendOne(from, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (im *Impairment) sendOne(from End, frame []byte) error {
 	if im.passthrough {
 		return im.inner.Send(from, frame)
 	}
@@ -264,17 +300,23 @@ func (im *Impairment) Send(from End, frame []byte) error {
 // the same per-frame impairment logic as a lone Send, and the survivors
 // are forwarded as one burst on the inner transport.
 func (im *Impairment) SendBatch(from End, frames [][]byte) error {
-	if im.passthrough {
+	if im.passthrough && im.stage == nil {
 		return sendFrames(im.inner, from, frames)
 	}
 	sc := getImpairScratch()
 	defer releaseImpairScratch(sc)
 	dir := from.Dir()
 	for _, frame := range frames {
-		sh := im.shardFor(frame)
-		sh.mu.Lock()
-		im.applyLocked(&sh.dirs[dir-1], dir, frame, sc)
-		sh.mu.Unlock()
+		for copies := im.modelCopies(from); copies > 0; copies-- {
+			if im.passthrough {
+				sc.frames = append(sc.frames, frame)
+				continue
+			}
+			sh := im.shardFor(frame)
+			sh.mu.Lock()
+			im.applyLocked(&sh.dirs[dir-1], dir, frame, sc)
+			sh.mu.Unlock()
+		}
 	}
 	if len(sc.frames) == 0 {
 		return nil

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"strings"
+	"sync"
+
+	"seqtx/internal/chanmodel"
+	"seqtx/internal/channel"
+	"seqtx/internal/obs"
+)
+
+// modelStage realizes a quantitative channel model (internal/chanmodel)
+// on the live wire: one decision per frame offered on the S→R data
+// direction — Pass forwards the frame, Drop deletes it, Dup forwards it
+// twice. The schedule is a single per-direction stream (its own mutex,
+// not the session-striped shard locks), because a model's decision
+// sequence is defined over the direction's offered-frame order — the
+// same contract the sim adversary consumes, which is what makes equal
+// (model, seed) pairs produce byte-identical delivery schedules in both
+// realizations (DESIGN.md §13, pinned by TestModelScheduleSimWireIdentical).
+//
+// The R→S (ack) direction passes through untouched, matching the sim
+// adapter: the model impairs the data plane.
+type modelStage struct {
+	mu     sync.Mutex
+	model  chanmodel.Model
+	sched  *chanmodel.Schedule
+	record []byte
+	recMax int
+
+	pass    *obs.Counter
+	dropped *obs.Counter
+	duped   *obs.Counter
+}
+
+func newModelStage(model chanmodel.Model, seed int64, recMax int, reg *obs.Registry) *modelStage {
+	return &modelStage{
+		model:   model,
+		sched:   model.Schedule(seed),
+		recMax:  recMax,
+		pass:    reg.Counter("wire_chanmodel_pass_total"),
+		dropped: reg.Counter("wire_chanmodel_drop_total"),
+		duped:   reg.Counter("wire_chanmodel_dup_total"),
+	}
+}
+
+// decide draws the next decision for one offered S→R frame.
+func (ms *modelStage) decide() chanmodel.Decision {
+	ms.mu.Lock()
+	d := ms.sched.Next()
+	if len(ms.record) < ms.recMax {
+		ms.record = append(ms.record, byte(d))
+	}
+	ms.mu.Unlock()
+	switch d {
+	case chanmodel.Drop:
+		ms.dropped.Inc()
+	case chanmodel.Dup:
+		ms.duped.Inc()
+	default:
+		ms.pass.Inc()
+	}
+	return d
+}
+
+// realized returns a copy of the recorded decision stream.
+func (ms *modelStage) realized() []byte {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]byte, len(ms.record))
+	copy(out, ms.record)
+	return out
+}
+
+// ModelRealized returns the realized model decision stream (the first
+// Options.RecordModel decisions), for cross-realization pinning; nil
+// when no model is configured.
+func (im *Impairment) ModelRealized() []byte {
+	if im.stage == nil {
+		return nil
+	}
+	return im.stage.realized()
+}
+
+// modelCopies returns how many copies of an offered frame the model
+// lets onto the wire: 1 with no model or on the ack direction, else
+// 0, 1, or 2 per the schedule.
+func (im *Impairment) modelCopies(from End) int {
+	if im.stage == nil || from.Dir() != channel.SToR {
+		return 1
+	}
+	switch im.stage.decide() {
+	case chanmodel.Drop:
+		return 0
+	case chanmodel.Dup:
+		return 2
+	}
+	return 1
+}
+
+// ImpairSpec resolves an impairment specification: a preset name
+// (ImpairPreset) or a channel-model spec such as "iid-loss(p=0.1)"
+// (chanmodel.Parse), seeded with seed. This is the single entry point
+// CLI -impair flags go through, so model specs work anywhere a preset
+// does.
+func ImpairSpec(spec string, seed int64) (Options, error) {
+	opts, perr := ImpairPreset(spec)
+	if perr == nil {
+		return opts, nil
+	}
+	// Model specs always carry a parenthesized parameter list; bare names
+	// that are not presets keep the preset error (with its name menu).
+	if !strings.Contains(spec, "(") {
+		return Options{}, perr
+	}
+	model, err := chanmodel.Parse(spec)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{Model: model, ModelSeed: seed}, nil
+}

@@ -359,6 +359,12 @@ func Supervise(ctx context.Context, mux *Mux, cfg SessionConfig,
 	audit := NewStabilizeAudit(cfg.Input)
 	cfg.Stabilize = audit
 	met := mux.met
+	// A sender half (cluster client) hosts no receiver, so the audit
+	// never observes writes: its completion verdict is the session
+	// report's (the local S transmitted its tape and holds every ack),
+	// and crash recovery windows stay closed — the output tape, and
+	// with it the stabilization accounting, lives on the peer node.
+	senderHalf := cfg.Half == SenderEnd
 
 	srep := SupervisedReport{ID: cfg.ID, Input: cfg.Input.Clone()}
 	sender, receiver := cfg.Sender, cfg.Receiver
@@ -435,7 +441,7 @@ func Supervise(ctx context.Context, mux *Mux, cfg SessionConfig,
 		srep.Retransmits += rep.Retransmits
 		now := time.Now()
 
-		if audit.Done() {
+		if audit.Done() || (senderHalf && rep.Complete) {
 			irec.Ended = "done"
 			srep.Incarnations = append(srep.Incarnations, irec)
 			srep.Complete = true
@@ -495,7 +501,9 @@ func Supervise(ctx context.Context, mux *Mux, cfg SessionConfig,
 				irec.Scrambled = protocol.ScrambleState(victim, irec.ScrambleSeed)
 			}
 			irec.RestartKey = victim.Key()
-			audit.onCrash(ev.who == faults.Receiver, now)
+			if !senderHalf {
+				audit.onCrash(ev.who == faults.Receiver, now)
+			}
 			srep.Incarnations = append(srep.Incarnations, irec)
 			if mux.sampled(cfg.ID) {
 				met.reg.Emit("wire.session.crash",
