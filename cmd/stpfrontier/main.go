@@ -7,8 +7,11 @@
 // Protocols are only paired with channel kinds they are verifiably
 // safe on (afwz/hybrid are del-channel protocols — on the iid-dup
 // family they are skipped, and their stalls under genuine loss are
-// reported as low completion, not errors). Any prefix-safety violation
-// anywhere in the sweep exits nonzero.
+// reported as low completion, not errors). The FIFO-only windowed
+// protocols (gobackn, selrepeat) run the order-preserving loss
+// families (iid-loss, ge) over a FIFO realization and sweep the
+// -windows depth axis. Any prefix-safety violation anywhere in the
+// sweep exits nonzero.
 //
 // Usage:
 //
@@ -38,7 +41,8 @@ func run() int {
 		protos   = fs.String("protos", strings.Join(frontier.FrontierProtocols(), ","), "comma-separated protocols (must be in the verified-safe table)")
 		models   = fs.String("models", "default", "comma-separated channel-model specs ("+chanmodel.SpecSyntax+"; commas inside parentheses do not split), or \"default\" for the standard 4×4 grid")
 		ms       = fs.String("m", "4,8", "comma-separated alphabet sizes")
-		items    = fs.Int("items", 0, "input items per trial (repetition-free; default min m)")
+		windows  = fs.String("windows", "4", "comma-separated window depths for the FIFO-only windowed protocols (gobackn, selrepeat)")
+		items    = fs.Int("items", 0, "input items per trial (repetition-free protocols cap this at min m; default min m)")
 		trials   = fs.Int("trials", 20, "Monte-Carlo trials per cell")
 		maxSteps = fs.Int("max-steps", 0, "step budget per trial (0 = 600 + 200·items)")
 		timeout  = fs.Int("timeout", 0, "hybrid timeout (ticks; 0 = protocol default)")
@@ -63,6 +67,10 @@ func run() int {
 	var err error
 	if cfg.Ms, err = parseInts(*ms); err != nil {
 		fmt.Fprintf(os.Stderr, "stpfrontier: -m: %v\n", err)
+		return 2
+	}
+	if cfg.Windows, err = parseInts(*windows); err != nil {
+		fmt.Fprintf(os.Stderr, "stpfrontier: -windows: %v\n", err)
 		return 2
 	}
 	if *models != "default" {

@@ -47,7 +47,31 @@ var safeKinds = map[string][]channel.Kind{
 	"afwz": {channel.KindDel},
 	// Same del-only premise as afwz (its §5 alternation partner).
 	"hybrid": {channel.KindDel},
+	// FIFO-only sliding windows: frame numbers modulo a small space are
+	// safe exactly because the link preserves order. The frontier
+	// realizes their models on channel.KindFIFO and additionally gates
+	// them (see fifoFamilies) to the per-copy loss families — never the
+	// dup or k-del families, whose realizations reorder.
+	"gobackn":   {channel.KindFIFO},
+	"selrepeat": {channel.KindFIFO},
 }
+
+// fifoOnly marks the windowed protocols whose safety argument requires
+// an order-preserving link. Their cells carry a window-depth axis (see
+// Config.Windows) and run on the FIFO realization of the model.
+var fifoOnly = map[string]bool{"gobackn": true, "selrepeat": true}
+
+// fifoFamilies are the model families whose decision streams the FIFO
+// realization preserves order for: per-copy loss only, no duplication
+// and no reordering. k-del is excluded — its frontier realization
+// deletes by position over a reordering del half — as is iid-dup.
+var fifoFamilies = map[string]bool{"iid-loss": true, "ge": true}
+
+// repFree marks protocols whose allowable set X is the repetition-free
+// sequences, constraining Items to at most min(Ms). Everything else in
+// the safe table accepts arbitrary in-domain tapes, so the pipelined
+// sweeps can use tapes much longer than the domain (items i mod m).
+var repFree = map[string]bool{"alpha": true}
 
 // SafeOn reports whether the named protocol is in the frontier's
 // verified-safe table for the given channel kind.
@@ -99,8 +123,15 @@ type Config struct {
 	Models []chanmodel.Model
 	// Ms is the alphabet-size axis (default: 4, 8).
 	Ms []int
-	// Items per session input, repetition-free — at most min(Ms).
+	// Items per session input. For repetition-free protocols (alpha)
+	// this is capped at min(Ms); the other protocols take the tape
+	// 0,1,...,Items-1 reduced mod m, so Items may exceed m (the
+	// pipelined window sweeps need long tapes).
 	Items int
+	// Windows is the window-depth axis for the FIFO-only windowed
+	// protocols (gobackn, selrepeat); other protocols ignore it.
+	// Default: {4}.
+	Windows []int
 	// Trials per cell (default 20).
 	Trials int
 	// MaxSteps bounds each trial (default: prob's 600 + 200·Items).
@@ -144,8 +175,18 @@ func (c *Config) normalize() error {
 	if c.Items <= 0 {
 		c.Items = minM
 	}
-	if c.Items > minM {
-		return fmt.Errorf("frontier: %d items need repetition-free inputs over every m, but min m = %d", c.Items, minM)
+	for _, p := range c.Protos {
+		if repFree[p] && c.Items > minM {
+			return fmt.Errorf("frontier: %s needs repetition-free inputs, so %d items exceed min m = %d", p, c.Items, minM)
+		}
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []int{4}
+	}
+	for _, w := range c.Windows {
+		if w < 1 {
+			return fmt.Errorf("frontier: window depth %d < 1", w)
+		}
 	}
 	if c.Trials <= 0 {
 		c.Trials = 20
@@ -164,8 +205,11 @@ type Cell struct {
 	Kind   string  `json:"kind"`   // channel kind the model realizes
 	Param  float64 `json:"param"`  // family's primary parameter
 	M      int     `json:"m"`
-	Items  int     `json:"items"`
-	Trials int     `json:"trials"`
+	// Window is the sliding-window depth for the windowed protocols
+	// (0 for the stop-and-wait family).
+	Window int `json:"window,omitempty"`
+	Items  int  `json:"items"`
+	Trials int  `json:"trials"`
 
 	Completed  int `json:"completed"`
 	Stalled    int `json:"stalled"`
@@ -200,6 +244,7 @@ type Doc struct {
 	Protos  []string `json:"protos"`
 	Models  []string `json:"models"`
 	Ms      []int    `json:"ms"`
+	Windows []int    `json:"windows,omitempty"`
 	Items   int      `json:"items"`
 	Trials  int      `json:"trials"`
 	Seed    int64    `json:"seed"`
@@ -227,37 +272,68 @@ func Run(cfg Config) (*Doc, error) {
 		Trials: cfg.Trials,
 		Seed:   cfg.Seed,
 	}
+	for _, p := range cfg.Protos {
+		if fifoOnly[p] {
+			doc.Windows = append([]int(nil), cfg.Windows...)
+			break
+		}
+	}
 	for _, m := range cfg.Models {
 		doc.Models = append(doc.Models, m.Spec())
 	}
 
-	// Input tape: the identity prefix 0..Items-1 — repetition-free for
-	// every m ≥ Items, and identical across cells so only the channel
-	// and protocol vary along the frontier.
-	input := make(seq.Seq, cfg.Items)
-	for i := range input {
-		input[i] = seq.Item(i)
-	}
-
 	cellIdx := 0
 	for _, proto := range cfg.Protos {
+		windows := []int{0}
+		if fifoOnly[proto] {
+			windows = cfg.Windows
+		}
 		for _, model := range cfg.Models {
-			for _, m := range cfg.Ms {
-				if !SafeOn(proto, model.Kind()) {
+			// Realization kind: the model's own kind, except that the
+			// FIFO-only windowed protocols run the model's loss stream
+			// over an order-preserving FIFO half — and only for the
+			// families whose decisions that realization makes sense for.
+			kind := model.Kind()
+			if fifoOnly[proto] {
+				if !fifoFamilies[model.Family()] {
 					doc.Skipped = append(doc.Skipped, fmt.Sprintf(
-						"%s × %s: %s is not safe on %s channels", proto, model.Spec(), proto, model.Kind()))
+						"%s × %s: FIFO-only protocol is charted only on the order-preserving loss families (iid-loss, ge)",
+						proto, model.Spec()))
 					continue
 				}
-				cell, err := runCell(cfg, proto, model, m, input, cellIdx)
-				if err != nil {
-					return nil, err
+				kind = channel.KindFIFO
+			}
+			if !SafeOn(proto, kind) {
+				doc.Skipped = append(doc.Skipped, fmt.Sprintf(
+					"%s × %s: %s is not safe on %s channels", proto, model.Spec(), proto, kind))
+				continue
+			}
+			for _, m := range cfg.Ms {
+				// Input tape: 0..Items-1 for the repetition-free
+				// protocols (identity stays in-domain because normalize
+				// capped Items at min m); the same ramp reduced mod m
+				// for everyone else — identical across cells at the same
+				// m, so only channel, protocol, and window vary.
+				input := make(seq.Seq, cfg.Items)
+				for i := range input {
+					if repFree[proto] {
+						input[i] = seq.Item(i)
+					} else {
+						input[i] = seq.Item(i % m)
+					}
 				}
-				cellIdx++
-				doc.Cells = append(doc.Cells, cell)
-				doc.TotalViolations += cell.Violations
-				cfg.Logf("cell %s × %s × m=%d: goodput=%.4f (ceiling %.4f) complete=%d/%d violations=%d",
-					proto, model.Spec(), m, cell.Goodput, cell.Ceiling,
-					cell.Completed, cell.Trials, cell.Violations)
+				for _, w := range windows {
+					cell, err := runCell(cfg, proto, model, kind, m, w, input, cellIdx)
+					if err != nil {
+						return nil, err
+					}
+					cellIdx++
+					doc.Cells = append(doc.Cells, cell)
+					doc.TotalViolations += cell.Violations
+					cfg.Logf("cell %s × %s × m=%d w=%d: goodput=%.4f (ceiling %.4f) complete=%d/%d violations=%d",
+						proto, model.Spec(), m, w, cell.Goodput, cell.Ceiling,
+						cell.Completed, cell.Trials, cell.Violations)
+				}
 			}
 		}
 	}
@@ -265,16 +341,16 @@ func Run(cfg Config) (*Doc, error) {
 	return doc, nil
 }
 
-func runCell(cfg Config, proto string, model chanmodel.Model, m int, input seq.Seq, cellIdx int) (Cell, error) {
+func runCell(cfg Config, proto string, model chanmodel.Model, kind channel.Kind, m, window int, input seq.Seq, cellIdx int) (Cell, error) {
 	timeout := cfg.Timeout
 	if timeout == 0 {
 		timeout = hybrid.DefaultTimeout
 	}
-	spec, err := registry.Protocol(proto, registry.Params{M: m, Timeout: timeout})
+	spec, err := registry.Protocol(proto, registry.Params{M: m, Timeout: timeout, Window: window})
 	if err != nil {
 		return Cell{}, fmt.Errorf("frontier: %w", err)
 	}
-	est, err := prob.Run(spec, input, model.Kind(), prob.Config{
+	est, err := prob.Run(spec, input, kind, prob.Config{
 		Trials:      cfg.Trials,
 		MaxSteps:    cfg.MaxSteps,
 		Seed:        cfg.Seed + int64(cellIdx)*10007,
@@ -286,8 +362,8 @@ func runCell(cfg Config, proto string, model chanmodel.Model, m int, input seq.S
 	}
 	cell := Cell{
 		Proto: proto, Model: model.Spec(), Family: model.Family(),
-		Kind: model.Kind().String(), Param: model.Param(),
-		M: m, Items: cfg.Items, Trials: est.Trials,
+		Kind: kind.String(), Param: model.Param(),
+		M: m, Window: window, Items: cfg.Items, Trials: est.Trials,
 		Completed: est.Completed, Stalled: est.Stalled, Violations: est.Violations,
 		Steps: est.Steps, Delivered: est.Items,
 		Goodput:        est.Goodput(),
@@ -345,8 +421,8 @@ func (d *Doc) Markdown() string {
 	}
 	for _, fam := range families {
 		fmt.Fprintf(&b, "### %s\n\n", fam)
-		b.WriteString("| protocol | model | m | alpha bits | complete | goodput | ceiling | efficiency | violations |\n")
-		b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		b.WriteString("| protocol | model | m | W | alpha bits | complete | goodput | ceiling | efficiency | violations |\n")
+		b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 		cells := byFamily[fam]
 		sort.SliceStable(cells, func(i, j int) bool {
 			if cells[i].Param != cells[j].Param {
@@ -355,11 +431,18 @@ func (d *Doc) Markdown() string {
 			if cells[i].Proto != cells[j].Proto {
 				return cells[i].Proto < cells[j].Proto
 			}
-			return cells[i].M < cells[j].M
+			if cells[i].M != cells[j].M {
+				return cells[i].M < cells[j].M
+			}
+			return cells[i].Window < cells[j].Window
 		})
 		for _, c := range cells {
-			fmt.Fprintf(&b, "| %s | `%s` | %d | %.1f | %d/%d | %.4f | %.4f | %.0f%% | %d |\n",
-				c.Proto, c.Model, c.M, c.AlphaBits, c.Completed, c.Trials,
+			w := "-"
+			if c.Window > 0 {
+				w = fmt.Sprintf("%d", c.Window)
+			}
+			fmt.Fprintf(&b, "| %s | `%s` | %d | %s | %.1f | %d/%d | %.4f | %.4f | %.0f%% | %d |\n",
+				c.Proto, c.Model, c.M, w, c.AlphaBits, c.Completed, c.Trials,
 				c.Goodput, c.Ceiling, 100*c.Efficiency, c.Violations)
 		}
 		b.WriteString("\n")

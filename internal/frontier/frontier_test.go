@@ -25,6 +25,13 @@ func TestSafeOnTable(t *testing.T) {
 		{"hybrid", channel.KindDel, true},
 		{"hybrid", channel.KindDup, false},
 		{"naive", channel.KindDel, false}, // not in the verified table
+		// Sliding windows are FIFO-only: frame numbers mod a small space
+		// collide under reordering (modseq territory).
+		{"gobackn", channel.KindFIFO, true},
+		{"gobackn", channel.KindDel, false},
+		{"gobackn", channel.KindDup, false},
+		{"selrepeat", channel.KindFIFO, true},
+		{"selrepeat", channel.KindDel, false},
 	}
 	for _, c := range cases {
 		if got := SafeOn(c.proto, c.kind); got != c.want {
@@ -153,6 +160,78 @@ func TestRunDeterministic(t *testing.T) {
 		if a.Cells[i] != b.Cells[i] {
 			t.Errorf("cell %d differs across parallelism:\n%+v\n%+v", i, a.Cells[i], b.Cells[i])
 		}
+	}
+}
+
+// TestRunWindowedSweep pins the window-depth axis: the FIFO-only
+// windowed protocols sweep every configured depth on the
+// order-preserving loss families, skip the dup family outright, and
+// stay prefix-safe. Items may exceed m because the windowed protocols
+// take arbitrary in-domain tapes (the ramp mod m), unlike alpha's
+// repetition-free inputs.
+func TestRunWindowedSweep(t *testing.T) {
+	models, err := chanmodel.ParseList("iid-loss(p=0.2),iid-dup(p=0.25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Run(Config{
+		Protos:  []string{"gobackn", "selrepeat"},
+		Models:  models,
+		Ms:      []int{4},
+		Windows: []int{1, 4},
+		Items:   12, // > m: exercises the ramp-mod-m tape
+		Trials:  4,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 protos × 1 admitted model × 1 m × 2 windows.
+	if doc.TotalCells != 4 {
+		t.Fatalf("got %d cells, want 4: %+v", doc.TotalCells, doc.Cells)
+	}
+	if len(doc.Skipped) != 2 {
+		t.Fatalf("skipped = %v, want both proto × iid-dup pairings", doc.Skipped)
+	}
+	for _, s := range doc.Skipped {
+		if !strings.Contains(s, "iid-dup") || !strings.Contains(s, "FIFO-only") {
+			t.Errorf("skip reason %q does not name the FIFO-only gating", s)
+		}
+	}
+	if doc.TotalViolations != 0 {
+		t.Fatalf("safety violations in a FIFO-realized sweep: %+v", doc.Cells)
+	}
+	windows := map[int]int{}
+	for _, c := range doc.Cells {
+		windows[c.Window]++
+		if c.Kind != channel.KindFIFO.String() {
+			t.Errorf("cell %s × %s realized on %s, want fifo", c.Proto, c.Model, c.Kind)
+		}
+		if c.Completed != c.Trials {
+			t.Errorf("cell %s W=%d completed %d/%d", c.Proto, c.Window, c.Completed, c.Trials)
+		}
+	}
+	if windows[1] != 2 || windows[4] != 2 {
+		t.Errorf("window axis not swept: %v", windows)
+	}
+	md := doc.Markdown()
+	if !strings.Contains(md, "| W |") {
+		t.Errorf("markdown missing the window column:\n%s", md)
+	}
+}
+
+// TestRunRepFreeItemsCap pins that the repetition-free cap still
+// applies when alpha is in the sweep: 12 items cannot fit domain 4.
+func TestRunRepFreeItemsCap(t *testing.T) {
+	_, err := Run(Config{
+		Protos: []string{"alpha"},
+		Models: []chanmodel.Model{chanmodel.MustParse("iid-loss(p=0.1)")},
+		Ms:     []int{4},
+		Items:  12,
+		Trials: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "repetition-free") {
+		t.Fatalf("over-long repetition-free input accepted: %v", err)
 	}
 }
 

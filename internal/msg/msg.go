@@ -78,6 +78,24 @@ func (a Alphabet) Canonical(b []byte) (Msg, bool) {
 	return a.msgs[i], true
 }
 
+// Index returns the position of m in the alphabet's enumeration order.
+// Interned codecs use the position as the key into precomputed
+// parsed-view tables, so decode is a single map access plus an array
+// index.
+func (a Alphabet) Index(m Msg) (int, bool) {
+	i, ok := a.index[m]
+	return i, ok
+}
+
+// Lookup is Index for a raw payload: a zero-copy []byte→index lookup
+// (the map access via the string(b) conversion does not allocate). A
+// receive path can go from wire bytes to a precomputed parsed view
+// without ever materializing the string.
+func (a Alphabet) Lookup(b []byte) (int, bool) {
+	i, ok := a.index[Msg(b)]
+	return i, ok
+}
+
 // Union returns the union of a and b preserving a's order first. Duplicate
 // members across the two alphabets are collapsed.
 func (a Alphabet) Union(b Alphabet) Alphabet {

@@ -44,6 +44,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/protocol"
@@ -58,6 +59,47 @@ const EndMsg = msg.Msg("end")
 
 // AckMsg is the receiver's (only) message.
 const AckMsg = msg.Msg("ack")
+
+// ackSend and endSend are the shared one-message send slices for the
+// constant messages (see the Step contract in package protocol).
+var (
+	ackSend = []msg.Msg{AckMsg}
+	endSend = []msg.Msg{EndMsg}
+)
+
+// tables is the per-m interned codec: item messages with send
+// singletons and a decode map, byte-identical to ItemMsg.
+type tables struct {
+	senderAlpha msg.Alphabet
+	itemSend    [][]msg.Msg
+	itemVal     map[msg.Msg]seq.Item
+}
+
+var tablesCache sync.Map // int (m) → *tables
+
+func tablesFor(m int) *tables {
+	if t, ok := tablesCache.Load(m); ok {
+		return t.(*tables)
+	}
+	if m < 0 {
+		m = 0
+	}
+	t := &tables{
+		itemSend: make([][]msg.Msg, m),
+		itemVal:  make(map[msg.Msg]seq.Item, m),
+	}
+	msgs := make([]msg.Msg, 0, m+1)
+	for v := 0; v < m; v++ {
+		im := ItemMsg(seq.Item(v))
+		msgs = append(msgs, im)
+		t.itemSend[v] = []msg.Msg{im}
+		t.itemVal[im] = seq.Item(v)
+	}
+	msgs = append(msgs, EndMsg)
+	t.senderAlpha = msg.MustNewAlphabet(msgs...)
+	actual, _ := tablesCache.LoadOrStore(m, t)
+	return actual.(*tables)
+}
 
 // New returns the protocol spec for domain size m. X is every finite
 // sequence over the domain; |M^S| = m+1, |M^R| = 1.
@@ -74,10 +116,10 @@ func New(m int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("afwz: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &sender{m: m, input: input.Clone()}, nil
+			return &sender{m: m, t: tablesFor(m), input: input.Clone()}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &receiver{m: m}, nil
+			return &receiver{m: m, t: tablesFor(m)}, nil
 		},
 	}, nil
 }
@@ -97,6 +139,7 @@ func MustNew(m int) protocol.Spec {
 // never re-sent, so at most one copy is ever in flight.
 type sender struct {
 	m     int
+	t     *tables
 	input seq.Seq
 	acks  int // acknowledgements received
 	sent  int // messages sent (acks <= sent <= acks+1)
@@ -117,30 +160,26 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 		}
 		defer func() { s.sent++ }()
 		if s.sent == len(s.input) {
-			return []msg.Msg{EndMsg}
+			return endSend
 		}
 		// Reverse order: the k-th message carries x_{n-k} (1-based x).
+		if v := int(s.input[len(s.input)-1-s.sent]); v >= 0 && v < s.m {
+			return s.t.itemSend[v]
+		}
 		return []msg.Msg{ItemMsg(s.input[len(s.input)-1-s.sent])}
 	default:
 		return nil
 	}
 }
 
-func (s *sender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, s.m+1)
-	for v := 0; v < s.m; v++ {
-		msgs = append(msgs, ItemMsg(seq.Item(v)))
-	}
-	msgs = append(msgs, EndMsg)
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *sender) Alphabet() msg.Alphabet { return s.t.senderAlpha }
 
 func (s *sender) Done() bool { return s.acks > len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
 	// The input tape is never mutated after construction, so clones share
 	// it: the model checker clones on every explored transition.
-	return &sender{m: s.m, input: s.input, acks: s.acks, sent: s.sent}
+	return &sender{m: s.m, t: s.t, input: s.input, acks: s.acks, sent: s.sent}
 }
 
 func (s *sender) Key() string { return fmt.Sprintf("afwzS{a=%d,s=%d}", s.acks, s.sent) }
@@ -154,6 +193,7 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 // receiver buffers reverse-order arrivals and commits them on "end".
 type receiver struct {
 	m      int
+	t      *tables
 	buffer seq.Seq // arrivals in order: x_n, x_{n-1}, ...
 	done   bool
 }
@@ -166,7 +206,7 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	}
 	if ev.Msg == EndMsg {
 		if r.done {
-			return []msg.Msg{AckMsg}, nil
+			return ackSend, nil
 		}
 		r.done = true
 		// Commit: the buffer holds x_n .. x_1; write it reversed.
@@ -174,22 +214,29 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 		for i, v := range r.buffer {
 			out[len(out)-1-i] = v
 		}
-		return []msg.Msg{AckMsg}, out
+		return ackSend, out
 	}
-	var v seq.Item
-	if _, err := fmt.Sscanf(string(ev.Msg), "r:%d", (*int)(&v)); err != nil {
-		return nil, nil
+	v, ok := r.t.itemVal[ev.Msg]
+	if !ok {
+		// Non-canonical spelling (corruption): the pre-interning parse,
+		// which accepts a superset of the table's encodings. The scanned
+		// local lives only in this branch so the fast path stays
+		// allocation-free.
+		var pv int
+		if _, err := fmt.Sscanf(string(ev.Msg), "r:%d", &pv); err != nil {
+			return nil, nil
+		}
 	}
 	if !r.done {
 		r.buffer = append(r.buffer, v)
 	}
-	return []msg.Msg{AckMsg}, nil
+	return ackSend, nil
 }
 
 func (r *receiver) Alphabet() msg.Alphabet { return msg.MustNewAlphabet(AckMsg) }
 
 func (r *receiver) Clone() protocol.Receiver {
-	return &receiver{m: r.m, buffer: r.buffer.Clone(), done: r.done}
+	return &receiver{m: r.m, t: r.t, buffer: r.buffer.Clone(), done: r.done}
 }
 
 func (r *receiver) Key() string {

@@ -44,22 +44,10 @@ func DataMsg(v seq.Item) msg.Msg { return msg.Msg(fmt.Sprintf("d:%d", int(v))) }
 func AckMsg(v seq.Item) msg.Msg { return msg.Msg(fmt.Sprintf("a:%d", int(v))) }
 
 // senderAlphabet returns M^S for domain size m.
-func senderAlphabet(m int) msg.Alphabet {
-	msgs := make([]msg.Msg, m)
-	for v := 0; v < m; v++ {
-		msgs[v] = DataMsg(seq.Item(v))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func senderAlphabet(m int) msg.Alphabet { return InternFor(m).SenderAlphabet() }
 
 // receiverAlphabet returns M^R for domain size m.
-func receiverAlphabet(m int) msg.Alphabet {
-	msgs := make([]msg.Msg, m)
-	for v := 0; v < m; v++ {
-		msgs[v] = AckMsg(seq.Item(v))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func receiverAlphabet(m int) msg.Alphabet { return InternFor(m).ReceiverAlphabet() }
 
 // New returns the protocol spec for domain size m. Senders reject inputs
 // that repeat an item or leave the domain: those are outside this
@@ -81,10 +69,10 @@ func New(m int) (protocol.Spec, error) {
 			if input.HasRepetition() {
 				return nil, fmt.Errorf("alphaproto: input %s repeats an item; X is the repetition-free sequences", input)
 			}
-			return &sender{m: m, input: input.Clone()}, nil
+			return &sender{m: m, t: InternFor(m), input: input.Clone()}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &receiver{m: m, seen: make(map[seq.Item]bool)}, nil
+			return &receiver{m: m, t: InternFor(m), seen: make(map[seq.Item]bool)}, nil
 		},
 	}, nil
 }
@@ -101,6 +89,7 @@ func MustNew(m int) protocol.Spec {
 // sender is S: transmit input[idx] every tick until its ack arrives.
 type sender struct {
 	m     int
+	t     *Intern
 	input seq.Seq
 	idx   int // next unacknowledged position
 }
@@ -110,13 +99,13 @@ var _ protocol.Sender = (*sender)(nil)
 func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
-		if s.idx < len(s.input) && ev.Msg == AckMsg(s.input[s.idx]) {
+		if s.idx < len(s.input) && ev.Msg == s.t.Ack(s.input[s.idx]) {
 			s.idx++
 		}
 		return nil
 	case protocol.Tick:
 		if s.idx < len(s.input) {
-			return []msg.Msg{DataMsg(s.input[s.idx])}
+			return s.t.DataSend(s.input[s.idx])
 		}
 		return nil
 	default:
@@ -124,13 +113,13 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	}
 }
 
-func (s *sender) Alphabet() msg.Alphabet { return senderAlphabet(s.m) }
+func (s *sender) Alphabet() msg.Alphabet { return s.t.SenderAlphabet() }
 func (s *sender) Done() bool             { return s.idx >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
 	// The input tape is never mutated after construction, so clones share
 	// it: the model checker clones on every explored transition.
-	return &sender{m: s.m, input: s.input, idx: s.idx}
+	return &sender{m: s.m, t: s.t, input: s.input, idx: s.idx}
 }
 
 func (s *sender) Key() string {
@@ -147,6 +136,7 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 // data message (first sight or duplicate).
 type receiver struct {
 	m       int
+	t       *Intern
 	seen    map[seq.Item]bool
 	written seq.Seq
 }
@@ -157,27 +147,27 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var v seq.Item
-	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d", (*int)(&v)); err != nil {
+	v, ok := r.t.DataValue(ev.Msg)
+	if !ok {
 		return nil, nil // not a data message; ignore
 	}
 	if r.seen[v] {
 		// Duplicate: re-acknowledge (repairs lost acks on del channels).
-		return []msg.Msg{AckMsg(v)}, nil
+		return r.t.AckSend(v), nil
 	}
 	r.seen[v] = true
 	r.written = append(r.written, v)
-	return []msg.Msg{AckMsg(v)}, seq.Seq{v}
+	return r.t.AckSend(v), r.t.Write(v)
 }
 
-func (r *receiver) Alphabet() msg.Alphabet { return receiverAlphabet(r.m) }
+func (r *receiver) Alphabet() msg.Alphabet { return r.t.ReceiverAlphabet() }
 
 func (r *receiver) Clone() protocol.Receiver {
 	seen := make(map[seq.Item]bool, len(r.seen))
 	for k, v := range r.seen {
 		seen[k] = v
 	}
-	return &receiver{m: r.m, seen: seen, written: r.written.Clone()}
+	return &receiver{m: r.m, t: r.t, seen: seen, written: r.written.Clone()}
 }
 
 func (r *receiver) Key() string {

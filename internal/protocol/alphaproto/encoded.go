@@ -40,8 +40,18 @@ func NewEncoded(x *seq.Set, m int) (protocol.Spec, error) {
 	}
 	senderAlp := enc.Alphabet()
 	ackMsgs := make([]msg.Msg, senderAlp.Size())
+	// Interned per-symbol views, shared by every sender/receiver built
+	// from this spec: the ack for each code symbol, its one-message
+	// send slice, and the symbol's own send slice (indexed by alphabet
+	// position), so Step allocates nothing.
+	ackFor := make(map[msg.Msg]msg.Msg, senderAlp.Size())
+	ackSend := make(map[msg.Msg][]msg.Msg, senderAlp.Size())
+	symSend := make([][]msg.Msg, senderAlp.Size())
 	for i, c := range senderAlp.Msgs() {
 		ackMsgs[i] = msg.Msg("k:" + string(c))
+		ackFor[c] = ackMsgs[i]
+		ackSend[c] = []msg.Msg{ackMsgs[i]}
+		symSend[i] = []msg.Msg{c}
 	}
 	recvAlp := msg.MustNewAlphabet(ackMsgs...)
 
@@ -53,10 +63,21 @@ func NewEncoded(x *seq.Set, m int) (protocol.Spec, error) {
 			if cerr != nil {
 				return nil, fmt.Errorf("alphaproto: input %s not in X: %w", input, cerr)
 			}
-			return &encSender{alphabet: senderAlp, code: code}, nil
+			// codeSend[k] is the interned send slice for code[k].
+			codeSend := make([][]msg.Msg, len(code))
+			ackWait := make([]msg.Msg, len(code))
+			for k, c := range code {
+				if i, ok := senderAlp.Index(c); ok {
+					codeSend[k] = symSend[i]
+				} else {
+					codeSend[k] = []msg.Msg{c}
+				}
+				ackWait[k] = msg.Msg("k:" + string(c))
+			}
+			return &encSender{alphabet: senderAlp, code: code, codeSend: codeSend, ackWait: ackWait}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &encReceiver{alphabet: recvAlp, decode: decode}, nil
+			return &encReceiver{alphabet: recvAlp, decode: decode, ackSend: ackSend}, nil
 		},
 	}, nil
 }
@@ -74,6 +95,8 @@ func codeKey(code []msg.Msg) string {
 type encSender struct {
 	alphabet msg.Alphabet
 	code     []msg.Msg
+	codeSend [][]msg.Msg // interned per-position send slices
+	ackWait  []msg.Msg   // interned expected ack per position
 	idx      int
 }
 
@@ -82,13 +105,13 @@ var _ protocol.Sender = (*encSender)(nil)
 func (s *encSender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
-		if s.idx < len(s.code) && ev.Msg == msg.Msg("k:"+string(s.code[s.idx])) {
+		if s.idx < len(s.code) && ev.Msg == s.ackWait[s.idx] {
 			s.idx++
 		}
 		return nil
 	case protocol.Tick:
 		if s.idx < len(s.code) {
-			return []msg.Msg{s.code[s.idx]}
+			return s.codeSend[s.idx]
 		}
 		return nil
 	default:
@@ -100,7 +123,7 @@ func (s *encSender) Alphabet() msg.Alphabet { return s.alphabet }
 func (s *encSender) Done() bool             { return s.idx >= len(s.code) }
 
 func (s *encSender) Clone() protocol.Sender {
-	return &encSender{alphabet: s.alphabet, code: s.code, idx: s.idx}
+	return &encSender{alphabet: s.alphabet, code: s.code, codeSend: s.codeSend, ackWait: s.ackWait, idx: s.idx}
 }
 
 func (s *encSender) Key() string { return fmt.Sprintf("encS{idx=%d}", s.idx) }
@@ -116,9 +139,19 @@ func (s *encSender) EncodeKey(buf []byte) []byte {
 type encReceiver struct {
 	alphabet  msg.Alphabet
 	decode    map[string]seq.Seq
+	ackSend   map[msg.Msg][]msg.Msg // interned ack slice per code symbol
 	seen      map[msg.Msg]bool
 	codeSoFar []msg.Msg
 	written   int // items written so far
+}
+
+// ack returns the interned ack slice for symbol m, falling back to
+// building one for out-of-alphabet symbols (same bytes as before).
+func (r *encReceiver) ack(m msg.Msg) []msg.Msg {
+	if a, ok := r.ackSend[m]; ok {
+		return a
+	}
+	return []msg.Msg{msg.Msg("k:" + string(m))}
 }
 
 var _ protocol.Receiver = (*encReceiver)(nil)
@@ -133,13 +166,12 @@ func (r *encReceiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if r.seen == nil {
 		r.seen = make(map[msg.Msg]bool)
 	}
-	ack := msg.Msg("k:" + string(ev.Msg))
 	if r.seen[ev.Msg] {
-		return []msg.Msg{ack}, nil
+		return r.ack(ev.Msg), nil
 	}
 	r.seen[ev.Msg] = true
 	r.codeSoFar = append(r.codeSoFar, ev.Msg)
-	return []msg.Msg{ack}, r.tryWrite()
+	return r.ack(ev.Msg), r.tryWrite()
 }
 
 // tryWrite commits the data items pinned down by the received code prefix.
@@ -163,6 +195,7 @@ func (r *encReceiver) Clone() protocol.Receiver {
 	return &encReceiver{
 		alphabet:  r.alphabet,
 		decode:    r.decode,
+		ackSend:   r.ackSend,
 		seen:      seen,
 		codeSoFar: append([]msg.Msg(nil), r.codeSoFar...),
 		written:   r.written,

@@ -1,0 +1,155 @@
+package alphaproto
+
+import (
+	"fmt"
+	"sync"
+
+	"seqtx/internal/msg"
+	"seqtx/internal/seq"
+)
+
+// Intern is the per-m interned codec for the "d:v" / "a:v" encodings:
+// every member of M^S and M^R precomputed at construction, with send
+// singletons, write singletons, and decode maps, so the Step hot path
+// formats and parses nothing. The encodings are byte-identical to
+// DataMsg/AckMsg — the tables only change who pays for the bytes.
+//
+// alphaproto, naive (both variants), and stab share these message
+// formats, so they share one cache: InternFor(m) returns the same
+// read-only table for every construction at the same m, across
+// simulator worlds, model-checker clones, and wire sessions.
+type Intern struct {
+	m int
+
+	senderAlpha   msg.Alphabet
+	receiverAlpha msg.Alphabet
+
+	data []msg.Msg // data[v] = "d:v"
+	ack  []msg.Msg // ack[v] = "a:v"
+
+	// Send singletons, one per message: Step returns these shared
+	// read-only slices instead of allocating (see the Step contract in
+	// package protocol).
+	dataSend [][]msg.Msg
+	ackSend  [][]msg.Msg
+
+	// Write singletons: the one-item tapes receivers return.
+	writeOne []seq.Seq
+
+	// Decode: canonical encoding → value. Misses fall back to the
+	// original Sscanf parse so non-canonical spellings ("d:07",
+	// trailing bytes) behave exactly as before interning.
+	dataVal map[msg.Msg]seq.Item
+	ackVal  map[msg.Msg]seq.Item
+}
+
+var internCache sync.Map // int (m) → *Intern
+
+// InternFor returns the shared interned codec for domain size m.
+func InternFor(m int) *Intern {
+	if t, ok := internCache.Load(m); ok {
+		return t.(*Intern)
+	}
+	if m < 0 {
+		m = 0
+	}
+	t := &Intern{
+		m:        m,
+		data:     make([]msg.Msg, m),
+		ack:      make([]msg.Msg, m),
+		dataSend: make([][]msg.Msg, m),
+		ackSend:  make([][]msg.Msg, m),
+		writeOne: make([]seq.Seq, m),
+		dataVal:  make(map[msg.Msg]seq.Item, m),
+		ackVal:   make(map[msg.Msg]seq.Item, m),
+	}
+	for v := 0; v < m; v++ {
+		item := seq.Item(v)
+		t.data[v] = msg.Msg(fmt.Sprintf("d:%d", v))
+		t.ack[v] = msg.Msg(fmt.Sprintf("a:%d", v))
+		t.dataSend[v] = []msg.Msg{t.data[v]}
+		t.ackSend[v] = []msg.Msg{t.ack[v]}
+		t.writeOne[v] = seq.Seq{item}
+		t.dataVal[t.data[v]] = item
+		t.ackVal[t.ack[v]] = item
+	}
+	t.senderAlpha = msg.MustNewAlphabet(t.data...)
+	t.receiverAlpha = msg.MustNewAlphabet(t.ack...)
+	actual, _ := internCache.LoadOrStore(m, t)
+	return actual.(*Intern)
+}
+
+// SenderAlphabet returns the interned M^S.
+func (t *Intern) SenderAlphabet() msg.Alphabet { return t.senderAlpha }
+
+// ReceiverAlphabet returns the interned M^R.
+func (t *Intern) ReceiverAlphabet() msg.Alphabet { return t.receiverAlpha }
+
+// Data returns the interned data message for v (formats only outside
+// the domain, which validated senders never are).
+func (t *Intern) Data(v seq.Item) msg.Msg {
+	if i := int(v); i >= 0 && i < t.m {
+		return t.data[i]
+	}
+	return DataMsg(v)
+}
+
+// Ack returns the interned acknowledgement for v.
+func (t *Intern) Ack(v seq.Item) msg.Msg {
+	if i := int(v); i >= 0 && i < t.m {
+		return t.ack[i]
+	}
+	return AckMsg(v)
+}
+
+// DataSend returns the shared one-message send slice for data v.
+func (t *Intern) DataSend(v seq.Item) []msg.Msg {
+	if i := int(v); i >= 0 && i < t.m {
+		return t.dataSend[i]
+	}
+	return []msg.Msg{DataMsg(v)}
+}
+
+// AckSend returns the shared one-message send slice for ack v.
+func (t *Intern) AckSend(v seq.Item) []msg.Msg {
+	if i := int(v); i >= 0 && i < t.m {
+		return t.ackSend[i]
+	}
+	return []msg.Msg{AckMsg(v)}
+}
+
+// Write returns the shared one-item write tape for v.
+func (t *Intern) Write(v seq.Item) seq.Seq {
+	if i := int(v); i >= 0 && i < t.m {
+		return t.writeOne[i]
+	}
+	return seq.Seq{v}
+}
+
+// DataValue decodes a data message: table hit for the canonical
+// members, Sscanf fallback for everything else (same acceptance as the
+// pre-interning parse, including non-canonical spellings and
+// out-of-domain values).
+func (t *Intern) DataValue(m msg.Msg) (seq.Item, bool) {
+	if v, ok := t.dataVal[m]; ok {
+		return v, true
+	}
+	var v seq.Item
+	if _, err := fmt.Sscanf(string(m), "d:%d", (*int)(&v)); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// AckValue decodes an acknowledgement, with the same fallback contract
+// as DataValue.
+func (t *Intern) AckValue(m msg.Msg) (seq.Item, bool) {
+	if v, ok := t.ackVal[m]; ok {
+		return v, true
+	}
+	var v seq.Item
+	if _, err := fmt.Sscanf(string(m), "a:%d", (*int)(&v)); err != nil {
+		return 0, false
+	}
+	return v, true
+}

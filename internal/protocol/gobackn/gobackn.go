@@ -19,6 +19,7 @@ package gobackn
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/protocol"
@@ -32,6 +33,69 @@ func DataMsg(mod, n int, v seq.Item) msg.Msg {
 
 // AckMsg encodes the cumulative acknowledgement "expecting frame n next".
 func AckMsg(mod, n int) msg.Msg { return msg.Msg(fmt.Sprintf("ga:%d", n%mod)) }
+
+// tables is the per-(m, window) interned codec: every member of
+// M^S/M^R with send singletons, write singletons, and decode maps,
+// byte-identical to DataMsg/AckMsg.
+type tables struct {
+	senderAlpha   msg.Alphabet
+	receiverAlpha msg.Alphabet
+	data          [][]msg.Msg   // data[n][v] = "g:n:v"
+	ack           []msg.Msg     // ack[n] = "ga:n"
+	ackSend       [][]msg.Msg   // ackSend[n]
+	dataSend      [][][]msg.Msg // dataSend[n][v]
+	writeOne      []seq.Seq     // writeOne[v]
+	dataVal       map[msg.Msg]frameValue
+	ackVal        map[msg.Msg]int
+}
+
+type frameValue struct{ n, v int }
+
+type tablesKey struct{ m, window int }
+
+var tablesCache sync.Map // tablesKey → *tables
+
+func tablesFor(m, window int) *tables {
+	key := tablesKey{m, window}
+	if t, ok := tablesCache.Load(key); ok {
+		return t.(*tables)
+	}
+	if m < 0 {
+		m = 0
+	}
+	mod := window + 1
+	t := &tables{
+		data:     make([][]msg.Msg, mod),
+		ack:      make([]msg.Msg, mod),
+		ackSend:  make([][]msg.Msg, mod),
+		dataSend: make([][][]msg.Msg, mod),
+		writeOne: make([]seq.Seq, m),
+		dataVal:  make(map[msg.Msg]frameValue, mod*m),
+		ackVal:   make(map[msg.Msg]int, mod),
+	}
+	senderMsgs := make([]msg.Msg, 0, mod*m)
+	for n := 0; n < mod; n++ {
+		t.ack[n] = AckMsg(mod, n)
+		t.ackSend[n] = []msg.Msg{t.ack[n]}
+		t.ackVal[t.ack[n]] = n
+		t.data[n] = make([]msg.Msg, m)
+		t.dataSend[n] = make([][]msg.Msg, m)
+		for v := 0; v < m; v++ {
+			dm := DataMsg(mod, n, seq.Item(v))
+			senderMsgs = append(senderMsgs, dm)
+			t.data[n][v] = dm
+			t.dataSend[n][v] = []msg.Msg{dm}
+			t.dataVal[dm] = frameValue{n, v}
+		}
+	}
+	for v := 0; v < m; v++ {
+		t.writeOne[v] = seq.Seq{seq.Item(v)}
+	}
+	t.senderAlpha = msg.MustNewAlphabet(senderMsgs...)
+	t.receiverAlpha = msg.MustNewAlphabet(t.ack...)
+	actual, _ := tablesCache.LoadOrStore(key, t)
+	return actual.(*tables)
+}
 
 // New returns the protocol spec for domain size m and window >= 1.
 // The frame-number space is window+1 (the classic minimum for Go-Back-N),
@@ -52,10 +116,10 @@ func New(m, window int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("gobackn: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &sender{m: m, window: window, input: input.Clone()}, nil
+			return &sender{m: m, window: window, t: tablesFor(m, window), input: input.Clone()}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &receiver{m: m, window: window}, nil
+			return &receiver{m: m, window: window, t: tablesFor(m, window)}, nil
 		},
 	}, nil
 }
@@ -76,11 +140,18 @@ const timeoutTicks = 6
 type sender struct {
 	m      int
 	window int
+	t      *tables
 	input  seq.Seq
 
 	base    int // lowest unacknowledged position
 	next    int // next position to send fresh (base <= next <= base+window)
 	stalled int // ticks since the last ack progress
+
+	// scratch is the reused go-back burst buffer. It is only ever
+	// returned from Step (whose contract says the slice is valid until
+	// the next Step) and nil'd on Clone, so model-checker clones never
+	// share it across workers.
+	scratch []msg.Msg
 }
 
 var _ protocol.Sender = (*sender)(nil)
@@ -90,9 +161,17 @@ func (s *sender) mod() int { return s.window + 1 }
 func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
-		var n int
-		if _, err := fmt.Sscanf(string(ev.Msg), "ga:%d", &n); err != nil {
-			return nil
+		n, ok := s.t.ackVal[ev.Msg]
+		if !ok {
+			// Non-canonical spelling (corruption): the pre-interning
+			// parse, which accepts a superset of the table's encodings.
+			// The scanned local lives only in this branch so the fast
+			// path stays allocation-free.
+			var pn int
+			if _, err := fmt.Sscanf(string(ev.Msg), "ga:%d", &pn); err != nil {
+				return nil
+			}
+			n = pn
 		}
 		// Cumulative ack: the receiver expects frame n next. The true
 		// expectation position p lies in [base, next], whose span is at
@@ -109,20 +188,31 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 		}
 		if s.next < len(s.input) && s.next < s.base+s.window {
 			// Pipeline: send a fresh frame.
-			m := DataMsg(s.mod(), s.next, s.input[s.next])
+			var m []msg.Msg
+			if v := int(s.input[s.next]); v >= 0 && v < s.m {
+				m = s.t.dataSend[s.next%s.mod()][v]
+			} else {
+				m = []msg.Msg{DataMsg(s.mod(), s.next, s.input[s.next])}
+			}
 			s.next++
-			return []msg.Msg{m}
+			return m
 		}
 		// Window full (or input exhausted): wait for acks, then go back.
 		s.stalled++
 		if s.stalled > timeoutTicks {
 			s.stalled = 0
 			// Go back n: retransmit the whole outstanding window in one
-			// burst (each frame is a separate message on the link).
-			var burst []msg.Msg
+			// burst (each frame is a separate message on the link),
+			// reusing the scratch buffer across bursts.
+			burst := s.scratch[:0]
 			for i := s.base; i < s.next; i++ {
-				burst = append(burst, DataMsg(s.mod(), i, s.input[i]))
+				if v := int(s.input[i]); v >= 0 && v < s.m {
+					burst = append(burst, s.t.data[i%s.mod()][v])
+				} else {
+					burst = append(burst, DataMsg(s.mod(), i, s.input[i]))
+				}
 			}
+			s.scratch = burst
 			return burst
 		}
 		return nil
@@ -131,22 +221,17 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	}
 }
 
-func (s *sender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, s.mod()*s.m)
-	for n := 0; n < s.mod(); n++ {
-		for v := 0; v < s.m; v++ {
-			msgs = append(msgs, DataMsg(s.mod(), n, seq.Item(v)))
-		}
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *sender) Alphabet() msg.Alphabet { return s.t.senderAlpha }
 
 func (s *sender) Done() bool { return s.base >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
 	// The input tape is never mutated after construction, so the clone
 	// shares it: the model checker clones on every explored transition.
+	// The burst scratch is NOT shared: parallel-BFS workers stepping two
+	// clones concurrently must not race on one buffer.
 	cp := *s
+	cp.scratch = nil
 	return &cp
 }
 
@@ -167,6 +252,7 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 type receiver struct {
 	m      int
 	window int
+	t      *tables
 	next   int // positions delivered so far
 }
 
@@ -178,26 +264,31 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var n, v int
-	if _, err := fmt.Sscanf(string(ev.Msg), "g:%d:%d", &n, &v); err != nil {
-		return nil, nil
+	fv, ok := r.t.dataVal[ev.Msg]
+	if !ok {
+		// Non-canonical spelling (corruption): the pre-interning parse,
+		// which accepts a superset of the table's encodings. The scanned
+		// locals live only in this branch so the fast path stays
+		// allocation-free.
+		var n, v int
+		if _, err := fmt.Sscanf(string(ev.Msg), "g:%d:%d", &n, &v); err != nil {
+			return nil, nil
+		}
+		fv = frameValue{n, v}
 	}
-	if n == r.next%r.mod() {
+	if fv.n == r.next%r.mod() {
 		r.next++
-		return []msg.Msg{AckMsg(r.mod(), r.next)}, seq.Seq{seq.Item(v)}
+		if fv.v >= 0 && fv.v < r.m {
+			return r.t.ackSend[r.next%r.mod()], r.t.writeOne[fv.v]
+		}
+		return r.t.ackSend[r.next%r.mod()], seq.Seq{seq.Item(fv.v)}
 	}
 	// Unexpected frame: re-ack the current expectation so the sender
 	// learns where to resume.
-	return []msg.Msg{AckMsg(r.mod(), r.next)}, nil
+	return r.t.ackSend[r.next%r.mod()], nil
 }
 
-func (r *receiver) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, r.mod())
-	for n := 0; n < r.mod(); n++ {
-		msgs = append(msgs, AckMsg(r.mod(), n))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (r *receiver) Alphabet() msg.Alphabet { return r.t.receiverAlpha }
 
 func (r *receiver) Clone() protocol.Receiver {
 	cp := *r

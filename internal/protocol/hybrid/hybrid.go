@@ -62,6 +62,7 @@ package hybrid
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/protocol"
@@ -91,6 +92,99 @@ const FinAck = msg.Msg("fk")
 // acknowledgement before the sender assumes a loss and switches streams.
 const DefaultTimeout = 8
 
+// finAckSend is the shared one-message send slice for FinAck.
+var finAckSend = []msg.Msg{FinAck}
+
+// Decoded message kinds (tables.decode).
+const (
+	kindFin = iota
+	kindPrefix
+	kindSuffix
+)
+
+// view is a precomputed parse of a canonical sender message: its stream
+// kind, bit (or fin parity, in b), and carried value.
+type view struct {
+	kind int
+	b, v int
+}
+
+// tables is the per-m interned codec: every member of M^S/M^R with send
+// singletons, write singletons, and a decode map, byte-identical to
+// PrefixMsg/SuffixMsg/FinMsg/PrefixAck/SuffixAck.
+type tables struct {
+	senderAlpha   msg.Alphabet
+	receiverAlpha msg.Alphabet
+
+	prefixSend [2][][]msg.Msg // prefixSend[b][v] = {"p:b:v"}
+	suffixSend [2][][]msg.Msg // suffixSend[b][v] = {"s:b:v"}
+	finSend    [2][]msg.Msg   // finSend[par] = {"fin:par"}
+
+	prefixAck     [2]msg.Msg // "pk:b"
+	suffixAck     [2]msg.Msg // "sk:b"
+	prefixAckSend [2][]msg.Msg
+	suffixAckSend [2][]msg.Msg
+
+	writeOne []seq.Seq // writeOne[v]
+
+	decode map[msg.Msg]view
+}
+
+var tablesCache sync.Map // int (m) → *tables
+
+func tablesFor(m int) *tables {
+	if t, ok := tablesCache.Load(m); ok {
+		return t.(*tables)
+	}
+	if m < 0 {
+		m = 0
+	}
+	t := &tables{
+		writeOne: make([]seq.Seq, m),
+		decode:   make(map[msg.Msg]view, 4*m+2),
+	}
+	senderMsgs := make([]msg.Msg, 0, 4*m+2)
+	for b := 0; b < 2; b++ {
+		t.prefixSend[b] = make([][]msg.Msg, m)
+		for v := 0; v < m; v++ {
+			pm := PrefixMsg(b, seq.Item(v))
+			senderMsgs = append(senderMsgs, pm)
+			t.prefixSend[b][v] = []msg.Msg{pm}
+			t.decode[pm] = view{kind: kindPrefix, b: b, v: v}
+		}
+	}
+	for b := 0; b < 2; b++ {
+		t.suffixSend[b] = make([][]msg.Msg, m)
+		for v := 0; v < m; v++ {
+			sm := SuffixMsg(b, seq.Item(v))
+			senderMsgs = append(senderMsgs, sm)
+			t.suffixSend[b][v] = []msg.Msg{sm}
+			t.decode[sm] = view{kind: kindSuffix, b: b, v: v}
+		}
+	}
+	for par := 0; par < 2; par++ {
+		fm := FinMsg(par)
+		senderMsgs = append(senderMsgs, fm)
+		t.finSend[par] = []msg.Msg{fm}
+		t.decode[fm] = view{kind: kindFin, b: par}
+	}
+	for b := 0; b < 2; b++ {
+		t.prefixAck[b] = PrefixAck(b)
+		t.suffixAck[b] = SuffixAck(b)
+		t.prefixAckSend[b] = []msg.Msg{t.prefixAck[b]}
+		t.suffixAckSend[b] = []msg.Msg{t.suffixAck[b]}
+	}
+	for v := 0; v < m; v++ {
+		t.writeOne[v] = seq.Seq{seq.Item(v)}
+	}
+	t.senderAlpha = msg.MustNewAlphabet(senderMsgs...)
+	t.receiverAlpha = msg.MustNewAlphabet(
+		PrefixAck(0), PrefixAck(1), SuffixAck(0), SuffixAck(1), FinAck,
+	)
+	actual, _ := tablesCache.LoadOrStore(m, t)
+	return actual.(*tables)
+}
+
 // New returns the protocol spec for domain size m with the given timeout
 // (ticks without progress before a phase switch; >= 1).
 func New(m, timeout int) (protocol.Spec, error) {
@@ -109,10 +203,10 @@ func New(m, timeout int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("hybrid: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &sender{m: m, timeout: timeout, input: input.Clone(), lo: len(input)}, nil
+			return &sender{m: m, timeout: timeout, t: tablesFor(m), input: input.Clone(), lo: len(input)}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &receiver{m: m}, nil
+			return &receiver{m: m, t: tablesFor(m)}, nil
 		},
 	}, nil
 }
@@ -143,6 +237,7 @@ const (
 type sender struct {
 	m       int
 	timeout int
+	t       *tables
 	input   seq.Seq
 
 	p  int // acknowledged prefix length
@@ -179,7 +274,7 @@ func (s *sender) recv(m msg.Msg) {
 		if s.covered() {
 			s.finDone = true
 		}
-	case PrefixAck(s.p):
+	case s.t.prefixAck[s.p&1]:
 		if s.hi > s.p {
 			s.p++
 			// "If the old lost message is delivered, the processors
@@ -191,7 +286,7 @@ func (s *sender) recv(m msg.Msg) {
 				s.stalled = 0
 			}
 		}
-	case SuffixAck(s.b):
+	case s.t.suffixAck[s.b&1]:
 		if len(s.input)-s.lo > s.b {
 			s.b++
 			if s.phase == phaseSuffix {
@@ -210,7 +305,7 @@ func (s *sender) tick() []msg.Msg {
 		if s.finDone {
 			return nil
 		}
-		return []msg.Msg{FinMsg(len(s.input))}
+		return s.t.finSend[len(s.input)&1]
 	}
 	switch s.phase {
 	case phasePrefix:
@@ -232,10 +327,15 @@ func (s *sender) tickPrefix() []msg.Msg {
 	if s.hi <= s.lo && s.hi < len(s.input) {
 		// Fresh position. hi <= lo keeps the overlap at one position: the
 		// boundary item the suffix stream may have in flight.
-		m := PrefixMsg(s.hi, s.input[s.hi])
+		var m []msg.Msg
+		if v := int(s.input[s.hi]); v >= 0 && v < s.m {
+			m = s.t.prefixSend[s.hi&1][v]
+		} else {
+			m = []msg.Msg{PrefixMsg(s.hi, s.input[s.hi])}
+		}
 		s.hi++
 		s.stalled = 0
-		return []msg.Msg{m}
+		return m
 	}
 	// Nothing to send forward; the missing work is the suffix stream's.
 	s.phase = phaseSuffix
@@ -257,6 +357,9 @@ func (s *sender) tickSuffix() []msg.Msg {
 		// Fresh position lo-1. lo >= hi mirrors the prefix gate.
 		s.lo--
 		s.stalled = 0
+		if v := int(s.input[s.lo]); v >= 0 && v < s.m {
+			return s.t.suffixSend[sent&1][v]
+		}
 		return []msg.Msg{SuffixMsg(sent, s.input[s.lo])}
 	}
 	s.phase = phasePrefix
@@ -264,21 +367,7 @@ func (s *sender) tickSuffix() []msg.Msg {
 	return nil
 }
 
-func (s *sender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, 4*s.m+2)
-	for b := 0; b < 2; b++ {
-		for v := 0; v < s.m; v++ {
-			msgs = append(msgs, PrefixMsg(b, seq.Item(v)))
-		}
-	}
-	for b := 0; b < 2; b++ {
-		for v := 0; v < s.m; v++ {
-			msgs = append(msgs, SuffixMsg(b, seq.Item(v)))
-		}
-	}
-	msgs = append(msgs, FinMsg(0), FinMsg(1))
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *sender) Alphabet() msg.Alphabet { return s.t.senderAlpha }
 
 func (s *sender) Done() bool { return s.finDone }
 
@@ -310,6 +399,7 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 // with the expected bit; the bits are kept as cheap sanity armor.
 type receiver struct {
 	m        int
+	t        *tables
 	written  int     // prefix items written (the ABP stream)
 	buffer   seq.Seq // suffix items in arrival order: x_n, x_{n-1}, ...
 	finished bool
@@ -321,29 +411,45 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var par int
-	if _, err := fmt.Sscanf(string(ev.Msg), "fin:%d", &par); err == nil {
+	w, ok := r.t.decode[ev.Msg]
+	if !ok {
+		// Non-canonical spelling (corruption): the pre-interning parses,
+		// attempted in the original fin → p → s order, which accept a
+		// superset of the table's encodings. The scanned locals live
+		// only in this branch so the fast path stays allocation-free.
+		var b, v int
+		if _, err := fmt.Sscanf(string(ev.Msg), "fin:%d", &b); err == nil {
+			w = view{kind: kindFin, b: b}
+		} else if _, err := fmt.Sscanf(string(ev.Msg), "p:%d:%d", &b, &v); err == nil {
+			w = view{kind: kindPrefix, b: b, v: v}
+		} else if _, err := fmt.Sscanf(string(ev.Msg), "s:%d:%d", &b, &v); err == nil {
+			w = view{kind: kindSuffix, b: b, v: v}
+		} else {
+			return nil, nil
+		}
+	}
+	switch w.kind {
+	case kindFin:
 		if r.finished {
-			return []msg.Msg{FinAck}, nil
+			return finAckSend, nil
 		}
 		r.finished = true
-		return []msg.Msg{FinAck}, r.commit(par)
-	}
-	var b, v int
-	if _, err := fmt.Sscanf(string(ev.Msg), "p:%d:%d", &b, &v); err == nil {
-		if !r.finished && b == r.written&1 {
+		return finAckSend, r.commit(w.b)
+	case kindPrefix:
+		if !r.finished && w.b == r.written&1 {
 			r.written++
-			return []msg.Msg{PrefixAck(b)}, seq.Seq{seq.Item(v)}
+			if w.v >= 0 && w.v < r.m {
+				return r.t.prefixAckSend[w.b&1], r.t.writeOne[w.v]
+			}
+			return r.t.prefixAckSend[w.b&1], seq.Seq{seq.Item(w.v)}
 		}
-		return []msg.Msg{PrefixAck(b)}, nil
-	}
-	if _, err := fmt.Sscanf(string(ev.Msg), "s:%d:%d", &b, &v); err == nil {
-		if !r.finished && b == len(r.buffer)&1 {
-			r.buffer = append(r.buffer, seq.Item(v))
+		return r.t.prefixAckSend[w.b&1], nil
+	default: // kindSuffix
+		if !r.finished && w.b == len(r.buffer)&1 {
+			r.buffer = append(r.buffer, seq.Item(w.v))
 		}
-		return []msg.Msg{SuffixAck(b)}, nil
+		return r.t.suffixAckSend[w.b&1], nil
 	}
-	return nil, nil
 }
 
 // commit writes the buffered suffix after the written prefix. The overlap
@@ -359,11 +465,7 @@ func (r *receiver) commit(nParity int) seq.Seq {
 	return out
 }
 
-func (r *receiver) Alphabet() msg.Alphabet {
-	return msg.MustNewAlphabet(
-		PrefixAck(0), PrefixAck(1), SuffixAck(0), SuffixAck(1), FinAck,
-	)
-}
+func (r *receiver) Alphabet() msg.Alphabet { return r.t.receiverAlpha }
 
 func (r *receiver) Clone() protocol.Receiver {
 	cp := *r

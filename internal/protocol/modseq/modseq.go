@@ -23,6 +23,7 @@ package modseq
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/protocol"
@@ -37,6 +38,61 @@ func DataMsg(window, i int, v seq.Item) msg.Msg {
 // AckMsg encodes the acknowledgement for position i modulo the window.
 func AckMsg(window, i int) msg.Msg {
 	return msg.Msg(fmt.Sprintf("a:%d", i%window))
+}
+
+// tables is the per-(m, window) interned codec: every member of
+// M^S/M^R with send singletons, write singletons, and a decode map,
+// byte-identical to DataMsg/AckMsg.
+type tables struct {
+	senderAlpha   msg.Alphabet
+	receiverAlpha msg.Alphabet
+	ack           []msg.Msg     // ack[i] = "a:i", i in [0, window)
+	ackSend       [][]msg.Msg   // ackSend[i]
+	dataSend      [][][]msg.Msg // dataSend[i][v]
+	writeOne      []seq.Seq     // writeOne[v]
+	dataVal       map[msg.Msg]posValue
+}
+
+type posValue struct{ i, v int }
+
+type tablesKey struct{ m, window int }
+
+var tablesCache sync.Map // tablesKey → *tables
+
+func tablesFor(m, window int) *tables {
+	key := tablesKey{m, window}
+	if t, ok := tablesCache.Load(key); ok {
+		return t.(*tables)
+	}
+	if m < 0 {
+		m = 0
+	}
+	t := &tables{
+		ack:      make([]msg.Msg, window),
+		ackSend:  make([][]msg.Msg, window),
+		dataSend: make([][][]msg.Msg, window),
+		writeOne: make([]seq.Seq, m),
+		dataVal:  make(map[msg.Msg]posValue, window*m),
+	}
+	senderMsgs := make([]msg.Msg, 0, window*m)
+	for i := 0; i < window; i++ {
+		t.ack[i] = AckMsg(window, i)
+		t.ackSend[i] = []msg.Msg{t.ack[i]}
+		t.dataSend[i] = make([][]msg.Msg, m)
+		for v := 0; v < m; v++ {
+			dm := DataMsg(window, i, seq.Item(v))
+			senderMsgs = append(senderMsgs, dm)
+			t.dataSend[i][v] = []msg.Msg{dm}
+			t.dataVal[dm] = posValue{i, v}
+		}
+	}
+	for v := 0; v < m; v++ {
+		t.writeOne[v] = seq.Seq{seq.Item(v)}
+	}
+	t.senderAlpha = msg.MustNewAlphabet(senderMsgs...)
+	t.receiverAlpha = msg.MustNewAlphabet(t.ack...)
+	actual, _ := tablesCache.LoadOrStore(key, t)
+	return actual.(*tables)
 }
 
 // New returns the protocol spec for domain size m and sequence-number
@@ -58,10 +114,10 @@ func New(m, window int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("modseq: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &sender{m: m, window: window, input: input.Clone()}, nil
+			return &sender{m: m, window: window, t: tablesFor(m, window), input: input.Clone()}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &receiver{m: m, window: window}, nil
+			return &receiver{m: m, window: window, t: tablesFor(m, window)}, nil
 		},
 	}, nil
 }
@@ -80,6 +136,7 @@ func MustNew(m, window int) protocol.Spec {
 type sender struct {
 	m      int
 	window int
+	t      *tables
 	input  seq.Seq
 	next   int
 }
@@ -89,12 +146,15 @@ var _ protocol.Sender = (*sender)(nil)
 func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
-		if s.next < len(s.input) && ev.Msg == AckMsg(s.window, s.next) {
+		if s.next < len(s.input) && ev.Msg == s.t.ack[s.next%s.window] {
 			s.next++
 		}
 		return nil
 	case protocol.Tick:
 		if s.next < len(s.input) {
+			if v := int(s.input[s.next]); v >= 0 && v < s.m {
+				return s.t.dataSend[s.next%s.window][v]
+			}
 			return []msg.Msg{DataMsg(s.window, s.next, s.input[s.next])}
 		}
 		return nil
@@ -103,15 +163,7 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	}
 }
 
-func (s *sender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, s.window*s.m)
-	for i := 0; i < s.window; i++ {
-		for v := 0; v < s.m; v++ {
-			msgs = append(msgs, DataMsg(s.window, i, seq.Item(v)))
-		}
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *sender) Alphabet() msg.Alphabet { return s.t.senderAlpha }
 
 func (s *sender) Done() bool { return s.next >= len(s.input) }
 
@@ -135,6 +187,7 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 type receiver struct {
 	m      int
 	window int
+	t      *tables
 	next   int
 }
 
@@ -144,26 +197,33 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var i, v int
-	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d:%d", &i, &v); err != nil {
-		return nil, nil
+	pv, ok := r.t.dataVal[ev.Msg]
+	if !ok {
+		// Non-canonical spelling (corruption): the pre-interning parse,
+		// which accepts a superset of the table's encodings. The scanned
+		// locals live only in this branch so the fast path stays
+		// allocation-free.
+		var i, v int
+		if _, err := fmt.Sscanf(string(ev.Msg), "d:%d:%d", &i, &v); err != nil {
+			return nil, nil
+		}
 	}
-	if i == r.next%r.window {
+	if pv.i == r.next%r.window {
 		r.next++
-		return []msg.Msg{AckMsg(r.window, r.next-1)}, seq.Seq{seq.Item(v)}
+		if pv.v >= 0 && pv.v < r.m {
+			return r.t.ackSend[pv.i], r.t.writeOne[pv.v]
+		}
+		return r.t.ackSend[pv.i], seq.Seq{seq.Item(pv.v)}
 	}
 	// Stale (mod-window) retransmission: re-acknowledge it so the sender
 	// can advance past a lost acknowledgement.
-	return []msg.Msg{msg.Msg(fmt.Sprintf("a:%d", i))}, nil
+	if pv.i >= 0 && pv.i < r.window {
+		return r.t.ackSend[pv.i], nil
+	}
+	return []msg.Msg{msg.Msg(fmt.Sprintf("a:%d", pv.i))}, nil
 }
 
-func (r *receiver) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, r.window)
-	for i := 0; i < r.window; i++ {
-		msgs = append(msgs, msg.Msg(fmt.Sprintf("a:%d", i)))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (r *receiver) Alphabet() msg.Alphabet { return r.t.receiverAlpha }
 
 func (r *receiver) Clone() protocol.Receiver {
 	cp := *r

@@ -36,10 +36,10 @@ func NewWriteEveryData(m int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("naive: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &posSender{m: m, input: input.Clone()}, nil
+			return &posSender{m: m, t: alphaproto.InternFor(m), input: input.Clone()}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &trustingReceiver{m: m}, nil
+			return &trustingReceiver{m: m, t: alphaproto.InternFor(m)}, nil
 		},
 	}, nil
 }
@@ -49,6 +49,7 @@ func NewWriteEveryData(m int) (protocol.Spec, error) {
 // ambiguity the paper's bound formalizes.
 type posSender struct {
 	m     int
+	t     *alphaproto.Intern
 	input seq.Seq
 	idx   int
 }
@@ -58,13 +59,13 @@ var _ protocol.Sender = (*posSender)(nil)
 func (s *posSender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
-		if s.idx < len(s.input) && ev.Msg == alphaproto.AckMsg(s.input[s.idx]) {
+		if s.idx < len(s.input) && ev.Msg == s.t.Ack(s.input[s.idx]) {
 			s.idx++
 		}
 		return nil
 	case protocol.Tick:
 		if s.idx < len(s.input) {
-			return []msg.Msg{alphaproto.DataMsg(s.input[s.idx])}
+			return s.t.DataSend(s.input[s.idx])
 		}
 		return nil
 	default:
@@ -72,20 +73,14 @@ func (s *posSender) Step(ev protocol.Event) []msg.Msg {
 	}
 }
 
-func (s *posSender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, s.m)
-	for v := 0; v < s.m; v++ {
-		msgs[v] = alphaproto.DataMsg(seq.Item(v))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *posSender) Alphabet() msg.Alphabet { return s.t.SenderAlphabet() }
 
 func (s *posSender) Done() bool { return s.idx >= len(s.input) }
 
 func (s *posSender) Clone() protocol.Sender {
 	// The input tape is never mutated after construction, so clones share
 	// it: the model checker clones on every explored transition.
-	return &posSender{m: s.m, input: s.input, idx: s.idx}
+	return &posSender{m: s.m, t: s.t, input: s.input, idx: s.idx}
 }
 
 func (s *posSender) Key() string { return fmt.Sprintf("naiveS{idx=%d}", s.idx) }
@@ -103,6 +98,7 @@ func (s *posSender) Scramble(rng *rand.Rand) {
 // trustingReceiver writes every data message's value on receipt.
 type trustingReceiver struct {
 	m       int
+	t       *alphaproto.Intern
 	written int
 }
 
@@ -112,21 +108,15 @@ func (r *trustingReceiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var v seq.Item
-	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d", (*int)(&v)); err != nil {
+	v, ok := r.t.DataValue(ev.Msg)
+	if !ok {
 		return nil, nil
 	}
 	r.written++
-	return []msg.Msg{alphaproto.AckMsg(v)}, seq.Seq{v}
+	return r.t.AckSend(v), r.t.Write(v)
 }
 
-func (r *trustingReceiver) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, r.m)
-	for v := 0; v < r.m; v++ {
-		msgs[v] = alphaproto.AckMsg(seq.Item(v))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (r *trustingReceiver) Alphabet() msg.Alphabet { return r.t.ReceiverAlphabet() }
 
 func (r *trustingReceiver) Clone() protocol.Receiver {
 	cp := *r
@@ -166,10 +156,10 @@ func NewFlood(m int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("naive: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &floodSender{m: m, input: input.Clone()}, nil
+			return &floodSender{m: m, t: alphaproto.InternFor(m), input: input.Clone()}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &trustingReceiver{m: m}, nil
+			return &trustingReceiver{m: m, t: alphaproto.InternFor(m)}, nil
 		},
 	}, nil
 }
@@ -177,6 +167,7 @@ func NewFlood(m int) (protocol.Spec, error) {
 // floodSender sends the next item on each tick, never waiting.
 type floodSender struct {
 	m     int
+	t     *alphaproto.Intern
 	input seq.Seq
 	idx   int
 }
@@ -187,25 +178,19 @@ func (s *floodSender) Step(ev protocol.Event) []msg.Msg {
 	if ev.Kind != protocol.Tick || s.idx >= len(s.input) {
 		return nil
 	}
-	m := alphaproto.DataMsg(s.input[s.idx])
+	m := s.t.DataSend(s.input[s.idx])
 	s.idx++
-	return []msg.Msg{m}
+	return m
 }
 
-func (s *floodSender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, s.m)
-	for v := 0; v < s.m; v++ {
-		msgs[v] = alphaproto.DataMsg(seq.Item(v))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *floodSender) Alphabet() msg.Alphabet { return s.t.SenderAlphabet() }
 
 func (s *floodSender) Done() bool { return s.idx >= len(s.input) }
 
 func (s *floodSender) Clone() protocol.Sender {
 	// The input tape is never mutated after construction, so clones share
 	// it: the model checker clones on every explored transition.
-	return &floodSender{m: s.m, input: s.input, idx: s.idx}
+	return &floodSender{m: s.m, t: s.t, input: s.input, idx: s.idx}
 }
 
 func (s *floodSender) Key() string { return fmt.Sprintf("floodS{idx=%d}", s.idx) }

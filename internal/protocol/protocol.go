@@ -68,9 +68,19 @@ func (e Event) String() string {
 
 // Sender is the sender process S. Implementations must be deterministic:
 // equal states fed equal events produce equal successor states and sends.
+//
+// Slice ownership: the slices Step returns (sends here, and sends and
+// writes on Receiver) are only valid until the same process's next Step.
+// Implementations may return shared read-only singletons from interned
+// codec tables or reuse scratch buffers across steps — that is what
+// keeps the step path allocation-free. Callers therefore either consume
+// the slice before stepping again (iterate, route, compare) or copy it;
+// they must never mutate it or hold it across steps.
 type Sender interface {
 	// Step processes one event and returns the messages S sends in this
-	// step (each is placed on the S->R half by the scheduler).
+	// step (each is placed on the S->R half by the scheduler). The
+	// returned slice follows the ownership contract above: valid until
+	// the next Step, not to be mutated or retained.
 	Step(ev Event) (sends []msg.Msg)
 	// Alphabet returns M^S, the finite set of messages S may ever send.
 	// An empty alphabet (Size 0) declares "unbounded" (used only by the
@@ -90,7 +100,9 @@ type Sender interface {
 type Receiver interface {
 	// Step processes one event and returns messages to send back to S and
 	// the data items R writes onto the output tape Y in this step, in
-	// order. Writes are irrevocable (safety is judged on them).
+	// order. Writes are irrevocable (safety is judged on them). Both
+	// returned slices follow the ownership contract on Sender.Step:
+	// valid until the next Step, not to be mutated or retained.
 	Step(ev Event) (sends []msg.Msg, writes seq.Seq)
 	// Alphabet returns M^R.
 	Alphabet() msg.Alphabet

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 
 	"seqtx/internal/msg"
 	"seqtx/internal/protocol"
@@ -35,6 +36,65 @@ func DataMsg(mod, n int, v seq.Item) msg.Msg {
 
 // AckMsg encodes the individual acknowledgement of frame n.
 func AckMsg(mod, n int) msg.Msg { return msg.Msg(fmt.Sprintf("sa:%d", n%mod)) }
+
+// tables is the per-(m, window) interned codec: every member of
+// M^S/M^R with send singletons, write singletons, and decode maps,
+// byte-identical to DataMsg/AckMsg.
+type tables struct {
+	senderAlpha   msg.Alphabet
+	receiverAlpha msg.Alphabet
+	data          [][]msg.Msg // data[n][v] = "s:n:v"
+	ack           []msg.Msg   // ack[n] = "sa:n"
+	ackSend       [][]msg.Msg // ackSend[n]
+	writeOne      []seq.Seq   // writeOne[v]
+	dataVal       map[msg.Msg]frameValue
+	ackVal        map[msg.Msg]int
+}
+
+type frameValue struct{ n, v int }
+
+type tablesKey struct{ m, window int }
+
+var tablesCache sync.Map // tablesKey → *tables
+
+func tablesFor(m, window int) *tables {
+	key := tablesKey{m, window}
+	if t, ok := tablesCache.Load(key); ok {
+		return t.(*tables)
+	}
+	if m < 0 {
+		m = 0
+	}
+	mod := 2 * window
+	t := &tables{
+		data:     make([][]msg.Msg, mod),
+		ack:      make([]msg.Msg, mod),
+		ackSend:  make([][]msg.Msg, mod),
+		writeOne: make([]seq.Seq, m),
+		dataVal:  make(map[msg.Msg]frameValue, mod*m),
+		ackVal:   make(map[msg.Msg]int, mod),
+	}
+	senderMsgs := make([]msg.Msg, 0, mod*m)
+	for n := 0; n < mod; n++ {
+		t.ack[n] = AckMsg(mod, n)
+		t.ackSend[n] = []msg.Msg{t.ack[n]}
+		t.ackVal[t.ack[n]] = n
+		t.data[n] = make([]msg.Msg, m)
+		for v := 0; v < m; v++ {
+			dm := DataMsg(mod, n, seq.Item(v))
+			senderMsgs = append(senderMsgs, dm)
+			t.data[n][v] = dm
+			t.dataVal[dm] = frameValue{n, v}
+		}
+	}
+	for v := 0; v < m; v++ {
+		t.writeOne[v] = seq.Seq{seq.Item(v)}
+	}
+	t.senderAlpha = msg.MustNewAlphabet(senderMsgs...)
+	t.receiverAlpha = msg.MustNewAlphabet(t.ack...)
+	actual, _ := tablesCache.LoadOrStore(key, t)
+	return actual.(*tables)
+}
 
 // New returns the protocol spec for domain size m and window >= 1.
 // |M^S| = 2·window·m, |M^R| = 2·window.
@@ -54,10 +114,10 @@ func New(m, window int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("selrepeat: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &sender{m: m, window: window, input: input.Clone(), acked: map[int]bool{}}, nil
+			return &sender{m: m, window: window, t: tablesFor(m, window), input: input.Clone(), acked: map[int]bool{}}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &receiver{m: m, window: window, buffered: map[int]seq.Item{}}, nil
+			return &receiver{m: m, window: window, t: tablesFor(m, window), buffered: map[int]seq.Item{}}, nil
 		},
 	}, nil
 }
@@ -78,12 +138,19 @@ const timeoutTicks = 6
 type sender struct {
 	m      int
 	window int
+	t      *tables
 	input  seq.Seq
 
 	base    int          // lowest unacknowledged position
 	next    int          // next position never sent
 	acked   map[int]bool // individually acknowledged positions >= base
 	stalled int
+
+	// scratch is the reused retransmission burst buffer. It is only
+	// ever returned from Step (valid until the next Step, per the Step
+	// contract) and nil'd on Clone, so model-checker clones never share
+	// it across workers.
+	scratch []msg.Msg
 }
 
 var _ protocol.Sender = (*sender)(nil)
@@ -93,9 +160,17 @@ func (s *sender) mod() int { return 2 * s.window }
 func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
-		var n int
-		if _, err := fmt.Sscanf(string(ev.Msg), "sa:%d", &n); err != nil {
-			return nil
+		n, ok := s.t.ackVal[ev.Msg]
+		if !ok {
+			// Non-canonical spelling (corruption): the pre-interning
+			// parse, which accepts a superset of the table's encodings.
+			// The scanned local lives only in this branch so the fast
+			// path stays allocation-free.
+			var pn int
+			if _, err := fmt.Sscanf(string(ev.Msg), "sa:%d", &pn); err != nil {
+				return nil
+			}
+			n = pn
 		}
 		// The acknowledged position is the unique one in [base, next)
 		// congruent to n (the window never spans mod() positions).
@@ -118,19 +193,35 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 			return nil
 		}
 		if s.next < len(s.input) && s.next < s.base+s.window {
-			m := DataMsg(s.mod(), s.next, s.input[s.next])
+			var m []msg.Msg
+			if v := int(s.input[s.next]); v >= 0 && v < s.m {
+				m = s.scratch[:0]
+				m = append(m, s.t.data[s.next%s.mod()][v])
+				s.scratch = m
+			} else {
+				m = []msg.Msg{DataMsg(s.mod(), s.next, s.input[s.next])}
+			}
 			s.next++
-			return []msg.Msg{m}
+			return m
 		}
 		s.stalled++
 		if s.stalled > timeoutTicks {
 			s.stalled = 0
-			// Selective: retransmit only the unacknowledged frames.
-			var burst []msg.Msg
+			// Selective: retransmit only the unacknowledged frames,
+			// reusing the scratch buffer across bursts.
+			burst := s.scratch[:0]
 			for p := s.base; p < s.next; p++ {
 				if !s.acked[p] {
-					burst = append(burst, DataMsg(s.mod(), p, s.input[p]))
+					if v := int(s.input[p]); v >= 0 && v < s.m {
+						burst = append(burst, s.t.data[p%s.mod()][v])
+					} else {
+						burst = append(burst, DataMsg(s.mod(), p, s.input[p]))
+					}
 				}
+			}
+			s.scratch = burst
+			if len(burst) == 0 {
+				return nil
 			}
 			return burst
 		}
@@ -140,22 +231,17 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	}
 }
 
-func (s *sender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, s.mod()*s.m)
-	for n := 0; n < s.mod(); n++ {
-		for v := 0; v < s.m; v++ {
-			msgs = append(msgs, DataMsg(s.mod(), n, seq.Item(v)))
-		}
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *sender) Alphabet() msg.Alphabet { return s.t.senderAlpha }
 
 func (s *sender) Done() bool { return s.base >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
 	// The input tape is never mutated after construction, so the clone
 	// shares it: the model checker clones on every explored transition.
+	// The burst scratch is NOT shared: parallel-BFS workers stepping two
+	// clones concurrently must not race on one buffer.
 	cp := *s
+	cp.scratch = nil
 	cp.acked = make(map[int]bool, len(s.acked))
 	for k, v := range s.acked {
 		cp.acked[k] = v
@@ -198,8 +284,13 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 type receiver struct {
 	m        int
 	window   int
+	t        *tables
 	next     int              // positions written so far
 	buffered map[int]seq.Item // accepted positions >= next awaiting the gap
+
+	// wscratch is the reused gap-fill write buffer, nil'd on Clone for
+	// the same reason as the sender's burst scratch.
+	wscratch seq.Seq
 }
 
 var _ protocol.Receiver = (*receiver)(nil)
@@ -210,10 +301,19 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var n, v int
-	if _, err := fmt.Sscanf(string(ev.Msg), "s:%d:%d", &n, &v); err != nil {
-		return nil, nil
+	fv, ok := r.t.dataVal[ev.Msg]
+	if !ok {
+		// Non-canonical spelling (corruption): the pre-interning parse,
+		// which accepts a superset of the table's encodings. The scanned
+		// locals live only in this branch so the fast path stays
+		// allocation-free.
+		var pn, pvv int
+		if _, err := fmt.Sscanf(string(ev.Msg), "s:%d:%d", &pn, &pvv); err != nil {
+			return nil, nil
+		}
+		fv = frameValue{pn, pvv}
 	}
+	n, v := fv.n, fv.v
 	// Identify the position: within the acceptance window [next,
 	// next+window) it is the unique one congruent to n. A frame congruent
 	// to an already-delivered position (the trailing window) is a
@@ -227,32 +327,36 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	}
 	if pos < 0 {
 		// Trailing window: a duplicate of something already delivered.
+		// (The raw parsed n, not n%mod: a corrupted frame with an
+		// out-of-range number is echoed back exactly as before.)
+		if n >= 0 && n < r.mod() {
+			return r.t.ackSend[n], nil
+		}
 		return []msg.Msg{msg.Msg(fmt.Sprintf("sa:%d", n))}, nil
 	}
 	r.buffered[pos] = seq.Item(v)
-	var writes seq.Seq
+	writes := r.wscratch[:0]
 	for {
-		item, ok := r.buffered[r.next]
-		if !ok {
+		item, bok := r.buffered[r.next]
+		if !bok {
 			break
 		}
 		delete(r.buffered, r.next)
 		writes = append(writes, item)
 		r.next++
 	}
-	return []msg.Msg{AckMsg(r.mod(), pos)}, writes
+	r.wscratch = writes
+	if len(writes) == 0 {
+		return r.t.ackSend[pos%r.mod()], nil
+	}
+	return r.t.ackSend[pos%r.mod()], writes
 }
 
-func (r *receiver) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, 0, r.mod())
-	for n := 0; n < r.mod(); n++ {
-		msgs = append(msgs, msg.Msg(fmt.Sprintf("sa:%d", n)))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (r *receiver) Alphabet() msg.Alphabet { return r.t.receiverAlpha }
 
 func (r *receiver) Clone() protocol.Receiver {
 	cp := *r
+	cp.wscratch = nil
 	cp.buffered = make(map[int]seq.Item, len(r.buffered))
 	for k, v := range r.buffered {
 		cp.buffered[k] = v

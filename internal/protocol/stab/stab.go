@@ -72,10 +72,10 @@ func New(m, c int) (protocol.Spec, error) {
 					return nil, fmt.Errorf("stab: item %d outside domain of size %d", int(v), m)
 				}
 			}
-			return &sender{m: m, c: cc, input: input.Clone()}, nil
+			return &sender{m: m, c: cc, t: alphaproto.InternFor(m), input: input.Clone()}, nil
 		},
 		NewReceiver: func() (protocol.Receiver, error) {
-			return &receiver{m: m, c: cc}, nil
+			return &receiver{m: m, c: cc, t: alphaproto.InternFor(m)}, nil
 		},
 	}, nil
 }
@@ -86,6 +86,7 @@ func New(m, c int) (protocol.Spec, error) {
 // accepted value.
 type sender struct {
 	m, c  int
+	t     *alphaproto.Intern
 	input seq.Seq
 	idx   int // next item to deliver; len(input) when done
 	acks  int // matching acknowledgements accumulated for input[idx]
@@ -97,7 +98,7 @@ var _ protocol.Scrambler = (*sender)(nil)
 func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
-		if s.idx < len(s.input) && ev.Msg == alphaproto.AckMsg(s.input[s.idx]) {
+		if s.idx < len(s.input) && ev.Msg == s.t.Ack(s.input[s.idx]) {
 			s.acks++
 			if s.acks >= s.c+1 {
 				s.idx++
@@ -107,7 +108,7 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 		return nil
 	case protocol.Tick:
 		if s.idx < len(s.input) {
-			return []msg.Msg{alphaproto.DataMsg(s.input[s.idx])}
+			return s.t.DataSend(s.input[s.idx])
 		}
 		return nil
 	default:
@@ -115,19 +116,13 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	}
 }
 
-func (s *sender) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, s.m)
-	for v := 0; v < s.m; v++ {
-		msgs[v] = alphaproto.DataMsg(seq.Item(v))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (s *sender) Alphabet() msg.Alphabet { return s.t.SenderAlphabet() }
 
 func (s *sender) Done() bool { return s.idx >= len(s.input) }
 
 func (s *sender) Clone() protocol.Sender {
 	// The input tape is never mutated after construction, so clones share it.
-	return &sender{m: s.m, c: s.c, input: s.input, idx: s.idx, acks: s.acks}
+	return &sender{m: s.m, c: s.c, t: s.t, input: s.input, idx: s.idx, acks: s.acks}
 }
 
 func (s *sender) Key() string { return fmt.Sprintf("stabS{idx=%d,acks=%d}", s.idx, s.acks) }
@@ -150,6 +145,7 @@ func (s *sender) Scramble(rng *rand.Rand) {
 // measures genuine acceptances, not echoes).
 type receiver struct {
 	m, c int
+	t    *alphaproto.Intern
 	have bool     // an accepted value exists
 	last seq.Item // most recently accepted (and written) value
 	cand seq.Item // candidate being counted; meaningful when cnt > 0
@@ -163,18 +159,18 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var v int
-	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d", &v); err != nil {
+	v, ok := r.t.DataValue(ev.Msg)
+	if !ok {
 		return nil, nil
 	}
-	if v < 0 || v >= r.m {
+	if int(v) < 0 || int(v) >= r.m {
 		return nil, nil
 	}
-	item := seq.Item(v)
+	item := v
 	if r.have && item == r.last {
 		// Retransmission of the accepted value: re-acknowledge, the
 		// sender may still be collecting its c+1 acks.
-		return []msg.Msg{alphaproto.AckMsg(item)}, nil
+		return r.t.AckSend(item), nil
 	}
 	if r.cnt > 0 && item == r.cand {
 		r.cnt++
@@ -184,18 +180,12 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if r.cnt >= r.c+1 {
 		r.have, r.last = true, item
 		r.cnt = 0
-		return []msg.Msg{alphaproto.AckMsg(item)}, seq.Seq{item}
+		return r.t.AckSend(item), r.t.Write(item)
 	}
 	return nil, nil
 }
 
-func (r *receiver) Alphabet() msg.Alphabet {
-	msgs := make([]msg.Msg, r.m)
-	for v := 0; v < r.m; v++ {
-		msgs[v] = alphaproto.AckMsg(seq.Item(v))
-	}
-	return msg.MustNewAlphabet(msgs...)
-}
+func (r *receiver) Alphabet() msg.Alphabet { return r.t.ReceiverAlphabet() }
 
 func (r *receiver) Clone() protocol.Receiver {
 	cp := *r

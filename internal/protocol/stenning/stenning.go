@@ -26,6 +26,14 @@ func dataMsg(i int, v seq.Item) msg.Msg { return msg.Msg(fmt.Sprintf("d:%d:%d", 
 // ackMsg encodes the acknowledgement for position i.
 func ackMsg(i int) msg.Msg { return msg.Msg(fmt.Sprintf("a:%d", i)) }
 
+// internMax bounds the receiver's dynamic decode cache. Stenning's
+// alphabet is unbounded, so unlike the finite-alphabet protocols the
+// codec cannot be precomputed; instead each instance interns decodes as
+// they arrive, up to this many distinct encodings. Past the bound the
+// slow path (the original Sscanf parse) still handles every message
+// correctly — the cache only changes who pays for the parse.
+const internMax = 4096
+
 // New returns the protocol spec. There is no domain-size parameter: the
 // sequence-number scheme carries any items whatsoever.
 func New() protocol.Spec {
@@ -45,6 +53,15 @@ func New() protocol.Spec {
 type sender struct {
 	input seq.Seq
 	next  int // lowest unacknowledged position
+
+	// Dynamic intern of the current position's frame and expected ack:
+	// rebuilt once per advance, so the steady retransmit/ack-compare
+	// cycle formats nothing. The cached values are replaced, never
+	// mutated, so Clone's value copy safely shares them.
+	curSend []msg.Msg // {"d:next:v"}; valid iff non-nil and curFor == next
+	curFor  int
+	ackWait msg.Msg // "a:next"; valid iff non-empty and ackFor == next
+	ackFor  int
 }
 
 var _ protocol.Sender = (*sender)(nil)
@@ -52,6 +69,16 @@ var _ protocol.Sender = (*sender)(nil)
 func (s *sender) Step(ev protocol.Event) []msg.Msg {
 	switch ev.Kind {
 	case protocol.Recv:
+		if s.ackWait == "" || s.ackFor != s.next {
+			s.ackWait = ackMsg(s.next)
+			s.ackFor = s.next
+		}
+		if ev.Msg == s.ackWait {
+			s.next++
+			return nil
+		}
+		// Non-canonical spelling (corruption): the pre-interning parse,
+		// which accepts a superset of the canonical encoding.
 		var i int
 		if _, err := fmt.Sscanf(string(ev.Msg), "a:%d", &i); err == nil && i == s.next {
 			s.next++
@@ -59,7 +86,11 @@ func (s *sender) Step(ev protocol.Event) []msg.Msg {
 		return nil
 	case protocol.Tick:
 		if s.next < len(s.input) {
-			return []msg.Msg{dataMsg(s.next, s.input[s.next])}
+			if s.curSend == nil || s.curFor != s.next {
+				s.curSend = []msg.Msg{dataMsg(s.next, s.input[s.next])}
+				s.curFor = s.next
+			}
+			return s.curSend
 		}
 		return nil
 	default:
@@ -85,10 +116,25 @@ func (s *sender) EncodeKey(buf []byte) []byte {
 	return binary.AppendUvarint(buf, uint64(s.next))
 }
 
+// decoded is a cached parse of a data message, with the interned ack
+// send slice and write singleton for its position and value.
+type decoded struct {
+	i, v    int
+	ackSend []msg.Msg
+	write   seq.Seq
+}
+
 // receiver writes position next when it arrives; every receipt of a
 // position <= next is acknowledged (re-acks repair lost acknowledgements).
 type receiver struct {
 	next int // number of items written
+
+	// cache dynamically interns decodes (bounded by internMax). It is
+	// keyed by the exact received bytes, so caching non-canonical
+	// spellings is sound: the Sscanf parse is deterministic per byte
+	// string. Not part of behavioural state (Key ignores it), and nil'd
+	// on Clone so model-checker workers never share the map.
+	cache map[msg.Msg]decoded
 }
 
 var _ protocol.Receiver = (*receiver)(nil)
@@ -97,20 +143,27 @@ func (r *receiver) Step(ev protocol.Event) ([]msg.Msg, seq.Seq) {
 	if ev.Kind != protocol.Recv {
 		return nil, nil
 	}
-	var (
-		i int
-		v int
-	)
-	if _, err := fmt.Sscanf(string(ev.Msg), "d:%d:%d", &i, &v); err != nil {
-		return nil, nil
+	d, ok := r.cache[ev.Msg]
+	if !ok {
+		var i, v int
+		if _, err := fmt.Sscanf(string(ev.Msg), "d:%d:%d", &i, &v); err != nil {
+			return nil, nil
+		}
+		d = decoded{i: i, v: v, ackSend: []msg.Msg{ackMsg(i)}, write: seq.Seq{seq.Item(v)}}
+		if len(r.cache) < internMax {
+			if r.cache == nil {
+				r.cache = make(map[msg.Msg]decoded)
+			}
+			r.cache[ev.Msg] = d
+		}
 	}
 	switch {
-	case i == r.next:
+	case d.i == r.next:
 		r.next++
-		return []msg.Msg{ackMsg(i)}, seq.Seq{seq.Item(v)}
-	case i < r.next:
+		return d.ackSend, d.write
+	case d.i < r.next:
 		// Stale retransmission: re-acknowledge so the sender advances.
-		return []msg.Msg{ackMsg(i)}, nil
+		return d.ackSend, nil
 	default:
 		// Out-of-order future message (reordering): ignore; the sender
 		// will retransmit once earlier items are acknowledged.
@@ -123,6 +176,7 @@ func (r *receiver) Alphabet() msg.Alphabet { return msg.Alphabet{} }
 
 func (r *receiver) Clone() protocol.Receiver {
 	cp := *r
+	cp.cache = nil
 	return &cp
 }
 

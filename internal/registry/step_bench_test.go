@@ -1,0 +1,67 @@
+package registry_test
+
+// Per-protocol Step micro-benchmarks over the shared steady-state
+// fixtures (internal/protocol/steptest): the same three paths the
+// zero-alloc contract tests in internal/wire enforce — sender tick,
+// receiver data parse + re-ack, sender ack parse. Recorded
+// before/after the interned-codec refactor in BENCH_step.json.
+
+import (
+	"testing"
+
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/steptest"
+)
+
+func BenchmarkStep(b *testing.B) {
+	for _, f := range steptest.Fixtures() {
+		f := f
+		b.Run(f.Name+"/tick", func(b *testing.B) {
+			s, _, err := f.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := protocol.TickEvent()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(ev)
+			}
+		})
+		b.Run(f.Name+"/recv-data", func(b *testing.B) {
+			_, r, err := f.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := protocol.RecvEvent(f.Data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Step(ev)
+			}
+		})
+		b.Run(f.Name+"/recv-ack", func(b *testing.B) {
+			s, _, err := f.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := protocol.RecvEvent(f.Ack)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(ev)
+			}
+		})
+	}
+}
+
+// TestStepFixturesSteady guards the benchmark's premise: every fixture
+// path must be repeatable without drifting protocol state, or the
+// benchmark above would silently measure a cold path.
+func TestStepFixturesSteady(t *testing.T) {
+	for _, f := range steptest.Fixtures() {
+		if err := steptest.Steady(f); err != nil {
+			t.Error(err)
+		}
+	}
+}

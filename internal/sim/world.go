@@ -198,7 +198,14 @@ func (w *World) Apply(act trace.Action) error {
 		return err
 	}
 	if w.Trace != nil {
-		w.Trace.Append(trace.Entry{Time: w.Time, Act: act, Sends: sends, Writes: writes.Clone()})
+		// Step's returned slices are only valid until the process's next
+		// Step (interned protocols return shared singletons and reused
+		// scratch buffers), so the trace takes copies of both.
+		var sendsCopy []msg.Msg
+		if len(sends) > 0 {
+			sendsCopy = append([]msg.Msg(nil), sends...)
+		}
+		w.Trace.Append(trace.Entry{Time: w.Time, Act: act, Sends: sendsCopy, Writes: writes.Clone()})
 	}
 	w.Time++
 	return nil

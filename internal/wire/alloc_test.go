@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"seqtx/internal/channel"
+	"seqtx/internal/protocol"
+	"seqtx/internal/protocol/steptest"
 )
 
 // Steady-state allocation contracts, enforced with testing.AllocsPerRun:
@@ -79,6 +81,40 @@ func TestIncrementalBatchZeroAlloc(t *testing.T) {
 	}
 	if n != 8 {
 		t.Fatalf("incremental blob split into %d frames, want 8", n)
+	}
+}
+
+// TestStepSteadyStateZeroAlloc extends the data-plane contract to the
+// protocol Step path itself: with the interned codec tables, every
+// finite-alphabet protocol's steady-state sender tick, receiver
+// recv-data, and sender recv-ack must not allocate. The steptest
+// fixtures pin what "steady state" means per protocol (see that
+// package); Stenning is exempt (Finite=false) because its unbounded
+// sequence numbers make the codec dynamic by design.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	for _, f := range steptest.Fixtures() {
+		if !f.Finite {
+			continue
+		}
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			s, r, err := f.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Extra warm ticks take the windowed senders through their
+			// first stall→burst cycle so the one-time scratch-buffer
+			// growth happens before measurement.
+			for i := 0; i < 32; i++ {
+				s.Step(protocol.TickEvent())
+			}
+			tickEv := protocol.TickEvent()
+			assertZeroAlloc(t, f.Name+" sender tick", func() { s.Step(tickEv) })
+			dataEv := protocol.RecvEvent(f.Data)
+			assertZeroAlloc(t, f.Name+" receiver recv-data", func() { r.Step(dataEv) })
+			ackEv := protocol.RecvEvent(f.Ack)
+			assertZeroAlloc(t, f.Name+" sender recv-ack", func() { s.Step(ackEv) })
+		})
 	}
 }
 
